@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper has a bench that (a) regenerates the
+artefact at laptop scale, (b) prints it (run pytest with ``-s`` to see
+the tables), and (c) asserts the paper's qualitative claims -- who wins,
+by roughly what factor, where the crossovers fall.  Scale knobs are
+environment variables so the full-size reproduction can reuse the same
+entry points:
+
+* ``REPRO_BENCH_MACHINES``     (default 16)  -- pool size for Tables 1/3
+* ``REPRO_BENCH_OBSERVATIONS`` (default 75)  -- observations per machine
+* ``REPRO_BENCH_HORIZON_DAYS`` (default 0.5) -- live-run horizon
+* ``REPRO_BENCH_POINTS``       (default 1500) -- Table 2 trace length
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import run_live_study, run_simulation_study
+from repro.traces import SyntheticPoolConfig
+
+BENCH_MACHINES = int(os.environ.get("REPRO_BENCH_MACHINES", "16"))
+BENCH_OBSERVATIONS = int(os.environ.get("REPRO_BENCH_OBSERVATIONS", "75"))
+BENCH_HORIZON_DAYS = float(os.environ.get("REPRO_BENCH_HORIZON_DAYS", "0.5"))
+BENCH_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", "1500"))
+
+#: the sweep costs used in the benches (a subset of the paper's ten,
+#: keeping one point per regime: small, the paper's two calibration
+#: points, large)
+BENCH_COSTS = (50.0, 110.0, 475.0, 1000.0, 1500.0)
+
+
+@pytest.fixture(scope="session")
+def simulation_study():
+    """One shared pool sweep behind Figure 3/4 and Tables 1/3."""
+    return run_simulation_study(
+        pool_config=SyntheticPoolConfig(
+            n_machines=BENCH_MACHINES, n_observations=BENCH_OBSERVATIONS
+        ),
+        checkpoint_costs=BENCH_COSTS,
+        seed=2005,
+    )
+
+
+@pytest.fixture(scope="session")
+def campus_study():
+    """One shared live (campus) run behind Table 4 and the validation."""
+    return run_live_study(
+        "campus",
+        horizon=BENCH_HORIZON_DAYS * 86400.0,
+        n_machines=24,
+        n_concurrent_jobs=10,
+        seed=2005,
+    )

@@ -1,0 +1,220 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Conditional (aperiodic) vs periodic scheduling** -- the paper's key
+   departure from Vaidya: for non-memoryless models, recomputing
+   ``T_opt(i)`` as the resource ages should reduce network load relative
+   to freezing ``T_opt(0)`` forever.
+2. **Closed-form vs quadrature partial expectations** -- the closed
+   forms must agree with generic quadrature to many digits while being
+   much cheaper (this is the optimizer's hot path).
+3. **Training-set size** -- 25 observations (the paper's split) vs the
+   full history: schedules and efficiencies barely move.
+4. **Recovery ageing** -- including the recovery phase in the uptime
+   conditioning (``include_recovery_age``) is a second-order effect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointCosts, CheckpointSchedule, optimize_interval  # noqa: F401 (used across ablations)
+from repro.distributions import Weibull, fit_weibull
+from repro.numerics import gauss_legendre
+from repro.simulation import SimulationConfig, replay_schedule, simulate_trace
+from repro.traces import paper_reference_distribution, paper_reference_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return paper_reference_trace(1200, np.random.default_rng(31))
+
+
+class _PeriodicSchedule:
+    """Freeze T_opt(0): the Vaidya-style periodic baseline."""
+
+    def __init__(self, schedule):
+        self._schedule = schedule
+        self.costs = schedule.costs
+
+    def work_interval(self, i):
+        return self._schedule.work_interval(0)
+
+    def expected_efficiency(self, i=0):
+        return self._schedule.expected_efficiency(0)
+
+
+def test_ablation_conditional_vs_periodic(benchmark, trace):
+    dist = paper_reference_distribution()
+    cfg = SimulationConfig(checkpoint_cost=475.0)
+    costs = CheckpointCosts.symmetric(475.0)
+
+    def run_aperiodic():
+        sched = CheckpointSchedule(dist, costs, converge_rel_tol=1e-3)
+        return replay_schedule(sched, trace.durations, cfg, model_name="aperiodic")
+
+    aperiodic = benchmark.pedantic(run_aperiodic, rounds=1, iterations=1)
+    periodic = replay_schedule(
+        _PeriodicSchedule(CheckpointSchedule(dist, costs)),
+        trace.durations,
+        cfg,
+        model_name="periodic",
+    )
+    print(
+        f"\naperiodic: eff={aperiodic.efficiency:.3f} MB={aperiodic.mb_total:.0f} | "
+        f"periodic: eff={periodic.efficiency:.3f} MB={periodic.mb_total:.0f}"
+    )
+    # the aperiodic schedule lengthens intervals as machines age ->
+    # fewer checkpoints -> less traffic, at comparable efficiency
+    assert aperiodic.mb_total < periodic.mb_total
+    assert aperiodic.efficiency > periodic.efficiency - 0.05
+
+
+def test_ablation_closed_form_vs_quadrature(benchmark):
+    dist = paper_reference_distribution()
+    xs = np.geomspace(10.0, 1e5, 200)
+
+    closed = benchmark.pedantic(
+        lambda: np.asarray(dist.partial_expectation(xs)), rounds=3, iterations=5
+    )
+    quad = np.array(
+        [
+            gauss_legendre(
+                lambda t: t * np.asarray(dist.pdf(np.maximum(t, 1e-12))),
+                1e-9,
+                float(x),
+                order=80,
+                panels=40,
+            )
+            for x in xs
+        ]
+    )
+    assert np.allclose(closed, quad, rtol=5e-3)
+
+
+def test_ablation_training_size(benchmark, trace):
+    cfg = SimulationConfig(checkpoint_cost=110.0)
+    fits = benchmark.pedantic(
+        lambda: {
+            n: fit_weibull(trace.durations[:n]) for n in (25, 200, len(trace.durations))
+        },
+        rounds=1,
+        iterations=1,
+    )
+    effs = {
+        n: simulate_trace(dist, trace.durations, cfg).efficiency
+        for n, dist in fits.items()
+    }
+    print(f"\nefficiency by training size: {effs}")
+    assert abs(effs[25] - effs[len(trace.durations)]) < 0.08
+
+
+def test_ablation_request_latency(benchmark):
+    """The paper's footnote: "the latency of the initial request is
+    insignificant compared with the time for the data transfer".
+
+    A whole-fleet comparison is chaos-dominated at bench scale (the
+    handshake perturbs placement timing), so the effect is isolated in a
+    deterministic single-machine world: one long occupancy, constant
+    bandwidth, the full test-process protocol, with and without a 0.5 s
+    per-transfer handshake."""
+    from repro.condor import (
+        CheckpointManager,
+        CondorMachine,
+        CondorScheduler,
+        make_test_process,
+    )
+    from repro.core import CheckpointPlanner
+    from repro.distributions import Exponential
+    from repro.engine import Environment
+    from repro.network import SharedLink
+
+    def run(latency):
+        env = Environment()
+        link = SharedLink(env, 10.0, request_latency=latency)
+        manager = CheckpointManager(env, link)
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(
+            env, "m0", durations=[300000.0], gaps=[0.0], scheduler=sched
+        )
+        planner = CheckpointPlanner.from_distribution(Exponential(1.0 / 20000.0))
+        sched.submit(make_test_process(manager, planner))
+        env.run()
+        return manager.logs[0]
+
+    with_latency = benchmark.pedantic(lambda: run(0.5), rounds=1, iterations=1)
+    without = run(0.0)
+    e0 = without.efficiency
+    e1 = with_latency.efficiency
+    print(f"\n  efficiency {e0:.4f} -> {e1:.4f} with 0.5 s handshakes")
+    # (not asserting a direction: the handshake inflates the *measured*
+    # cost, so the planner stretches its intervals, which can offset the
+    # raw delay either way -- the point is the magnitude is negligible)
+    assert abs(e0 - e1) < 0.01, "request latency should be insignificant"
+
+
+def test_ablation_replay_protocol(benchmark):
+    """Steady-state protocol choice: replaying the full trace (the
+    paper's "job begins before the first measurement") vs only the
+    held-out experimental set. The efficiencies must agree closely --
+    the training prefix is a small share of the replay."""
+    import numpy as np
+
+    from repro.simulation import SweepSettings, simulate_pool
+    from repro.traces import SyntheticPoolConfig, generate_condor_pool
+
+    pool = generate_condor_pool(
+        SyntheticPoolConfig(n_machines=6, n_observations=100),
+        np.random.default_rng(17),
+    )
+
+    def run(mode):
+        return simulate_pool(
+            pool, SweepSettings(checkpoint_costs=(110.0,), replay=mode)
+        )
+
+    full = benchmark.pedantic(lambda: run("full"), rounds=1, iterations=1)
+    held_out = run("experimental")
+    print()
+    for model in ("exponential", "weibull", "hyperexp2", "hyperexp3"):
+        e_full = full.metric_matrix(model, "efficiency").mean()
+        e_test = held_out.metric_matrix(model, "efficiency").mean()
+        print(f"  {model:12s} full={e_full:.3f} experimental-only={e_test:.3f}")
+        assert abs(e_full - e_test) < 0.05
+
+
+def test_ablation_checkpoint_latency(benchmark):
+    """Vaidya's latency term: committing checkpoints lazily (L > 0)
+    raises the retry horizon L + R + T, so the optimizer shortens the
+    work interval and predicts lower efficiency."""
+    dist = paper_reference_distribution()
+
+    def sweep():
+        out = {}
+        for latency_frac in (0.0, 0.5, 1.0):
+            costs = CheckpointCosts(
+                checkpoint=475.0, recovery=475.0, latency=475.0 * latency_frac
+            )
+            opt = optimize_interval(dist, costs)
+            out[latency_frac] = opt
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for frac, opt in results.items():
+        print(
+            f"  L = {frac:.1f} * C: T_opt = {opt.T_opt:8.0f} s, "
+            f"expected efficiency = {opt.expected_efficiency:.3f}"
+        )
+    effs = [results[f].expected_efficiency for f in (0.0, 0.5, 1.0)]
+    assert effs[0] > effs[1] > effs[2], "latency can only hurt"
+
+
+def test_ablation_recovery_ageing(benchmark):
+    dist = Weibull(0.43, 3409.0)
+    costs = CheckpointCosts.symmetric(475.0)
+    plain = benchmark.pedantic(
+        lambda: CheckpointSchedule(dist, costs).work_interval(0), rounds=1, iterations=1
+    )
+    aged = CheckpointSchedule(dist, costs, include_recovery_age=True).work_interval(0)
+    # a second-order effect: same order of magnitude, small shift
+    assert aged == pytest.approx(plain, rel=0.25)
+    assert aged != pytest.approx(plain, rel=1e-9)

@@ -1,0 +1,57 @@
+"""Bench: the parallel-workload extension (the paper's future work).
+
+The paper's conclusion conjectures that for parallel jobs, where many
+ranks checkpoint over the same shared network, the bandwidth savings of
+heavy-tailed models turn into an *efficiency* advantage because
+colliding checkpoints lengthen every transfer.  Claims verified:
+
+* the measured mean transfer cost inflates with workload width for
+  every model (collisions are real);
+* the exponential -- which checkpoints most often -- suffers a larger
+  cost inflation than the 2-phase hyperexponential;
+* at the widest workload, the 2-phase hyperexponential's efficiency is
+  at least the exponential's.
+"""
+
+from repro.experiments import run_parallel_study
+
+WIDTHS = (4, 16)
+MODELS = ("exponential", "hyperexp2")
+
+
+def test_bench_parallel_collisions(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_parallel_study(
+            widths=WIDTHS,
+            models=MODELS,
+            horizon=1.0 * 86400.0,
+            n_machines=24,
+            seed=2005,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.table().render())
+
+    narrow, wide = WIDTHS
+    for model in MODELS:
+        c_narrow = result.cell(model, narrow).mean_transfer_cost
+        c_wide = result.cell(model, wide).mean_transfer_cost
+        assert c_wide > c_narrow, f"{model}: no collision inflation?"
+
+    exp_inflation = (
+        result.cell("exponential", wide).mean_transfer_cost
+        / result.cell("exponential", narrow).mean_transfer_cost
+    )
+    h2_inflation = (
+        result.cell("hyperexp2", wide).mean_transfer_cost
+        / result.cell("hyperexp2", narrow).mean_transfer_cost
+    )
+    assert h2_inflation < exp_inflation, (
+        f"hyperexp2 should collide less: {h2_inflation:.2f}x vs {exp_inflation:.2f}x"
+    )
+    assert (
+        result.cell("hyperexp2", wide).efficiency
+        >= result.cell("exponential", wide).efficiency - 0.02
+    )

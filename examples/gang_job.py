@@ -1,0 +1,56 @@
+"""Gang-scheduled parallel jobs with coordinated checkpointing.
+
+The paper's conclusion motivates parallel applications on harvested
+clusters.  This example runs one barrier-synchronous job across a gang
+of desktop machines: computation halts when *any* rank's machine is
+reclaimed, checkpoints are coordinated (all ranks push 500 MB at once
+over the shared link) and the work interval comes from the Markov
+optimizer driven by the gang's min-of-machines availability.
+
+It also demonstrates the extension's finding: the per-machine heavy
+tails that drive the paper's single-job bandwidth asymmetry get
+averaged away by the minimum over ranks, so model choice matters much
+less for coordinated gangs than for independent jobs.
+
+Run:  python examples/gang_job.py [width]
+"""
+
+import sys
+
+from repro.condor import GangExperimentConfig, run_gang_experiment
+
+MODELS = ("exponential", "weibull", "hyperexp2")
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    horizon_days = 0.5
+    print(
+        f"one gang of {width} ranks per model, identical fleet "
+        f"(same seed), {horizon_days:g} simulated days\n"
+    )
+    print(f"{'model':12s} {'eff':>7s} {'MB/h':>8s} {'gang failures':>14s} "
+          f"{'coordinated ckpts':>18s}")
+    for model in MODELS:
+        res = run_gang_experiment(
+            GangExperimentConfig(
+                width=width,
+                model=model,
+                horizon=horizon_days * 86400.0,
+                n_machines=max(3 * width, 12),
+                seed=9,
+            )
+        )
+        print(
+            f"{model:12s} {res.efficiency:7.3f} {res.mb_per_hour:8.0f} "
+            f"{res.n_gang_failures:14d} {res.n_coordinated_checkpoints:18d}"
+        )
+    print(
+        "\nidentical failure columns = the comparison is paired; the nearly\n"
+        "identical MB/h columns show the min-of-machines availability washing\n"
+        "out the per-machine heavy tails that separate the models for solo jobs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""The live-Condor emulation (Tables 4/5) plus the Section 5.3 validation.
+
+Stands up the full discrete-event world -- desktop fleet with owner
+reclamations, FIFO Condor scheduler, checkpoint manager behind a shared
+(campus or wide-area) link -- and streams instrumented test processes
+through it for a simulated day, rotating the four availability models
+across placements.  Afterwards the post-mortem logs are replayed through
+the trace simulator to validate it, exactly as the paper does.
+
+Run:  python examples/live_condor.py [campus|wan] [horizon_days]
+"""
+
+import sys
+
+from repro.experiments import run_live_study, validate_simulation
+
+
+def main() -> None:
+    location = sys.argv[1] if len(sys.argv) > 1 else "campus"
+    horizon_days = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+
+    print(
+        f"running the live emulation: manager on the {location} link, "
+        f"{horizon_days:g} simulated day(s)...\n"
+    )
+    study = run_live_study(
+        location,
+        horizon=horizon_days * 86400.0,
+        n_machines=32,
+        n_concurrent_jobs=12,
+    )
+    print(study.table().render())
+
+    print("\nvalidating the trace simulator against the live logs...\n")
+    validation = validate_simulation(study.experiment)
+    print(validation.table().render())
+
+    gap = validation.max_efficiency_gap()
+    print(
+        f"\nlargest live-vs-simulated efficiency gap: {gap:.3f} — the residual\n"
+        "comes from variable transfer costs and horizon censoring, the two\n"
+        "discrepancy sources Section 5.3 identifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""End-to-end trace collection and automatic model selection.
+
+Reproduces the measurement half of the paper (Section 4): run occupancy
+monitor sensors over a simulated desktop fleet for three "months",
+harvest the per-machine availability traces, then fit all four candidate
+models to each trace and compare their goodness of fit -- the
+quantitative treatment the paper notes was missing from prior work.
+
+Run:  python examples/model_selection.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.condor import collect_traces
+from repro.distributions import evaluate_fit, fit_all_models, select_best_model
+from repro.traces import SyntheticPoolConfig
+from repro.traces.synthetic import _draw_ground_truth
+
+N_MACHINES = 16
+HORIZON = 90 * 86400.0  # three simulated months
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    pool_config = SyntheticPoolConfig()
+    ground_truths = {
+        f"desk-{i:03d}": _draw_ground_truth(pool_config, rng) for i in range(N_MACHINES)
+    }
+    print(f"collecting occupancy traces from {N_MACHINES} desktops "
+          f"({HORIZON / 86400:.0f} simulated days)...\n")
+    pool = collect_traces(ground_truths, horizon=HORIZON, rng=rng, min_observations=30)
+
+    winners: Counter[str] = Counter()
+    print(f"{'machine':10s} {'n':>4s} {'truth':>18s} {'best (BIC)':>12s} "
+          f"{'KS(exp)':>8s} {'KS(weib)':>9s} {'KS(h2)':>8s}")
+    for trace in pool:
+        train, test = trace.split(25)
+        suite = fit_all_models(train)
+        best_name, _ = select_best_model(suite, test, criterion="bic")
+        winners[best_name] += 1
+        ks = {name: evaluate_fit(dist, test).ks for name, dist in suite.items()}
+        truth = ground_truths[trace.machine_id].name
+        print(
+            f"{trace.machine_id:10s} {len(trace):4d} {truth:>18s} {best_name:>12s} "
+            f"{ks['exponential']:8.3f} {ks['weibull']:9.3f} {ks['hyperexp2']:8.3f}"
+        )
+
+    print("\nmodel-selection winners across the pool:")
+    for name, count in winners.most_common():
+        print(f"  {name:12s} {count}")
+    print(
+        "\nAs the paper observes, the exponential is rarely the best description\n"
+        "of desktop availability — the heavy-tailed families dominate."
+    )
+
+
+if __name__ == "__main__":
+    main()

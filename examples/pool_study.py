@@ -1,0 +1,50 @@
+"""A miniature of the paper's simulation study (Figures 3/4, Tables 1/3).
+
+Generates a synthetic Condor pool, fits the four candidate availability
+models to each machine's training prefix, replays every trace under
+every (model, checkpoint-cost) pair, and prints the efficiency and
+network-load tables with confidence intervals and the paper's
+significance markers, plus ASCII renderings of both figures.
+
+Run:  python examples/pool_study.py [n_machines]
+"""
+
+import sys
+
+from repro.experiments import run_simulation_study
+from repro.traces import SyntheticPoolConfig
+
+DEFAULT_MACHINES = 24
+
+
+def main() -> None:
+    n_machines = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_MACHINES
+    config = SyntheticPoolConfig(n_machines=n_machines, n_observations=100)
+    print(f"running the sweep over {n_machines} machines "
+          f"(10 checkpoint costs x 4 models)...\n")
+    study = run_simulation_study(
+        pool_config=config,
+        checkpoint_costs=(50.0, 100.0, 250.0, 500.0, 1000.0, 1500.0),
+    )
+
+    print(study.efficiency_table().render())
+    print()
+    print(study.efficiency_figure().render())
+    print()
+    print(study.bandwidth_table().render())
+    print()
+    print(study.bandwidth_figure().render())
+
+    eff = study.mean_series("efficiency")
+    mb = study.mean_series("mb_total")
+    spread_eff = max(v.mean() for v in eff.values()) - min(v.mean() for v in eff.values())
+    exp_vs_h2 = (mb["exponential"] / mb["hyperexp2"] - 1.0) * 100.0
+    print(
+        f"\nefficiency spread across models: {spread_eff:.3f} (small), while the\n"
+        f"exponential moves {exp_vs_h2.mean():.0f}% more megabytes than the "
+        f"2-phase hyperexponential\non average — the paper's headline asymmetry."
+    )
+
+
+if __name__ == "__main__":
+    main()

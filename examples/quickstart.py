@@ -1,0 +1,62 @@
+"""Quickstart: fit an availability model, get a checkpoint schedule.
+
+This walks the paper's core loop on one synthetic machine:
+
+1. record availability history (here: sampled from a heavy-tailed
+   Weibull, the paper's published reference machine);
+2. fit the four candidate models to the first 25 observations;
+3. ask each for an optimal checkpoint schedule given the network cost of
+   one checkpoint;
+4. replay the held-out observations to compare realised efficiency and
+   network load.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CheckpointPlanner, SimulationConfig, fit_all_models, simulate_trace
+from repro.traces import paper_reference_distribution, synthetic_trace
+
+CHECKPOINT_COST = 110.0  # seconds to push one 500 MB checkpoint (campus link)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    machine = synthetic_trace(
+        paper_reference_distribution(), n=125, rng=rng, machine_id="demo"
+    )
+    train, test = machine.split(25)
+
+    print(f"machine {machine.machine_id}: {len(machine)} availability observations")
+    print(f"training mean availability: {train.mean():.0f} s\n")
+
+    suite = fit_all_models(train)
+    print(f"{'model':14s} {'T_opt(0)':>10s} {'T_opt(5)':>10s} {'pred.eff':>9s} "
+          f"{'realized':>9s} {'MB moved':>10s}")
+    for name, dist in suite.items():
+        planner = CheckpointPlanner(distribution=dist, model_name=name)
+        schedule = planner.schedule(checkpoint_cost=CHECKPOINT_COST)
+        result = simulate_trace(
+            dist,
+            test,
+            SimulationConfig(checkpoint_cost=CHECKPOINT_COST),
+            machine_id=machine.machine_id,
+            model_name=name,
+        )
+        print(
+            f"{name:14s} {schedule.work_interval(0):10.0f} "
+            f"{schedule.work_interval(5):10.0f} "
+            f"{schedule.expected_efficiency():9.3f} "
+            f"{result.efficiency:9.3f} {result.mb_total:10.0f}"
+        )
+
+    print(
+        "\nNote how the non-memoryless models lengthen their intervals as the\n"
+        "machine survives (T_opt(5) > T_opt(0)) — fewer checkpoints, less\n"
+        "network traffic, at nearly the same efficiency."
+    )
+
+
+if __name__ == "__main__":
+    main()

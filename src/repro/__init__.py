@@ -1,0 +1,80 @@
+"""Reproduction of *Minimizing the Network Overhead of Checkpointing in
+Cycle-harvesting Cluster Environments* (Nurmi, Brevik, Wolski; CLUSTER 2005).
+
+Public API tour
+---------------
+
+Fit an availability model and get a checkpoint schedule::
+
+    from repro import CheckpointPlanner
+
+    planner = CheckpointPlanner.fit(durations, model="hyperexp2")
+    schedule = planner.schedule(checkpoint_cost=110.0, t_elapsed=3600.0)
+    schedule.work_interval(0)   # T_opt(0)
+
+Replay a machine trace under that schedule::
+
+    from repro import SimulationConfig, simulate_trace
+
+    result = simulate_trace(planner.distribution, durations,
+                            SimulationConfig(checkpoint_cost=110.0))
+    result.efficiency, result.mb_total
+
+Regenerate the paper's artefacts::
+
+    from repro.experiments import run_simulation_study
+    print(run_simulation_study().efficiency_table())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    CheckpointCosts,
+    CheckpointPlanner,
+    CheckpointSchedule,
+    MarkovIntervalModel,
+    OptimalInterval,
+    optimize_interval,
+)
+from repro.distributions import (
+    AvailabilityDistribution,
+    Exponential,
+    Hyperexponential,
+    Weibull,
+    fit_all_models,
+    fit_exponential,
+    fit_hyperexponential,
+    fit_model,
+    fit_weibull,
+)
+from repro.simulation import SimulationConfig, SimulationResult, simulate_pool, simulate_trace
+from repro.traces import AvailabilityTrace, MachinePool, generate_condor_pool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvailabilityDistribution",
+    "AvailabilityTrace",
+    "CheckpointCosts",
+    "CheckpointPlanner",
+    "CheckpointSchedule",
+    "Exponential",
+    "Hyperexponential",
+    "MachinePool",
+    "MarkovIntervalModel",
+    "OptimalInterval",
+    "SimulationConfig",
+    "SimulationResult",
+    "Weibull",
+    "__version__",
+    "fit_all_models",
+    "fit_exponential",
+    "fit_hyperexponential",
+    "fit_model",
+    "fit_weibull",
+    "generate_condor_pool",
+    "optimize_interval",
+    "simulate_pool",
+    "simulate_trace",
+]

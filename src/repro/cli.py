@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    repro-checkpoint table1 --machines 80 --workers 8
+    repro-checkpoint fig4
+    repro-checkpoint table4 --horizon-days 2
+    repro-checkpoint validate
+    repro-checkpoint all --machines 40 --workers 8 --out results.txt
+
+(The module also runs as ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments.live_study import run_live_study
+from repro.experiments.study import run_simulation_study
+from repro.experiments.synthetic_study import run_synthetic_study
+from repro.experiments.validation import validate_simulation
+from repro.traces.synthetic import SyntheticPoolConfig
+
+__all__ = ["build_parser", "main"]
+
+_SWEEP_COMMANDS = ("table1", "table3", "fig3", "fig4")
+_LIVE_COMMANDS = ("table4", "table5")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-checkpoint",
+        description=(
+            "Reproduce the tables and figures of 'Minimizing the Network "
+            "Overhead of Checkpointing in Cycle-harvesting Cluster "
+            "Environments' (CLUSTER 2005)."
+        ),
+    )
+    parser.add_argument(
+        "command",
+        choices=(
+            *_SWEEP_COMMANDS,
+            "table2",
+            *_LIVE_COMMANDS,
+            "validate",
+            "parallel",
+            "gang",
+            "fitstudy",
+            "convergence",
+            "sensitivity",
+            "all",
+        ),
+        help=(
+            "which artefact to regenerate ('parallel'/'gang' run the "
+            "future-work extensions, 'fitstudy' the §3.1 goodness-of-fit "
+            "table, 'convergence' the efficiency-convergence diagnostic)"
+        ),
+    )
+    parser.add_argument("--machines", type=int, default=120, help="pool size for the sweep experiments")
+    parser.add_argument("--observations", type=int, default=125, help="observations per machine trace")
+    parser.add_argument("--workers", type=int, default=1, help="parallel worker processes for the sweep")
+    parser.add_argument("--seed", type=int, default=None, help="override the default experiment seed")
+    parser.add_argument("--horizon-days", type=float, default=2.0, help="live-experiment horizon (Tables 4/5, validate)")
+    parser.add_argument("--live-machines", type=int, default=48, help="fleet size for the live experiments")
+    parser.add_argument("--synthetic-points", type=int, default=5000, help="trace length for Table 2")
+    parser.add_argument("--out", type=str, default=None, help="also write the rendered output to this file")
+    return parser
+
+
+def _emit(text: str, out_path: str | None, sink) -> None:
+    print(text, file=sink)
+    if out_path:
+        with open(out_path, "a") as fh:
+            fh.write(text + "\n")
+
+
+def main(argv: list[str] | None = None, *, stdout=None) -> int:
+    args = build_parser().parse_args(argv)
+    sink = stdout if stdout is not None else sys.stdout
+    if args.out:
+        open(args.out, "w").close()  # truncate
+    started = time.time()
+
+    def emit(text: str) -> None:
+        _emit(text, args.out, sink)
+
+    wants = lambda *names: args.command in names or args.command == "all"
+
+    study = None
+    if wants(*_SWEEP_COMMANDS):
+        pool_config = SyntheticPoolConfig(
+            n_machines=args.machines, n_observations=args.observations
+        )
+        study = run_simulation_study(
+            pool_config=pool_config, seed=args.seed, n_workers=args.workers
+        )
+    if wants("table1"):
+        emit(study.efficiency_table().render())
+        emit("")
+    if wants("fig3"):
+        emit(study.efficiency_figure().render())
+        emit("")
+    if wants("table3"):
+        emit(study.bandwidth_table().render())
+        emit("")
+    if wants("fig4"):
+        emit(study.bandwidth_figure().render())
+        emit("")
+
+    if wants("table2"):
+        synth = run_synthetic_study(
+            n_points=args.synthetic_points,
+            seed=args.seed if args.seed is not None else 2005,
+        )
+        emit(synth.table().render())
+        emit("")
+
+    live_results = {}
+    for command, location in (("table4", "campus"), ("table5", "wan")):
+        if wants(command):
+            overrides = dict(
+                horizon=args.horizon_days * 86400.0, n_machines=args.live_machines
+            )
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            result = run_live_study(location, **overrides)
+            live_results[location] = result
+            emit(result.table().render())
+            emit("")
+
+    if wants("parallel"):
+        from repro.experiments.parallel_study import run_parallel_study
+
+        parallel = run_parallel_study(
+            horizon=args.horizon_days * 86400.0,
+            n_machines=args.live_machines,
+            seed=args.seed if args.seed is not None else 2005,
+        )
+        emit(parallel.table().render())
+        emit("")
+
+    if wants("gang"):
+        from repro.condor.gang import GangExperimentConfig, run_gang_experiment
+        from repro.experiments.format import PaperTable
+
+        table = PaperTable(
+            title="Extension — gang-scheduled job with coordinated checkpointing",
+            header=["Distribution", "W", "Efficiency", "MB/Hour", "Gang failures", "Coordinated ckpts"],
+            notes=["identical fleet per seed: the failure column is paired across models"],
+        )
+        for model in ("exponential", "weibull", "hyperexp2", "hyperexp3"):
+            for width in (2, 6):
+                res = run_gang_experiment(
+                    GangExperimentConfig(
+                        width=width,
+                        model=model,
+                        horizon=args.horizon_days * 86400.0,
+                        n_machines=max(args.live_machines // 2, 3 * width),
+                        seed=args.seed if args.seed is not None else 2005,
+                    )
+                )
+                table.add_row(
+                    [
+                        model,
+                        str(width),
+                        f"{res.efficiency:.3f}",
+                        f"{res.mb_per_hour:.0f}",
+                        f"{res.n_gang_failures}",
+                        f"{res.n_coordinated_checkpoints}",
+                    ]
+                )
+        emit(table.render())
+        emit("")
+
+    if wants("fitstudy"):
+        from repro.experiments.fit_study import run_fit_study
+        from repro.traces.synthetic import generate_condor_pool
+
+        pool_cfg = SyntheticPoolConfig(
+            n_machines=args.machines, n_observations=args.observations
+        )
+        fit_rng = None if args.seed is None else np.random.default_rng(args.seed)
+        fit_pool = generate_condor_pool(pool_cfg, fit_rng)
+        emit(run_fit_study(fit_pool).table().render())
+        emit("")
+
+    if wants("convergence"):
+        from repro.experiments.convergence import run_convergence_study
+        from repro.traces.synthetic import generate_condor_pool
+
+        pool_cfg = SyntheticPoolConfig(
+            n_machines=min(args.machines, 24), n_observations=args.observations
+        )
+        conv_rng = None if args.seed is None else np.random.default_rng(args.seed)
+        conv_pool = generate_condor_pool(pool_cfg, conv_rng)
+        emit(run_convergence_study(conv_pool).figure().render())
+        emit("")
+
+    if wants("sensitivity"):
+        from repro.experiments.sensitivity import run_sensitivity_study
+
+        sens = run_sensitivity_study(
+            n_points=args.synthetic_points,
+            seed=args.seed if args.seed is not None else 11,
+        )
+        emit(sens.table().render())
+        emit("")
+
+    if wants("validate"):
+        base = live_results.get("campus")
+        if base is None:
+            overrides = dict(
+                horizon=args.horizon_days * 86400.0, n_machines=args.live_machines
+            )
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            base = run_live_study("campus", **overrides)
+        emit(validate_simulation(base.experiment).table().render())
+        emit("")
+
+    emit(f"[done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Condor substrate: machines, scheduler, monitor, manager, live runs."""
+
+from repro.condor.gang import (
+    GangExperimentConfig,
+    GangJob,
+    GangResult,
+    run_gang_experiment,
+)
+from repro.condor.live import LiveExperimentConfig, LiveExperimentResult, run_live_experiment
+from repro.condor.logio import load_placement_logs, save_placement_logs
+from repro.condor.machine import CondorMachine, Eviction
+from repro.condor.manager import CheckpointManager, ModelAggregate, PlacementLog
+from repro.condor.monitor import OccupancyRecorder, collect_traces, make_monitor_job
+from repro.condor.scheduler import CondorScheduler, JobSubmission, Placement
+from repro.condor.testprocess import HEARTBEAT_PERIOD, make_test_process
+
+__all__ = [
+    "HEARTBEAT_PERIOD",
+    "CheckpointManager",
+    "CondorMachine",
+    "CondorScheduler",
+    "Eviction",
+    "GangExperimentConfig",
+    "GangJob",
+    "GangResult",
+    "JobSubmission",
+    "LiveExperimentConfig",
+    "LiveExperimentResult",
+    "ModelAggregate",
+    "OccupancyRecorder",
+    "Placement",
+    "PlacementLog",
+    "collect_traces",
+    "load_placement_logs",
+    "make_monitor_job",
+    "save_placement_logs",
+    "make_test_process",
+    "run_gang_experiment",
+    "run_live_experiment",
+]

@@ -1,0 +1,217 @@
+"""The live-Condor experiment of Section 5.2 (Tables 4 and 5).
+
+End-to-end protocol over the DES substrate:
+
+1. synthesise a desktop fleet (per-machine ground-truth availability);
+2. play the role of the 18-month measurement history: sample a training
+   set per machine and fit the four candidate models (the checkpoint
+   manager "sends the test process a message indicating which model to
+   use ... and the parameters for that model");
+3. stand up the checkpoint manager behind a shared campus or wide-area
+   link, submit a rotating stream of instrumented test processes to the
+   Condor scheduler, and run for the experiment horizon (2 days in the
+   paper);
+4. aggregate the manager's logs per model: average efficiency, total
+   occupied time, megabytes used, megabytes/hour and sample size --
+   exactly the columns of Tables 4 and 5.
+
+Placements still running at the horizon are right-censored and excluded
+from the aggregates, the same discrepancy source Section 5.3 discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.condor.machine import CondorMachine
+from repro.condor.manager import CheckpointManager, ModelAggregate, PlacementLog
+from repro.condor.scheduler import CondorScheduler
+from repro.condor.testprocess import make_test_process
+from repro.core.planner import CheckpointPlanner
+from repro.distributions.fitting import MODEL_NAMES, fit_model
+from repro.engine.core import Environment
+from repro.network.bandwidth import BandwidthModel, campus_link, wan_link
+from repro.network.forecaster import default_ensemble
+from repro.network.link import SharedLink
+from repro.traces.synthetic import SyntheticPoolConfig, _draw_ground_truth
+
+__all__ = ["LiveExperimentConfig", "LiveExperimentResult", "run_live_experiment"]
+
+
+@dataclass(frozen=True)
+class LiveExperimentConfig:
+    """Knobs for one live run (defaults sized for a laptop)."""
+
+    horizon: float = 2 * 86400.0  # the paper's 2-day experimental period
+    n_machines: int = 48
+    n_concurrent_jobs: int = 16
+    checkpoint_size_mb: float = 500.0
+    models: tuple[str, ...] = MODEL_NAMES
+    n_train: int = 25
+    mean_owner_gap: float = 1800.0
+    #: "campus" (Table 4) or "wan" (Table 5)
+    link: str = "campus"
+    #: multiplier on the link's mean bandwidth, calibrated so the
+    #: *measured* mean transfer cost under contention matches the paper's
+    #: observed averages (~110 s campus, ~475 s WAN) despite several test
+    #: processes sharing the link concurrently; ``None`` picks the
+    #: calibrated default per link (2.5 campus, 4.0 WAN)
+    bandwidth_scale: float | None = None
+    seed: int = 54  # Table 4/5 vintage
+    #: smooth cost measurements with the NWS-style ensemble instead of
+    #: the paper's raw last measurement
+    use_forecaster: bool = False
+    #: desktop memory sizes (MB) and their frequencies in the fleet
+    memory_choices: tuple[int, ...] = (256, 512, 1024, 2048)
+    memory_weights: tuple[float, ...] = (0.15, 0.45, 0.30, 0.10)
+    #: test processes require at least this much memory ("the Condor
+    #: machines we used had all had at least 512 megabytes of memory");
+    #: set to 0 to disable the requirement
+    require_memory_mb: float = 512.0
+    #: fixed connection delay per transfer (the paper's footnote asserts
+    #: it is insignificant; the latency ablation verifies that)
+    request_latency: float = 0.0
+    pool_config: SyntheticPoolConfig = field(default_factory=SyntheticPoolConfig)
+
+    def __post_init__(self) -> None:
+        if self.link not in ("campus", "wan"):
+            raise ValueError(f"link must be 'campus' or 'wan', got {self.link!r}")
+        if self.horizon <= 0 or self.n_machines <= 0 or self.n_concurrent_jobs <= 0:
+            raise ValueError("horizon, machines and concurrency must be positive")
+
+
+@dataclass
+class LiveExperimentResult:
+    """Everything the analysis layer needs from one live run."""
+
+    config: LiveExperimentConfig
+    aggregates: dict[str, ModelAggregate]
+    logs: list[PlacementLog]
+    #: per-machine ground-truth availability durations actually realised
+    realized_durations: dict[str, list[float]]
+    #: average measured transfer cost across all completed transfers
+    mean_transfer_cost: float
+    #: the fitted per-(machine, model) planners the test processes used;
+    #: the validation experiment replays them through the trace simulator
+    planners: dict[str, dict[str, CheckpointPlanner]] = field(default_factory=dict)
+    #: each machine's advertised ClassAd-lite attributes
+    machine_attributes: dict[str, dict] = field(default_factory=dict)
+
+    def aggregate(self, model_name: str) -> ModelAggregate:
+        return self.aggregates[model_name]
+
+
+def _make_link(config: LiveExperimentConfig, rng: np.random.Generator) -> BandwidthModel:
+    model = campus_link(rng) if config.link == "campus" else wan_link(rng)
+    scale = config.bandwidth_scale
+    if scale is None:
+        scale = 2.5 if config.link == "campus" else 4.0
+    model.mean_mbps *= scale
+    return model
+
+
+def run_live_experiment(config: LiveExperimentConfig | None = None) -> LiveExperimentResult:
+    """Run the full Table 4/5 protocol; deterministic under the seed."""
+    if config is None:
+        config = LiveExperimentConfig()
+    rng = np.random.default_rng(config.seed)
+
+    # --- the desktop fleet and its measurement history ------------------
+    ground_truths = {}
+    planners: dict[str, dict[str, CheckpointPlanner]] = {}
+    for i in range(config.n_machines):
+        machine_id = f"desktop-{i:04d}"
+        gt = _draw_ground_truth(config.pool_config, rng)
+        ground_truths[machine_id] = gt
+        history = np.asarray(gt.sample(config.n_train, rng), dtype=np.float64)
+        # construct planners directly so model_name distinguishes the 2-
+        # and 3-phase hyperexponentials (the family objects do not)
+        planners[machine_id] = {
+            m: CheckpointPlanner(distribution=fit_model(m, history, rng=rng), model_name=m)
+            for m in config.models
+        }
+
+    # --- the DES world ----------------------------------------------------
+    env = Environment()
+    link = SharedLink(
+        env,
+        _make_link(config, rng),
+        name=config.link,
+        request_latency=config.request_latency,
+    )
+    manager = CheckpointManager(env, link)
+    scheduler = CondorScheduler(env)
+    memory_weights = np.asarray(config.memory_weights, dtype=np.float64)
+    memory_weights = memory_weights / memory_weights.sum()
+    machines = {
+        machine_id: CondorMachine.from_distribution(
+            env,
+            machine_id,
+            dist,
+            rng,
+            mean_owner_gap=config.mean_owner_gap,
+            scheduler=scheduler,
+            attributes={
+                "memory_mb": int(
+                    rng.choice(np.asarray(config.memory_choices), p=memory_weights)
+                )
+            },
+        )
+        for machine_id, dist in ground_truths.items()
+    }
+
+    def make_model_body(model_name: str):
+        def body(env_, machine):
+            planner = planners[machine.machine_id][model_name]
+            inner = make_test_process(
+                manager,
+                planner,
+                checkpoint_size_mb=config.checkpoint_size_mb,
+                forecaster=default_ensemble() if config.use_forecaster else None,
+            )
+            result = yield from inner(env_, machine)
+            return result
+
+        return body
+
+    # rotate models across the submission stream so sample sizes stay
+    # balanced (the paper reports 81-89 placements per model)
+    bodies = {m: make_model_body(m) for m in config.models}
+    rotation = {"index": 0}
+
+    requirements = (
+        {"memory_mb": config.require_memory_mb} if config.require_memory_mb > 0 else None
+    )
+
+    def submit_next(_placement=None) -> None:
+        model = config.models[rotation["index"] % len(config.models)]
+        rotation["index"] += 1
+        scheduler.submit(
+            bodies[model], tag=model, on_complete=submit_next, requirements=requirements
+        )
+
+    for _ in range(config.n_concurrent_jobs):
+        submit_next()
+    env.run(until=config.horizon)
+    # placements still running at the horizon are right-censored; flag
+    # them now, before generator finalisation can close their logs
+    manager.censor_open_logs()
+
+    aggregates = {m: manager.aggregate(m) for m in config.models}
+    completed_transfers = [
+        cost for log in manager.logs for (_, _, cost) in log.decisions
+    ]
+    mean_cost = float(np.mean(completed_transfers)) if completed_transfers else 0.0
+    return LiveExperimentResult(
+        config=config,
+        aggregates=aggregates,
+        logs=list(manager.logs),
+        realized_durations={
+            mid: list(m.observed_durations) for mid, m in machines.items()
+        },
+        mean_transfer_cost=mean_cost,
+        planners=planners,
+        machine_attributes={mid: dict(m.attributes) for mid, m in machines.items()},
+    )

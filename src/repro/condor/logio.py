@@ -1,0 +1,81 @@
+"""Post-mortem persistence of checkpoint-manager logs.
+
+"The manager keeps a log file for each test process from which the
+overhead ratio can be calculated post facto" -- this module is that log
+file: placement logs serialise to a versioned JSON document and load
+back into :class:`~repro.condor.manager.PlacementLog` objects, so the
+validation experiment (and any offline analysis) can run long after the
+simulated world is gone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.condor.manager import PlacementLog
+
+__all__ = ["load_placement_logs", "save_placement_logs"]
+
+_FORMAT_VERSION = 1
+
+
+def _log_to_dict(log: PlacementLog) -> dict:
+    return {
+        "model_name": log.model_name,
+        "machine_id": log.machine_id,
+        "started_at": log.started_at,
+        "ended_at": log.ended_at,
+        "censored": log.censored,
+        "committed_work": log.committed_work,
+        "lost_work": log.lost_work,
+        "recovery_overhead": log.recovery_overhead,
+        "checkpoint_overhead": log.checkpoint_overhead,
+        "mb_transferred": log.mb_transferred,
+        "n_checkpoints_completed": log.n_checkpoints_completed,
+        "n_checkpoints_attempted": log.n_checkpoints_attempted,
+        "recovery_completed": log.recovery_completed,
+        "n_heartbeats": log.n_heartbeats,
+        "decisions": [list(d) for d in log.decisions],
+        "eviction_uptime": log.eviction_uptime,
+    }
+
+
+def _log_from_dict(doc: dict) -> PlacementLog:
+    log = PlacementLog(
+        model_name=doc["model_name"],
+        machine_id=doc["machine_id"],
+        started_at=doc["started_at"],
+        ended_at=doc["ended_at"],
+        censored=doc.get("censored", False),
+        committed_work=doc["committed_work"],
+        lost_work=doc["lost_work"],
+        recovery_overhead=doc["recovery_overhead"],
+        checkpoint_overhead=doc["checkpoint_overhead"],
+        mb_transferred=doc["mb_transferred"],
+        n_checkpoints_completed=doc["n_checkpoints_completed"],
+        n_checkpoints_attempted=doc["n_checkpoints_attempted"],
+        recovery_completed=doc["recovery_completed"],
+        n_heartbeats=doc["n_heartbeats"],
+        decisions=[tuple(d) for d in doc["decisions"]],
+        eviction_uptime=doc.get("eviction_uptime"),
+    )
+    return log
+
+
+def save_placement_logs(logs, path: str | Path) -> None:
+    """Serialise placement logs to a JSON document."""
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "logs": [_log_to_dict(log) for log in logs],
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_placement_logs(path: str | Path) -> list[PlacementLog]:
+    """Load placement logs saved by :func:`save_placement_logs`."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported log format version: {version!r}")
+    return [_log_from_dict(d) for d in doc["logs"]]

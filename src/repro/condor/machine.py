@@ -1,0 +1,162 @@
+"""Desktop machines with owner-reclamation behaviour.
+
+A :class:`CondorMachine` alternates between *owner-busy* gaps and
+*available* stretches.  While available it can host exactly one guest
+job; when the owner returns (mouse wiggle, keyboard, local load) the
+guest is evicted -- in Vanilla-universe terms, terminated for later
+restart -- by interrupting its process with an :class:`Eviction` cause.
+
+Machines can be driven by a ground-truth availability distribution
+(synthetic pool) or by replaying a recorded trace (validation runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from repro.distributions.base import AvailabilityDistribution
+from repro.engine.core import Environment, Process
+
+if TYPE_CHECKING:
+    from repro.condor.scheduler import CondorScheduler
+
+__all__ = ["CondorMachine", "Eviction"]
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """Interrupt cause delivered to a guest job on owner reclamation."""
+
+    machine_id: str
+    reason: str = "owner-reclaimed"
+    available_for: float = 0.0
+
+
+class CondorMachine:
+    """One desktop workstation participating in the Condor pool."""
+
+    def __init__(
+        self,
+        env: Environment,
+        machine_id: str,
+        sessions: Iterator[tuple[float, float]],
+        *,
+        scheduler: "CondorScheduler | None" = None,
+        attributes: dict | None = None,
+    ) -> None:
+        """``sessions`` yields ``(owner_busy_gap, available_duration)``
+        pairs; exhaustion retires the machine.
+
+        ``attributes`` is the machine's ClassAd-style advertisement
+        (e.g. ``{"memory_mb": 512, "arch": "x86"}``); job requirements
+        are evaluated against it by the scheduler.
+        """
+        self.env = env
+        self.machine_id = machine_id
+        self._sessions = sessions
+        self.scheduler = scheduler
+        self.attributes: dict = dict(attributes or {})
+        self.available_since: Optional[float] = None
+        self.current_job: Optional[Process] = None
+        self.observed_durations: list[float] = []  # ground truth, for validation
+        self.process = env.process(self._run(), name=f"machine:{machine_id}")
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_distribution(
+        cls,
+        env: Environment,
+        machine_id: str,
+        distribution: AvailabilityDistribution,
+        rng: np.random.Generator,
+        *,
+        mean_owner_gap: float = 1800.0,
+        scheduler: "CondorScheduler | None" = None,
+        attributes: dict | None = None,
+    ) -> "CondorMachine":
+        """Availability durations drawn i.i.d. from ``distribution``."""
+
+        def gen() -> Iterator[tuple[float, float]]:
+            while True:
+                gap = float(rng.exponential(mean_owner_gap))
+                duration = float(np.asarray(distribution.sample(1, rng))[0])
+                yield gap, duration
+
+        return cls(env, machine_id, gen(), scheduler=scheduler, attributes=attributes)
+
+    @classmethod
+    def from_trace(
+        cls,
+        env: Environment,
+        machine_id: str,
+        durations,
+        *,
+        gaps=None,
+        mean_owner_gap: float = 1800.0,
+        rng: np.random.Generator | None = None,
+        scheduler: "CondorScheduler | None" = None,
+        attributes: dict | None = None,
+    ) -> "CondorMachine":
+        """Replay recorded availability ``durations`` (with optional gaps)."""
+        durations = np.asarray(durations, dtype=np.float64)
+        if gaps is None:
+            local_rng = rng if rng is not None else np.random.default_rng(0)
+            gaps = local_rng.exponential(mean_owner_gap, size=durations.size)
+        gaps = np.asarray(gaps, dtype=np.float64)
+
+        def gen() -> Iterator[tuple[float, float]]:
+            yield from zip(gaps, durations)
+
+        return cls(env, machine_id, gen(), scheduler=scheduler, attributes=attributes)
+
+    # -- state ------------------------------------------------------------
+    @property
+    def is_available(self) -> bool:
+        return self.available_since is not None
+
+    @property
+    def is_idle(self) -> bool:
+        """Available and not hosting a job."""
+        return self.is_available and self.current_job is None
+
+    def uptime(self) -> float:
+        """Seconds since the machine last became available (``T_elapsed``)."""
+        if self.available_since is None:
+            raise RuntimeError(f"machine {self.machine_id} is not available")
+        return self.env.now - self.available_since
+
+    # -- guest-job management ----------------------------------------------
+    def assign(self, job: Process) -> None:
+        if not self.is_idle:
+            raise RuntimeError(f"machine {self.machine_id} cannot accept a job now")
+        self.current_job = job
+
+    def release(self, job: Process) -> None:
+        """Called when a guest job ends for any reason."""
+        if self.current_job is job:
+            self.current_job = None
+            if self.is_available and self.scheduler is not None:
+                self.scheduler.notify_idle(self)
+
+    # -- owner behaviour -----------------------------------------------------
+    def _run(self):
+        for gap, duration in self._sessions:
+            yield self.env.timeout(gap)
+            self.available_since = self.env.now
+            if self.scheduler is not None:
+                self.scheduler.notify_idle(self)
+            yield self.env.timeout(duration)
+            # owner reclaims the machine
+            self.available_since = None
+            self.observed_durations.append(duration)
+            job, self.current_job = self.current_job, None
+            if self.scheduler is not None:
+                self.scheduler.notify_reclaimed(self)
+            if job is not None and job.is_alive:
+                job.interrupt(
+                    Eviction(machine_id=self.machine_id, available_for=duration)
+                )
+        return None

@@ -1,0 +1,155 @@
+"""The checkpoint manager: storage endpoint, logger, metrics.
+
+The paper's checkpoint manager (a) serves the 500 MB initial-recovery
+transfer, (b) tells each test process which availability model and
+parameters to use, (c) receives checkpoints and heartbeats, and (d)
+keeps a per-process log from which overhead ratios are computed *post
+facto*.  This class plays the same roles over a :class:`SharedLink`:
+all transfers to/from it contend on that link, so the campus/WAN
+configurations of Tables 4 and 5 are just different link bandwidth
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.core import Environment
+from repro.network.link import SharedLink, Transfer
+
+__all__ = ["CheckpointManager", "ModelAggregate", "PlacementLog"]
+
+
+@dataclass
+class PlacementLog:
+    """Per-placement record kept by the manager (one test-process run)."""
+
+    model_name: str
+    machine_id: str
+    started_at: float
+    ended_at: float | None = None
+    #: right-censored: the placement was still running when the
+    #: experiment horizon ended (Section 5.3's censoring effect); such
+    #: logs are excluded from the aggregates
+    censored: bool = False
+
+    committed_work: float = 0.0
+    lost_work: float = 0.0
+    recovery_overhead: float = 0.0
+    checkpoint_overhead: float = 0.0
+    mb_transferred: float = 0.0
+
+    n_checkpoints_completed: int = 0
+    n_checkpoints_attempted: int = 0
+    recovery_completed: bool = False
+    n_heartbeats: int = 0
+    #: the schedule actually used: (uptime_at_decision, T_opt, measured_cost)
+    decisions: list[tuple[float, float, float]] = field(default_factory=list)
+    #: ground-truth availability durations seen (for validation replay)
+    eviction_uptime: float | None = None
+
+    @property
+    def occupied_time(self) -> float:
+        if self.ended_at is None:
+            raise RuntimeError("placement still running")
+        return self.ended_at - self.started_at
+
+    @property
+    def efficiency(self) -> float:
+        occ = self.occupied_time
+        return self.committed_work / occ if occ > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ModelAggregate:
+    """One row of Table 4 / Table 5."""
+
+    model_name: str
+    avg_efficiency: float
+    total_time: float
+    megabytes_used: float
+    megabytes_per_hour: float
+    sample_size: int
+
+
+class CheckpointManager:
+    """Checkpoint storage site reachable over a shared link."""
+
+    def __init__(self, env: Environment, link: SharedLink, *, name: str = "manager") -> None:
+        self.env = env
+        self.link = link
+        self.name = name
+        self.logs: list[PlacementLog] = []
+
+    # -- transfers -------------------------------------------------------
+    def start_transfer(self, size_mb: float) -> Transfer:
+        """Begin a checkpoint or recovery transfer over the shared link."""
+        return self.link.start_transfer(size_mb)
+
+    def abort_transfer(self, transfer: Transfer) -> None:
+        self.link.abort(transfer)
+
+    # -- logging ----------------------------------------------------------
+    def open_log(self, model_name: str, machine_id: str) -> PlacementLog:
+        log = PlacementLog(
+            model_name=model_name, machine_id=machine_id, started_at=self.env.now
+        )
+        self.logs.append(log)
+        return log
+
+    def close_log(self, log: PlacementLog) -> None:
+        # idempotent: a log censored at the horizon must not be
+        # re-closed when the job generator is finalised by the GC later
+        if log.ended_at is None and not log.censored:
+            log.ended_at = self.env.now
+
+    def censor_open_logs(self) -> int:
+        """Mark all still-open logs as right-censored; returns the count.
+
+        Called by the experiment driver at the horizon, *before* the
+        world is torn down -- generator finalisation would otherwise run
+        the jobs' ``finally`` blocks and quietly close these logs as if
+        the placements had completed.
+        """
+        n = 0
+        for log in self.logs:
+            if log.ended_at is None:
+                log.censored = True
+                n += 1
+        return n
+
+    # -- aggregation --------------------------------------------------------
+    def aggregate(self, model_name: str) -> ModelAggregate:
+        """The Table 4/5 row for one model.
+
+        "Avg." is the time-weighted efficiency (total committed work over
+        total occupied time), matching how the paper's post-facto log
+        analysis computes the overhead ratio.
+        """
+        logs = [
+            l
+            for l in self.logs
+            if l.model_name == model_name and l.ended_at is not None and not l.censored
+        ]
+        total_time = sum(l.occupied_time for l in logs)
+        committed = sum(l.committed_work for l in logs)
+        mb = sum(l.mb_transferred for l in logs)
+        return ModelAggregate(
+            model_name=model_name,
+            avg_efficiency=committed / total_time if total_time > 0 else 0.0,
+            total_time=total_time,
+            megabytes_used=mb,
+            megabytes_per_hour=mb / (total_time / 3600.0) if total_time > 0 else 0.0,
+            sample_size=len(logs),
+        )
+
+    def per_placement_efficiencies(self, model_name: str) -> list[float]:
+        """Per-placement efficiency samples (for significance testing)."""
+        return [
+            l.efficiency
+            for l in self.logs
+            if l.model_name == model_name
+            and l.ended_at is not None
+            and not l.censored
+            and l.occupied_time > 0
+        ]

@@ -1,0 +1,190 @@
+"""The Condor negotiator: FIFO matchmaking of jobs to idle machines.
+
+Condor's real matchmaker evaluates ClassAd requirements; for this
+reproduction the relevant behaviour is much simpler -- a submitted job
+waits in a queue until some machine is idle, runs there until it
+completes or is evicted, and the machine returns to the idle set when
+the job ends (if the owner has not reclaimed it).
+
+Jobs are *job factories*: callables ``(env, machine) -> generator`` so
+each placement gets a fresh coroutine.  An optional ``on_complete``
+callback per submission lets experiment drivers resubmit evicted jobs,
+which is how the paper "repeatedly submit[s] copies of the test
+process".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.condor.machine import CondorMachine
+from repro.engine.core import Environment, Process
+
+__all__ = ["CondorScheduler", "JobSubmission", "Placement"]
+
+JobBody = Callable[[Environment, CondorMachine], Generator]
+
+
+@dataclass
+class JobSubmission:
+    """One queued job: a factory plus completion bookkeeping.
+
+    ``requirements`` is a ClassAd-lite constraint: either a mapping of
+    minimum attribute values (``{"memory_mb": 512}`` -- the paper's test
+    process needs machines with at least 512 MB for its 500 MB
+    checkpoints) or a predicate over the machine.  ``rank`` orders the
+    eligible idle machines (higher is better, ties break toward the
+    lowest machine id).
+    """
+
+    body: JobBody
+    tag: Any = None
+    on_complete: Optional[Callable[["Placement"], None]] = None
+    submitted_at: float = 0.0
+    requirements: Any = None
+    rank: Optional[Callable[[CondorMachine], float]] = None
+
+    def matches(self, machine: CondorMachine) -> bool:
+        """Whether ``machine`` satisfies this job's requirements."""
+        if self.requirements is None:
+            return True
+        if callable(self.requirements):
+            return bool(self.requirements(machine))
+        for key, minimum in self.requirements.items():
+            value = machine.attributes.get(key)
+            if value is None or value < minimum:
+                return False
+        return True
+
+
+@dataclass
+class Placement:
+    """One job-on-machine execution record."""
+
+    submission: JobSubmission
+    machine_id: str
+    started_at: float
+    process: Process = field(repr=False, default=None)
+    ended_at: Optional[float] = None
+
+    @property
+    def occupied_time(self) -> float:
+        if self.ended_at is None:
+            raise RuntimeError("placement still running")
+        return self.ended_at - self.started_at
+
+    @property
+    def result(self) -> Any:
+        if self.ended_at is None:
+            raise RuntimeError("placement still running")
+        return self.process.value
+
+
+class CondorScheduler:
+    """FIFO queue + idle set + matchmaking."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.queue: deque[JobSubmission] = deque()
+        self._idle: dict[str, CondorMachine] = {}
+        self.placements: list[Placement] = []
+        self.n_matches = 0
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        body: JobBody,
+        *,
+        tag: Any = None,
+        on_complete: Optional[Callable[[Placement], None]] = None,
+        requirements: Any = None,
+        rank: Optional[Callable[[CondorMachine], float]] = None,
+    ) -> JobSubmission:
+        """Queue a job; it will run when a matching machine frees up."""
+        sub = JobSubmission(
+            body=body,
+            tag=tag,
+            on_complete=on_complete,
+            submitted_at=self.env.now,
+            requirements=requirements,
+            rank=rank,
+        )
+        self.queue.append(sub)
+        self._try_match()
+        return sub
+
+    # -- machine callbacks -----------------------------------------------------
+    def notify_idle(self, machine: CondorMachine) -> None:
+        self._idle[machine.machine_id] = machine
+        self._try_match()
+
+    def notify_reclaimed(self, machine: CondorMachine) -> None:
+        self._idle.pop(machine.machine_id, None)
+
+    @property
+    def n_idle(self) -> int:
+        return len(self._idle)
+
+    @property
+    def n_queued(self) -> int:
+        return len(self.queue)
+
+    # -- matchmaking --------------------------------------------------------
+    def _try_match(self) -> None:
+        """FIFO over the queue, but jobs whose requirements no idle
+        machine satisfies do not block later jobs (Condor semantics)."""
+        progress = True
+        while progress and self.queue and self._idle:
+            progress = False
+            # drop stale idle entries up front
+            for mid in [m for m, machine in self._idle.items() if not machine.is_idle]:
+                del self._idle[mid]
+            skipped: list[JobSubmission] = []
+            while self.queue and self._idle:
+                sub = self.queue.popleft()
+                machine = self._pick_machine(sub)
+                if machine is None:
+                    skipped.append(sub)
+                    continue
+                del self._idle[machine.machine_id]
+                self._start(sub, machine)
+                progress = True
+            # unmatched jobs keep their queue order ahead of new arrivals
+            for sub in reversed(skipped):
+                self.queue.appendleft(sub)
+
+    def _pick_machine(self, sub: JobSubmission) -> Optional[CondorMachine]:
+        eligible = [
+            m for m in self._idle.values() if m.is_idle and sub.matches(m)
+        ]
+        if not eligible:
+            return None
+        if sub.rank is None:
+            return min(eligible, key=lambda m: m.machine_id)
+        # highest rank wins; ties break toward the lowest id
+        return min(eligible, key=lambda m: (-sub.rank(m), m.machine_id))
+
+    def _start(self, sub: JobSubmission, machine: CondorMachine) -> None:
+        placement = Placement(
+            submission=sub, machine_id=machine.machine_id, started_at=self.env.now
+        )
+        # The body runs as the placement process itself (no wrapper), so
+        # machine evictions interrupt the body directly and it can account
+        # for partial transfers before returning.  Completion is observed
+        # through the process's own completion event.
+        proc = self.env.process(
+            sub.body(self.env, machine), name=f"job:{sub.tag}@{machine.machine_id}"
+        )
+        placement.process = proc
+        machine.assign(proc)
+        self.placements.append(placement)
+        self.n_matches += 1
+        proc.callbacks.append(lambda _ev: self._on_job_end(placement, machine))
+
+    def _on_job_end(self, placement: Placement, machine: CondorMachine) -> None:
+        placement.ended_at = self.env.now
+        machine.release(placement.process)
+        if placement.submission.on_complete is not None:
+            placement.submission.on_complete(placement)

@@ -1,0 +1,127 @@
+"""The instrumented test process of Section 5.2.
+
+Protocol (verbatim from the paper, implemented step by step):
+
+1. when Condor places the process on a machine, it opens a connection to
+   the checkpoint manager, which initiates a 500 MB transfer emulating
+   the initial recovery; the process times the transfer.  If evicted
+   mid-transfer, the manager records the elapsed time as recovery
+   overhead;
+2. the measured transfer time becomes the current estimate of both ``C``
+   and ``R``; the process computes one checkpoint interval ``T_opt``
+   from the configured model (conditioned on the machine's uptime) and
+   reports it to the manager;
+3. it "computes" -- spins -- for ``T_opt`` seconds, heart-beating every
+   10 s (we account heartbeats arithmetically rather than as discrete
+   events);
+4. it transfers 500 MB back to emulate a checkpoint; the new transfer
+   time re-measures ``C``/``R``, a new ``T_opt`` is computed from the
+   updated uptime, and the cycle repeats;
+5. eviction at any point ends the placement; partial transfer time is
+   logged as checkpoint/recovery overhead and un-checkpointed work as
+   lost.
+
+An optional :class:`~repro.network.forecaster.Forecaster` smooths the
+cost measurements before they parameterise the optimizer (the NWS role);
+the default reproduces the paper's last-measurement behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.condor.machine import CondorMachine
+from repro.condor.manager import CheckpointManager
+from repro.core.planner import CheckpointPlanner
+from repro.engine.core import Environment, Interrupt
+from repro.network.forecaster import Forecaster, LastValue
+from repro.workload.sizes import CheckpointSizeModel, ConstantSize
+
+__all__ = ["HEARTBEAT_PERIOD", "make_test_process"]
+
+#: seconds between heartbeat messages to the manager
+HEARTBEAT_PERIOD = 10.0
+
+
+def make_test_process(
+    manager: CheckpointManager,
+    planner: CheckpointPlanner,
+    *,
+    checkpoint_size_mb: float = 500.0,
+    size_model: "CheckpointSizeModel | None" = None,
+    forecaster: Forecaster | None = None,
+    min_cost_estimate: float = 1.0,
+):
+    """Build a job body (``(env, machine) -> generator``) for the scheduler.
+
+    ``size_model`` optionally varies the checkpoint size with job
+    progress (see :mod:`repro.workload`); the default reproduces the
+    paper's constant 500 MB.  Because the optimizer is re-parameterised
+    from each *measured* transfer, growing state automatically lengthens
+    the planned intervals -- the cost estimate tracks the state size with
+    one-transfer lag, exactly like the real protocol.
+    """
+    if size_model is None:
+        size_model = ConstantSize(checkpoint_size_mb)
+
+    def body(env: Environment, machine: CondorMachine) -> Generator:
+        fc = forecaster if forecaster is not None else LastValue()
+        log = manager.open_log(planner.model_name, machine.machine_id)
+        try:
+            # ---- step 1: initial recovery transfer --------------------
+            transfer = manager.start_transfer(size_model.recovery_size_mb(0.0))
+            try:
+                yield transfer.done
+            except Interrupt as evt:
+                manager.abort_transfer(transfer)
+                log.recovery_overhead += transfer.elapsed
+                log.mb_transferred += transfer.sent_mb
+                log.eviction_uptime = getattr(evt.cause, "available_for", None)
+                return "evicted-during-recovery"
+            log.recovery_overhead += transfer.elapsed
+            log.mb_transferred += transfer.sent_mb
+            log.recovery_completed = True
+            fc.update(max(transfer.elapsed, min_cost_estimate))
+
+            # ---- steps 2-4: work/checkpoint cycles ---------------------
+            while True:
+                cost = max(fc.predict(), min_cost_estimate)
+                uptime = machine.uptime()
+                opt = planner.optimal_interval(
+                    checkpoint_cost=cost, recovery_cost=cost, t_elapsed=uptime
+                )
+                T = opt.T_opt
+                log.decisions.append((uptime, T, cost))
+                work_started = env.now
+                try:
+                    yield env.timeout(T)
+                except Interrupt as evt:
+                    worked = env.now - work_started
+                    log.lost_work += worked
+                    log.n_heartbeats += int(worked // HEARTBEAT_PERIOD)
+                    log.eviction_uptime = getattr(evt.cause, "available_for", None)
+                    return "evicted-during-work"
+                log.n_heartbeats += int(T // HEARTBEAT_PERIOD)
+
+                log.n_checkpoints_attempted += 1
+                transfer = manager.start_transfer(
+                    size_model.size_mb(log.committed_work + T, log.n_checkpoints_attempted)
+                )
+                try:
+                    yield transfer.done
+                except Interrupt as evt:
+                    manager.abort_transfer(transfer)
+                    log.lost_work += T  # work not yet durable
+                    log.checkpoint_overhead += transfer.elapsed
+                    log.mb_transferred += transfer.sent_mb
+                    log.eviction_uptime = getattr(evt.cause, "available_for", None)
+                    return "evicted-during-checkpoint"
+                log.committed_work += T
+                log.checkpoint_overhead += transfer.elapsed
+                log.mb_transferred += transfer.sent_mb
+                log.n_checkpoints_completed += 1
+                fc.update(max(transfer.elapsed, min_cost_estimate))
+        finally:
+            manager.close_log(log)
+
+    return body

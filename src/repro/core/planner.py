@@ -1,0 +1,110 @@
+"""High-level planner: the public "fit a trace, get a schedule" API.
+
+This is the paper's "small, portable routine" packaged as a library
+object.  Typical use::
+
+    from repro.core import CheckpointPlanner
+
+    planner = CheckpointPlanner.fit(training_durations, model="weibull")
+    schedule = planner.schedule(checkpoint_cost=110.0, recovery_cost=110.0,
+                                t_elapsed=3600.0)
+    T0 = schedule.work_interval(0)        # first work interval
+    eff = schedule.expected_efficiency()  # model-predicted efficiency
+
+The planner owns the fitted distribution and hands out
+:class:`~repro.core.schedule.CheckpointSchedule` objects parameterised by
+the (possibly re-measured) transfer costs and the resource's elapsed
+uptime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.markov import CheckpointCosts
+from repro.core.optimizer import OptimalInterval, optimize_interval
+from repro.core.schedule import CheckpointSchedule
+from repro.distributions.base import AvailabilityDistribution
+from repro.distributions.fitting import fit_model
+
+__all__ = ["CheckpointPlanner"]
+
+
+@dataclass(frozen=True)
+class CheckpointPlanner:
+    """Binds a fitted availability model to schedule construction."""
+
+    distribution: AvailabilityDistribution
+    model_name: str
+
+    @classmethod
+    def fit(
+        cls,
+        training_durations,
+        *,
+        model: str = "weibull",
+        censored=None,
+        rng: np.random.Generator | None = None,
+    ) -> "CheckpointPlanner":
+        """Fit the named model to a training set of availability durations.
+
+        ``model`` is one of ``"exponential"``, ``"weibull"``,
+        ``"hyperexp2"``, ``"hyperexp3"`` (or ``"hyperexpK"`` generally).
+        """
+        dist = fit_model(model, training_durations, censored, rng=rng)
+        return cls(distribution=dist, model_name=model)
+
+    @classmethod
+    def from_distribution(cls, distribution: AvailabilityDistribution) -> "CheckpointPlanner":
+        """Wrap an already-constructed distribution."""
+        return cls(distribution=distribution, model_name=distribution.name)
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        *,
+        checkpoint_cost: float,
+        recovery_cost: float | None = None,
+        latency: float = 0.0,
+        t_elapsed: float = 0.0,
+        include_recovery_age: bool = False,
+    ) -> CheckpointSchedule:
+        """A checkpoint schedule for one uptime run on this resource.
+
+        ``recovery_cost`` defaults to ``checkpoint_cost`` (the paper's
+        ``C = R`` convention).
+        """
+        costs = CheckpointCosts(
+            checkpoint=checkpoint_cost,
+            recovery=checkpoint_cost if recovery_cost is None else recovery_cost,
+            latency=latency,
+        )
+        return CheckpointSchedule(
+            self.distribution,
+            costs,
+            t_elapsed=t_elapsed,
+            include_recovery_age=include_recovery_age,
+        )
+
+    def optimal_interval(
+        self,
+        *,
+        checkpoint_cost: float,
+        recovery_cost: float | None = None,
+        latency: float = 0.0,
+        t_elapsed: float = 0.0,
+    ) -> OptimalInterval:
+        """Just ``T_opt`` (and its expected efficiency) for one decision.
+
+        This mirrors the paper's instrumented test process, which
+        recomputes a single interval from freshly measured costs after
+        every checkpoint.
+        """
+        costs = CheckpointCosts(
+            checkpoint=checkpoint_cost,
+            recovery=checkpoint_cost if recovery_cost is None else recovery_cost,
+            latency=latency,
+        )
+        return optimize_interval(self.distribution, costs, age=t_elapsed)

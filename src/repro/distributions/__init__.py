@@ -1,0 +1,63 @@
+"""Availability-distribution models (Section 3.1-3.4 of the paper).
+
+This package implements the three parametric families the paper compares
+(exponential, Weibull, hyperexponential), the future-lifetime conditional
+distribution of eq. (8), the fitting machinery (MLE for exponential and
+Weibull, EM for hyperexponentials) and goodness-of-fit diagnostics.
+"""
+
+from repro.distributions.base import AvailabilityDistribution
+from repro.distributions.conditional import ConditionalDistribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.exponential import Exponential
+from repro.distributions.fitting import (
+    MODEL_NAMES,
+    EMResult,
+    ModelSuite,
+    fit_all_models,
+    fit_exponential,
+    fit_hyperexponential,
+    fit_model,
+    fit_weibull,
+    select_best_model,
+)
+from repro.distributions.goodness import (
+    GoodnessOfFit,
+    anderson_darling_statistic,
+    evaluate_fit,
+    ks_pvalue,
+    ks_statistic,
+)
+from repro.distributions.hyperexponential import Hyperexponential
+from repro.distributions.lognormal import LogNormal, fit_lognormal
+from repro.distributions.pareto import Pareto, fit_pareto
+from repro.distributions.product import ProductAvailability
+from repro.distributions.weibull import Weibull
+
+__all__ = [
+    "MODEL_NAMES",
+    "AvailabilityDistribution",
+    "ConditionalDistribution",
+    "EMResult",
+    "EmpiricalDistribution",
+    "Exponential",
+    "GoodnessOfFit",
+    "Hyperexponential",
+    "LogNormal",
+    "ModelSuite",
+    "Pareto",
+    "ProductAvailability",
+    "Weibull",
+    "anderson_darling_statistic",
+    "evaluate_fit",
+    "fit_all_models",
+    "fit_exponential",
+    "fit_hyperexponential",
+    "fit_lognormal",
+    "fit_model",
+    "fit_pareto",
+    "fit_weibull",
+    "ks_pvalue",
+    "ks_statistic",
+    "select_best_model",
+]

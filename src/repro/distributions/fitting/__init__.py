@@ -1,0 +1,38 @@
+"""Parameter estimation for availability models.
+
+The paper's workflow ("a software system that takes a set of measurements
+as inputs and computes Weibull, exponential, and hyperexponential
+parameters automatically") maps onto:
+
+* :func:`fit_exponential` / :func:`fit_weibull` -- maximum-likelihood
+  estimators (the paper used Matlab's ``mle``); both accept right-censored
+  observations.
+* :func:`fit_hyperexponential` -- expectation-maximisation for k-phase
+  hyperexponentials (the paper used the EMPht package), with censoring,
+  deterministic quantile initialisation and optional random restarts.
+* :func:`fit_model` / :func:`fit_all_models` -- the dispatcher producing
+  the paper's four candidate models (exponential, Weibull, 2-phase and
+  3-phase hyperexponential) from one trace.
+"""
+
+from repro.distributions.fitting.em import EMResult, fit_hyperexponential
+from repro.distributions.fitting.mle import fit_exponential, fit_weibull
+from repro.distributions.fitting.select import (
+    MODEL_NAMES,
+    ModelSuite,
+    fit_all_models,
+    fit_model,
+    select_best_model,
+)
+
+__all__ = [
+    "EMResult",
+    "MODEL_NAMES",
+    "ModelSuite",
+    "fit_all_models",
+    "fit_exponential",
+    "fit_hyperexponential",
+    "fit_model",
+    "fit_weibull",
+    "select_best_model",
+]

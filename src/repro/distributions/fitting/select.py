@@ -1,0 +1,147 @@
+"""Fitting dispatcher and model selection.
+
+The paper compares exactly four candidate models on every trace:
+exponential (MLE), Weibull (MLE), and 2-/3-phase hyperexponentials (EM).
+:func:`fit_all_models` produces that suite from one training set;
+:func:`select_best_model` ranks the suite by information criterion, which
+backs the ablation experiments on automatic model choice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.distributions.base import AvailabilityDistribution
+from repro.distributions.fitting.em import fit_hyperexponential
+from repro.distributions.fitting.mle import fit_exponential, fit_weibull
+
+__all__ = ["MODEL_NAMES", "ModelSuite", "fit_all_models", "fit_model", "select_best_model"]
+
+#: canonical model identifiers, in the paper's column order
+MODEL_NAMES: tuple[str, ...] = ("exponential", "weibull", "hyperexp2", "hyperexp3")
+
+#: the paper's single-letter significance markers per model
+MODEL_MARKERS: dict[str, str] = {
+    "exponential": "e",
+    "weibull": "w",
+    "hyperexp2": "2",
+    "hyperexp3": "3",
+}
+
+#: human-readable column headers used by the experiment tables
+MODEL_LABELS: dict[str, str] = {
+    "exponential": "Exp.",
+    "weibull": "Weib.",
+    "hyperexp2": "2-phase Hyperexp.",
+    "hyperexp3": "3-phase Hyperexp.",
+    "lognormal": "LogNormal",
+    "pareto": "Pareto",
+}
+
+
+def fit_model(
+    name: str,
+    data,
+    censored=None,
+    *,
+    rng: np.random.Generator | None = None,
+) -> AvailabilityDistribution:
+    """Fit one named model.
+
+    ``name`` is one of the paper's candidates -- ``"exponential"``,
+    ``"weibull"``, ``"hyperexpK"`` (any integer K) -- or one of the extra
+    heavy-tailed families ``"lognormal"`` / ``"pareto"``.
+    """
+    if name == "exponential":
+        return fit_exponential(data, censored)
+    if name == "weibull":
+        return fit_weibull(data, censored)
+    if name == "lognormal":
+        from repro.distributions.lognormal import fit_lognormal
+
+        return fit_lognormal(data, censored)
+    if name == "pareto":
+        from repro.distributions.pareto import fit_pareto
+
+        return fit_pareto(data, censored)
+    if name.startswith("hyperexp"):
+        suffix = name[len("hyperexp") :]
+        try:
+            k = int(suffix)
+        except ValueError as exc:
+            raise ValueError(f"unknown model name: {name!r}") from exc
+        return fit_hyperexponential(data, k=k, censored=censored, rng=rng).distribution
+    raise ValueError(f"unknown model name: {name!r}; expected one of {MODEL_NAMES}")
+
+
+@dataclass(frozen=True)
+class ModelSuite:
+    """The paper's four fitted candidate models for one machine trace."""
+
+    exponential: AvailabilityDistribution
+    weibull: AvailabilityDistribution
+    hyperexp2: AvailabilityDistribution
+    hyperexp3: AvailabilityDistribution
+
+    def __getitem__(self, name: str) -> AvailabilityDistribution:
+        if name not in MODEL_NAMES:
+            raise KeyError(f"unknown model name: {name!r}")
+        return getattr(self, name)
+
+    def items(self) -> Iterator[tuple[str, AvailabilityDistribution]]:
+        for name in MODEL_NAMES:
+            yield name, getattr(self, name)
+
+
+def fit_all_models(
+    data,
+    censored=None,
+    *,
+    rng: np.random.Generator | None = None,
+    em_restarts: int = 2,
+) -> ModelSuite:
+    """Fit all four of the paper's candidate models to one training set."""
+    return ModelSuite(
+        exponential=fit_exponential(data, censored),
+        weibull=fit_weibull(data, censored),
+        hyperexp2=fit_hyperexponential(
+            data, k=2, censored=censored, rng=rng, n_restarts=em_restarts
+        ).distribution,
+        hyperexp3=fit_hyperexponential(
+            data, k=3, censored=censored, rng=rng, n_restarts=em_restarts
+        ).distribution,
+    )
+
+
+def select_best_model(
+    suite: ModelSuite,
+    data,
+    *,
+    criterion: str = "bic",
+) -> tuple[str, AvailabilityDistribution]:
+    """Pick the suite member minimising an information criterion.
+
+    ``criterion`` is one of ``"aic"``, ``"bic"`` or ``"loglik"``
+    (``loglik`` maximises the raw log-likelihood and will generally
+    prefer the most flexible family).
+    """
+    if criterion not in ("aic", "bic", "loglik"):
+        raise ValueError(f"unknown criterion: {criterion!r}")
+    x = np.asarray(data, dtype=np.float64).ravel()
+    n = max(x.size, 1)
+    best_name, best_dist, best_score = None, None, math.inf
+    for name, dist in suite.items():
+        ll = dist.log_likelihood(x)
+        if criterion == "aic":
+            score = 2.0 * dist.n_params - 2.0 * ll
+        elif criterion == "bic":
+            score = dist.n_params * math.log(n) - 2.0 * ll
+        else:
+            score = -ll
+        if score < best_score:
+            best_name, best_dist, best_score = name, dist, score
+    return best_name, best_dist

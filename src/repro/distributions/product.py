@@ -1,0 +1,131 @@
+"""Gang availability: the minimum of independent machine lifetimes.
+
+A gang-scheduled parallel job runs on ``W`` machines at once and is
+interrupted the moment *any* of them is reclaimed, so the relevant
+availability variable is ``min(X_1, ..., X_W)``.  For independent
+members the survival function is the product of the members' survival
+functions::
+
+    S_gang(x) = prod_i S_i(x)        h_gang(x) = sum_i h_i(x)
+
+which is everything the checkpoint optimizer needs: the density follows
+from the hazard sum, conditioning distributes over the members (each at
+its own elapsed uptime), and the partial expectation falls back to the
+generic quadrature -- this class is the library's demonstration that the
+Markov machinery genuinely works for *any* family, as Section 3.5
+claims.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.numerics.quadrature import gauss_legendre
+
+__all__ = ["ProductAvailability"]
+
+
+class ProductAvailability(AvailabilityDistribution):
+    """Distribution of ``min(X_1, .., X_W)`` over independent members."""
+
+    name = "product"
+
+    __slots__ = ("members",)
+
+    def __init__(self, members) -> None:
+        members = tuple(members)
+        if not members:
+            raise ValueError("a gang needs at least one member")
+        for m in members:
+            if not isinstance(m, AvailabilityDistribution):
+                raise TypeError(f"not an availability distribution: {m!r}")
+        self.members = members
+
+    @property
+    def width(self) -> int:
+        return len(self.members)
+
+    # -- primitives ----------------------------------------------------
+    def sf(self, x: ArrayLike):
+        arr = np.asarray(x, dtype=np.float64)
+        out = np.ones(arr.shape, dtype=np.float64)
+        for m in self.members:
+            out = out * np.asarray(m.sf(arr))
+        return float(out) if arr.ndim == 0 else out
+
+    def _cdf(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 - np.asarray(self.sf(x))
+
+    def _pdf(self, x: np.ndarray) -> np.ndarray:
+        # f = S * sum_i h_i; guard the vanished-survival region
+        surv = np.asarray(self.sf(x))
+        hazard = np.zeros(np.shape(x), dtype=np.float64)
+        for m in self.members:
+            hazard = hazard + np.asarray(m.hazard(x))
+        out = surv * hazard
+        return np.where(np.isfinite(out), out, 0.0)
+
+    def cdf_one(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        surv = 1.0
+        for m in self.members:
+            surv *= float(m.sf(x))
+        return 1.0 - surv
+
+    def mean(self) -> float:
+        """``E[min] = int_0^inf S_gang(x) dx`` by adaptive panels."""
+        # integrate out to where the gang survival is negligible
+        upper = min(float(m.quantile(1.0 - 1e-9)) for m in self.members)
+        if not math.isfinite(upper) or upper <= 0.0:
+            upper = max(min(m.mean() for m in self.members) * 50.0, 1.0)
+        return gauss_legendre(
+            lambda t: np.asarray(self.sf(t)), 0.0, upper, order=80, panels=32
+        )
+
+    def variance(self) -> float:
+        upper = min(float(m.quantile(1.0 - 1e-9)) for m in self.members)
+        if not math.isfinite(upper) or upper <= 0.0:
+            upper = max(min(m.mean() for m in self.members) * 50.0, 1.0)
+        second = 2.0 * gauss_legendre(
+            lambda t: t * np.asarray(self.sf(t)), 0.0, upper, order=80, panels=32
+        )
+        mu = self.mean()
+        return max(second - mu * mu, 0.0)
+
+    @property
+    def n_params(self) -> int:
+        return sum(m.n_params for m in self.members)
+
+    def params(self) -> dict:
+        return {
+            f"member{i}_{k}": v
+            for i, m in enumerate(self.members)
+            for k, v in m.params().items()
+        }
+
+    # -- conditioning distributes over members --------------------------
+    def conditional(self, age: float) -> "ProductAvailability":
+        """Every member has survived ``age``: condition each of them."""
+        if age < 0:
+            raise ValueError(f"age must be non-negative, got {age}")
+        if age == 0:
+            return self
+        return ProductAvailability(tuple(m.conditional(age) for m in self.members))
+
+    def at_ages(self, ages) -> "ProductAvailability":
+        """Condition each member at its *own* uptime (ranks placed at
+        different times)."""
+        ages = tuple(ages)
+        if len(ages) != self.width:
+            raise ValueError(f"need {self.width} ages, got {len(ages)}")
+        return ProductAvailability(
+            tuple(m.conditional(a) if a > 0 else m for m, a in zip(self.members, ages))
+        )
+
+    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+        draws = np.stack([np.asarray(m.sample(size, rng)) for m in self.members])
+        return draws.min(axis=0)

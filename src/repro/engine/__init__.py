@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel used by the live-Condor emulation."""
+
+from repro.engine.core import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+    any_of,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "any_of",
+]

@@ -1,0 +1,304 @@
+"""A small discrete-event simulation kernel (generator coroutines).
+
+The live-Condor emulation (Section 5.2) needs processes that sleep,
+wait on each other, and -- crucially -- get *interrupted* when a desktop
+owner reclaims a machine mid-transfer.  This kernel provides exactly
+that surface, in the style of SimPy but self-contained:
+
+* :class:`Environment` -- the event queue and clock (``env.now``);
+* :class:`Event` -- one-shot events with success/failure values;
+* :class:`Process` -- a generator coroutine; ``yield`` an event to wait
+  for it, ``return`` a value to succeed the process's own event;
+* :class:`Interrupt` -- thrown into a process by ``process.interrupt()``
+  (eviction, in Condor terms).
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotone sequence number breaks ties), so simulations are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "any_of",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (yielding non-events, running backwards...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary context (the Condor layer passes the
+    eviction reason).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# event lifecycle states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the queue, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence with an optional value or exception."""
+
+    __slots__ = ("env", "callbacks", "_state", "_ok", "_value")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._state = _PENDING
+        self._ok = True
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (valid once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value read before it triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-seconds."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters receive ``exception``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.env._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay (created pre-triggered)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator coroutine; itself an event that fires on return."""
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(
+        self, env: "Environment", generator: Generator, name: str | None = None
+    ) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        self._gen = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op (the eviction raced
+        with completion); a process cannot interrupt itself.
+        """
+        if self._state != _PENDING:
+            return
+        wake = Event(self.env)
+        wake.callbacks.append(self._resume)
+        wake.fail(Interrupt(cause))
+
+    # ------------------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        # if an interrupt arrives while we are queued on a target event,
+        # unsubscribe from it so we do not resume twice
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        self.env._active_process = self
+        try:
+            if trigger._ok:
+                target = self._gen.send(trigger._value)
+            else:
+                target = self._gen.throw(trigger._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise SimulationError(
+                f"process {self.name!r} let an Interrupt escape; "
+                "handle it or terminate via return"
+            ) from None
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+        if target._state == _PROCESSED:
+            # already fired in the past: deliver its value "immediately"
+            wake = Event(self.env)
+            wake.callbacks.append(self._resume)
+            if target._ok:
+                wake.succeed(target._value)
+            else:
+                wake.fail(target._value)
+            self._target = wake
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+
+def any_of(env: "Environment", events) -> Event:
+    """An event that fires as soon as *any* of ``events`` does.
+
+    The winner (the first-triggering source event) is delivered as the
+    race's value; later sources fire harmlessly.  A source that failed
+    fails the race with the same exception.  Already-processed sources
+    win immediately.
+
+    This is the phase primitive of the gang-scheduled extension: "wait
+    for the work timer *or* a rank eviction, whichever comes first".
+    """
+    events = list(events)
+    if not events:
+        raise SimulationError("any_of requires at least one event")
+    race = Event(env)
+
+    def fire(source: Event) -> None:
+        if race._state != _PENDING:
+            return
+        if source._ok:
+            race.succeed(source)
+        else:
+            race.fail(source._value)
+
+    for ev in events:
+        if not isinstance(ev, Event):
+            raise SimulationError(f"any_of requires events, got {ev!r}")
+        if ev._state == _PROCESSED:
+            fire(ev)
+        else:
+            ev.callbacks.append(fire)
+    return race
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- construction helpers -------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("cannot step an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        had_waiters = bool(event.callbacks)
+        event._run_callbacks()
+        # a failed event with no waiters is a lost exception -- surface it
+        # (interrupt wake-ups always carry their process callback)
+        if not event._ok and not had_waiters:
+            raise event._value
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is before now={self._now}")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

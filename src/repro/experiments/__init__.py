@@ -1,0 +1,54 @@
+"""Experiment drivers: one per table/figure of the paper (see DESIGN.md)."""
+
+from repro.experiments.figures import AsciiFigure, Series
+from repro.experiments.format import PaperTable
+from repro.experiments.convergence import ConvergenceResult, run_convergence_study
+from repro.experiments.fit_study import FitStudyResult, run_fit_study
+from repro.experiments.live_study import LiveStudyResult, run_live_study
+from repro.experiments.parallel_study import (
+    ParallelStudyCell,
+    ParallelStudyResult,
+    run_parallel_study,
+)
+from repro.experiments.sensitivity import (
+    SensitivityResult,
+    perturb_distribution,
+    run_sensitivity_study,
+)
+from repro.experiments.study import (
+    PAPER_CHECKPOINT_COSTS,
+    SimulationStudy,
+    run_simulation_study,
+)
+from repro.experiments.synthetic_study import SyntheticStudyResult, run_synthetic_study
+from repro.experiments.validation import (
+    ModelValidation,
+    ValidationResult,
+    validate_simulation,
+)
+
+__all__ = [
+    "PAPER_CHECKPOINT_COSTS",
+    "AsciiFigure",
+    "ConvergenceResult",
+    "FitStudyResult",
+    "LiveStudyResult",
+    "ModelValidation",
+    "PaperTable",
+    "ParallelStudyCell",
+    "ParallelStudyResult",
+    "SensitivityResult",
+    "Series",
+    "SimulationStudy",
+    "SyntheticStudyResult",
+    "ValidationResult",
+    "perturb_distribution",
+    "run_convergence_study",
+    "run_fit_study",
+    "run_live_study",
+    "run_parallel_study",
+    "run_sensitivity_study",
+    "run_simulation_study",
+    "run_synthetic_study",
+    "validate_simulation",
+]

@@ -1,0 +1,119 @@
+"""Convergence diagnostics for efficiency estimates.
+
+Both empirical sections of the paper lean on a convergence argument:
+"as the application runs for longer and longer periods, the values will
+converge to the same average efficiency."  This driver quantifies that:
+replay growing prefixes of each machine's trace and track the running
+(cumulative) efficiency per model, yielding the convergence curves and a
+simple has-it-settled diagnostic used to size experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.fitting import MODEL_NAMES, fit_model
+from repro.distributions.fitting.select import MODEL_LABELS
+from repro.experiments.figures import AsciiFigure
+from repro.simulation.accounting import SimulationConfig
+from repro.simulation.trace_sim import simulate_trace
+from repro.traces.model import AvailabilityTrace, MachinePool
+
+__all__ = ["ConvergenceResult", "run_convergence_study"]
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Running efficiency per model over growing replay lengths."""
+
+    #: replay lengths (number of availability observations)
+    lengths: tuple[int, ...]
+    #: model -> running pooled efficiency at each length
+    curves: dict[str, np.ndarray]
+    checkpoint_cost: float
+
+    def figure(self) -> AsciiFigure:
+        fig = AsciiFigure(
+            "Convergence — pooled efficiency vs replay length",
+            xlabel="observations replayed",
+            ylabel="efficiency",
+        )
+        for model, curve in self.curves.items():
+            fig.add_series(MODEL_LABELS.get(model, model), self.lengths, curve)
+        return fig
+
+    def settled_within(self, tolerance: float) -> bool:
+        """Whether every curve's last two points differ by < ``tolerance``."""
+        return all(
+            abs(curve[-1] - curve[-2]) < tolerance for curve in self.curves.values()
+        )
+
+    def final_spread(self) -> float:
+        """Across-model spread of the fully-converged efficiencies."""
+        finals = [curve[-1] for curve in self.curves.values()]
+        return max(finals) - min(finals)
+
+
+def run_convergence_study(
+    pool: MachinePool,
+    *,
+    checkpoint_cost: float = 110.0,
+    model_names: tuple[str, ...] = MODEL_NAMES,
+    n_train: int = 25,
+    n_points: int = 8,
+    em_seed: int = 777,
+) -> ConvergenceResult:
+    """Replay growing prefixes of every machine's experimental set.
+
+    The pooled efficiency at length ``L`` is total committed work over
+    total availability across machines, each replaying its first ``L``
+    held-out observations (machines with shorter traces contribute what
+    they have).
+    """
+    if n_points < 2:
+        raise ValueError("need at least two lengths to talk about convergence")
+    config = SimulationConfig(checkpoint_cost=checkpoint_cost)
+    splits: list[tuple[AvailabilityTrace, np.ndarray]] = []
+    max_len = 0
+    for trace in pool:
+        try:
+            _, test = trace.split(n_train)
+        except ValueError:
+            continue
+        splits.append((trace, test))
+        max_len = max(max_len, test.size)
+    if not splits:
+        raise ValueError("no machine has enough observations")
+    lengths = np.unique(
+        np.linspace(2, max_len, n_points).astype(int)
+    )
+    fits: dict[tuple[str, str], object] = {}
+    for i, (trace, _) in enumerate(splits):
+        rng = np.random.default_rng([em_seed, i])
+        train = trace.durations[:n_train]
+        for m in model_names:
+            fits[(trace.machine_id, m)] = fit_model(m, train, rng=rng)
+    curves: dict[str, list[float]] = {m: [] for m in model_names}
+    for L in lengths:
+        for m in model_names:
+            useful = 0.0
+            total = 0.0
+            for trace, test in splits:
+                prefix = test[: min(L, test.size)]
+                res = simulate_trace(
+                    fits[(trace.machine_id, m)],
+                    prefix,
+                    config,
+                    machine_id=trace.machine_id,
+                    model_name=m,
+                )
+                useful += res.useful_work
+                total += res.total_time
+            curves[m].append(useful / total if total > 0 else 0.0)
+    return ConvergenceResult(
+        lengths=tuple(int(x) for x in lengths),
+        curves={m: np.asarray(v) for m, v in curves.items()},
+        checkpoint_cost=checkpoint_cost,
+    )

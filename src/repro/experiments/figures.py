@@ -1,0 +1,114 @@
+"""Terminal-friendly figure rendering (Figures 3 and 4).
+
+The paper's figures are line charts of a metric vs checkpoint duration,
+one series per model.  For a dependency-free artefact we render ASCII
+charts: good enough to see the orderings and crossovers that constitute
+the result, and embeddable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AsciiFigure", "Series"]
+
+#: per-model plotting glyphs (paper order)
+_GLYPHS = "ew23abcdefgh"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line: model label plus (x, y) points."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y) or not self.x:
+            raise ValueError(f"series {self.label!r} needs matching non-empty x/y")
+
+
+class AsciiFigure:
+    """A fixed-grid ASCII line chart."""
+
+    def __init__(
+        self,
+        title: str,
+        *,
+        xlabel: str,
+        ylabel: str,
+        width: int = 72,
+        height: int = 20,
+    ) -> None:
+        if width < 16 or height < 6:
+            raise ValueError("figure too small to render")
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.width = width
+        self.height = height
+        self.series: list[Series] = []
+
+    def add_series(self, label: str, x, y) -> None:
+        self.series.append(
+            Series(label=label, x=tuple(float(v) for v in x), y=tuple(float(v) for v in y))
+        )
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series to render")
+        xs = np.concatenate([s.x for s in self.series])
+        ys = np.concatenate([s.y for s in self.series])
+        x_lo, x_hi = float(xs.min()), float(xs.max())
+        y_lo, y_hi = float(ys.min()), float(ys.max())
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        # pad the y range slightly so extremes are visible
+        pad = 0.05 * (y_hi - y_lo)
+        y_lo -= pad
+        y_hi += pad
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def to_col(x: float) -> int:
+            return int(round((x - x_lo) / (x_hi - x_lo) * (self.width - 1)))
+
+        def to_row(y: float) -> int:
+            frac = (y - y_lo) / (y_hi - y_lo)
+            return int(round((1.0 - frac) * (self.height - 1)))
+
+        for si, s in enumerate(self.series):
+            glyph = _GLYPHS[si % len(_GLYPHS)]
+            # linear interpolation along segments for a connected look
+            for (x0, y0), (x1, y1) in zip(zip(s.x, s.y), zip(s.x[1:], s.y[1:])):
+                steps = max(abs(to_col(x1) - to_col(x0)), 1)
+                for k in range(steps + 1):
+                    t = k / steps
+                    col = to_col(x0 + t * (x1 - x0))
+                    row = to_row(y0 + t * (y1 - y0))
+                    grid[row][col] = glyph
+            # series markers at the data points take precedence
+            for x, y in zip(s.x, s.y):
+                grid[to_row(y)][to_col(x)] = glyph
+
+        lines = [self.title]
+        for i, row in enumerate(grid):
+            y_val = y_hi - (y_hi - y_lo) * i / (self.height - 1)
+            prefix = f"{y_val:10.3g} |"
+            lines.append(prefix + "".join(row))
+        lines.append(" " * 11 + "+" + "-" * self.width)
+        lines.append(
+            " " * 12 + f"{x_lo:<12.5g}{self.xlabel:^{max(self.width - 24, 0)}}{x_hi:>12.5g}"
+        )
+        legend = "   ".join(
+            f"{_GLYPHS[i % len(_GLYPHS)]} = {s.label}" for i, s in enumerate(self.series)
+        )
+        lines.append(f"  y: {self.ylabel}   [{legend}]")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

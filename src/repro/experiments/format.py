@@ -1,0 +1,58 @@
+"""Table rendering shared by all experiment drivers.
+
+Every experiment produces a :class:`PaperTable`: an ordered header plus
+rows of pre-formatted cells, rendered as aligned monospace text the way
+the paper's tables read.  Keeping formatting in one place lets the CLI,
+the examples and EXPERIMENTS.md all print identical artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PaperTable"]
+
+
+@dataclass
+class PaperTable:
+    """An aligned text table with a title and optional footnotes."""
+
+    title: str
+    header: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, cells: list[str]) -> None:
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.header]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.header, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.header) + " |")
+        lines.append("|" + "|".join("---" for _ in self.header) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append(f"\n_{note}_")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

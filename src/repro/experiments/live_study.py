@@ -1,0 +1,78 @@
+"""Tables 4 and 5 -- the live-Condor (DES) experiment drivers.
+
+Table 4 places the checkpoint manager on the campus network (average
+500 MB transfer ~ 110 s); Table 5 places it across the wide area
+(~475 s).  Everything else -- fleet, scheduler, model rotation,
+2-day horizon -- is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.condor.live import LiveExperimentConfig, LiveExperimentResult, run_live_experiment
+from repro.distributions.fitting.select import MODEL_LABELS
+from repro.experiments.format import PaperTable
+
+__all__ = ["LiveStudyResult", "run_live_study"]
+
+
+@dataclass(frozen=True)
+class LiveStudyResult:
+    """One live table (4 or 5) plus its raw experiment output."""
+
+    table_number: int
+    experiment: LiveExperimentResult
+
+    def table(self) -> PaperTable:
+        location = (
+            "campus network" if self.experiment.config.link == "campus" else "wide area"
+        )
+        table = PaperTable(
+            title=(
+                f"Table {self.table_number} — live Condor emulation, "
+                f"checkpoint manager on the {location}"
+            ),
+            header=["Distribution", "Avg.", "Total Time", "Megabytes Used", "Megabytes/Hour", "Sample Size"],
+            notes=[
+                f"mean measured transfer cost: "
+                f"{self.experiment.mean_transfer_cost:.0f} s per "
+                f"{self.experiment.config.checkpoint_size_mb:.0f} MB",
+                f"horizon: {self.experiment.config.horizon / 86400.0:.1f} simulated days, "
+                f"{self.experiment.config.n_machines} machines",
+            ],
+        )
+        for model in self.experiment.config.models:
+            agg = self.experiment.aggregates[model]
+            table.add_row(
+                [
+                    MODEL_LABELS.get(model, model),
+                    f"{agg.avg_efficiency:.3f}",
+                    f"{agg.total_time:.0f}",
+                    f"{agg.megabytes_used:.0f}",
+                    f"{agg.megabytes_per_hour:.0f}",
+                    f"{agg.sample_size}",
+                ]
+            )
+        return table
+
+
+def run_live_study(
+    location: str = "campus",
+    *,
+    config: LiveExperimentConfig | None = None,
+    **overrides,
+) -> LiveStudyResult:
+    """Run Table 4 (``location="campus"``) or Table 5 (``"wan"``).
+
+    Extra keyword arguments override :class:`LiveExperimentConfig`
+    fields (``horizon=...``, ``n_machines=...``, ``seed=...``).
+    """
+    if location not in ("campus", "wan"):
+        raise ValueError(f"location must be 'campus' or 'wan', got {location!r}")
+    base = config if config is not None else LiveExperimentConfig()
+    cfg = replace(base, link=location, **overrides)
+    result = run_live_experiment(cfg)
+    return LiveStudyResult(
+        table_number=4 if location == "campus" else 5, experiment=result
+    )

@@ -1,0 +1,183 @@
+"""The simulation study behind Figures 3/4 and Tables 1/3.
+
+One pool sweep feeds all four artefacts: the efficiency figure/table use
+the per-machine ``efficiency`` metric, the bandwidth figure/table the
+per-machine ``mb_total`` metric; both tables carry 95 % confidence
+intervals and the paper's paired-t significance markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.fitting.select import MODEL_LABELS
+from repro.experiments.figures import AsciiFigure
+from repro.experiments.format import PaperTable
+from repro.simulation.accounting import SimulationConfig
+from repro.simulation.runner import PoolSweep, SweepSettings, simulate_pool
+from repro.stats.ci import mean_ci
+from repro.stats.significance import significance_markers
+from repro.traces.model import MachinePool
+from repro.traces.synthetic import SyntheticPoolConfig, generate_condor_pool
+
+__all__ = ["SimulationStudy", "run_simulation_study"]
+
+#: the checkpoint durations of Tables 1 and 3
+PAPER_CHECKPOINT_COSTS = (50.0, 100.0, 200.0, 250.0, 400.0, 500.0, 750.0, 1000.0, 1250.0, 1500.0)
+
+
+@dataclass
+class SimulationStudy:
+    """A completed sweep plus the table/figure constructors."""
+
+    sweep: PoolSweep
+    checkpoint_size_mb: float
+
+    # ------------------------------------------------------------------
+    def _metric_by_model(self, metric: str) -> dict[str, np.ndarray]:
+        return {
+            m: self.sweep.metric_matrix(m, metric)
+            for m in self.sweep.settings.model_names
+        }
+
+    def _table(self, metric: str, title: str, fmt: str, note: str) -> PaperTable:
+        data = self._metric_by_model(metric)
+        models = list(self.sweep.settings.model_names)
+        table = PaperTable(
+            title=title,
+            header=["CTime"] + [MODEL_LABELS.get(m, m) for m in models],
+            notes=[
+                note,
+                "(markers list models whose value is statistically significantly "
+                "smaller; two-sided paired t-test, alpha=0.05)",
+            ],
+        )
+        for j, cost in enumerate(self.sweep.settings.checkpoint_costs):
+            samples = {m: data[m][:, j] for m in models}
+            markers = significance_markers(samples)
+            cells = [f"{cost:.0f}"]
+            for m in models:
+                ci = mean_ci(samples[m])
+                cells.append(
+                    f"{ci.mean:{fmt}} ± {ci.half_width:{fmt}}{markers.cell_suffix(m)}"
+                )
+            table.add_row(cells)
+        return table
+
+    def _figure(self, metric: str, title: str, ylabel: str) -> AsciiFigure:
+        data = self._metric_by_model(metric)
+        fig = AsciiFigure(title, xlabel="checkpoint/recovery duration (s)", ylabel=ylabel)
+        costs = self.sweep.settings.checkpoint_costs
+        for m in self.sweep.settings.model_names:
+            means = data[m].mean(axis=0)
+            fig.add_series(MODEL_LABELS.get(m, m), costs, means)
+        return fig
+
+    # -- public artefacts -----------------------------------------------
+    def efficiency_table(self) -> PaperTable:
+        """Table 1: mean efficiency with 95 % CIs and markers."""
+        return self._table(
+            "efficiency",
+            "Table 1 — mean efficiency (95% CI) by model and checkpoint duration",
+            ".3f",
+            "metric: fraction of availability spent on committed work",
+        )
+
+    def bandwidth_table(self) -> PaperTable:
+        """Table 3: mean network load (MB) with 95 % CIs and markers."""
+        return self._table(
+            "mb_total",
+            f"Table 3 — mean network load in MB "
+            f"({self.checkpoint_size_mb:.0f} MB checkpoints), 95% CI",
+            ".0f",
+            "metric: megabytes transferred (checkpoints + recoveries)",
+        )
+
+    def efficiency_figure(self) -> AsciiFigure:
+        """Figure 3: average machine utilisation vs checkpoint duration."""
+        return self._figure(
+            "efficiency",
+            "Figure 3 — average machine utilisation vs checkpoint duration",
+            "efficiency",
+        )
+
+    def bandwidth_figure(self) -> AsciiFigure:
+        """Figure 4: average network load vs checkpoint duration."""
+        return self._figure(
+            "mb_total",
+            "Figure 4 — average network load (MB) vs checkpoint duration",
+            "megabytes",
+        )
+
+    # -- raw series for tests/benchmarks ---------------------------------
+    def mean_series(self, metric: str) -> dict[str, np.ndarray]:
+        """model -> mean metric per checkpoint cost."""
+        return {m: mat.mean(axis=0) for m, mat in self._metric_by_model(metric).items()}
+
+    def export_series_csv(self, path, metric: str) -> None:
+        """Write the figure's series (mean ± 95 % CI per model) as CSV.
+
+        Columns: ``checkpoint_cost`` then, per model, ``<model>_mean``
+        and ``<model>_ci95`` -- ready for external plotting tools.
+        """
+        import csv
+
+        from repro.stats.ci import mean_ci
+
+        data = self._metric_by_model(metric)
+        models = list(self.sweep.settings.model_names)
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            header = ["checkpoint_cost"]
+            for m in models:
+                header += [f"{m}_mean", f"{m}_ci95"]
+            writer.writerow(header)
+            for j, cost in enumerate(self.sweep.settings.checkpoint_costs):
+                row: list[float] = [float(cost)]
+                for m in models:
+                    ci = mean_ci(data[m][:, j])
+                    row += [ci.mean, ci.half_width]
+                writer.writerow(row)
+
+    def export_raw_csv(self, path, metric: str) -> None:
+        """Write the per-(machine, model, cost) metric values as CSV."""
+        import csv
+
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["machine_id", "model", "checkpoint_cost", metric])
+            for r in self.sweep.results:
+                writer.writerow(
+                    [r.machine_id, r.model_name, r.checkpoint_cost, getattr(r, metric)]
+                )
+
+
+def run_simulation_study(
+    pool: MachinePool | None = None,
+    *,
+    checkpoint_costs=PAPER_CHECKPOINT_COSTS,
+    checkpoint_size_mb: float = 500.0,
+    n_train: int = 25,
+    n_workers: int | None = None,
+    pool_config: SyntheticPoolConfig | None = None,
+    seed: int | None = None,
+) -> SimulationStudy:
+    """Run the full Figure 3/4 + Table 1/3 study.
+
+    ``pool=None`` generates the default synthetic Condor pool (optionally
+    from ``pool_config``/``seed``).
+    """
+    if pool is None:
+        rng = None if seed is None else np.random.default_rng(seed)
+        pool = generate_condor_pool(pool_config, rng)
+    settings = SweepSettings(
+        checkpoint_costs=tuple(float(c) for c in checkpoint_costs),
+        n_train=n_train,
+        base_config=SimulationConfig(
+            checkpoint_cost=0.0, checkpoint_size_mb=checkpoint_size_mb
+        ),
+    )
+    sweep = simulate_pool(pool, settings, n_workers=n_workers)
+    return SimulationStudy(sweep=sweep, checkpoint_size_mb=checkpoint_size_mb)

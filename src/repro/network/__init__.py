@@ -1,0 +1,38 @@
+"""Network substrate: bandwidth models, shared links, NWS-style forecasters."""
+
+from repro.network.bandwidth import (
+    BandwidthModel,
+    ConstantBandwidth,
+    LognormalAR1Bandwidth,
+    PiecewiseConstantBandwidth,
+    campus_link,
+    wan_link,
+)
+from repro.network.forecaster import (
+    ExponentialSmoothing,
+    Forecaster,
+    ForecasterEnsemble,
+    LastValue,
+    SlidingMean,
+    SlidingMedian,
+    default_ensemble,
+)
+from repro.network.link import SharedLink, Transfer
+
+__all__ = [
+    "BandwidthModel",
+    "ConstantBandwidth",
+    "ExponentialSmoothing",
+    "Forecaster",
+    "ForecasterEnsemble",
+    "LastValue",
+    "LognormalAR1Bandwidth",
+    "PiecewiseConstantBandwidth",
+    "SharedLink",
+    "SlidingMean",
+    "SlidingMedian",
+    "Transfer",
+    "campus_link",
+    "default_ensemble",
+    "wan_link",
+]

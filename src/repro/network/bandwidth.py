@@ -1,0 +1,174 @@
+"""Time-varying bandwidth models for the checkpoint-storage path.
+
+The paper's empirical section stresses that real checkpoint costs vary
+("Variation of network performance, particularly in the wide area, makes
+these costs variable when the system is actually used").  We model the
+link to the checkpoint manager as a piecewise-constant bandwidth series:
+
+* :class:`ConstantBandwidth` -- the trace simulator's idealisation;
+* :class:`PiecewiseConstantBandwidth` -- explicit epochs, used in tests;
+* :class:`LognormalAR1Bandwidth` -- a lazily-generated stationary AR(1)
+  process in log space, the standard model for wide-area throughput
+  variability (heavy right skew, temporal correlation).
+
+Calibration presets :func:`campus_link` and :func:`wan_link` are tuned so
+a 500 MB transfer averages ~110 s (Table 4, manager at UW) and ~475 s
+(Table 5, manager across the Internet) respectively.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+__all__ = [
+    "BandwidthModel",
+    "ConstantBandwidth",
+    "LognormalAR1Bandwidth",
+    "PiecewiseConstantBandwidth",
+    "campus_link",
+    "wan_link",
+]
+
+
+class BandwidthModel(abc.ABC):
+    """Piecewise-constant link bandwidth in MB/s."""
+
+    @abc.abstractmethod
+    def rate(self, t: float) -> float:
+        """Bandwidth (MB/s) in effect at time ``t``."""
+
+    @abc.abstractmethod
+    def next_change(self, t: float) -> float:
+        """First time strictly after ``t`` at which the rate may change
+        (``inf`` for a constant model)."""
+
+    def mean_rate(self) -> float:
+        """Long-run average rate; used for calibration checks."""
+        raise NotImplementedError
+
+
+class ConstantBandwidth(BandwidthModel):
+    """A fixed-rate link."""
+
+    def __init__(self, mbps: float) -> None:
+        if not (mbps > 0.0) or not math.isfinite(mbps):
+            raise ValueError(f"bandwidth must be positive and finite, got {mbps}")
+        self.mbps = float(mbps)
+
+    def rate(self, t: float) -> float:
+        return self.mbps
+
+    def next_change(self, t: float) -> float:
+        return math.inf
+
+    def mean_rate(self) -> float:
+        return self.mbps
+
+
+class PiecewiseConstantBandwidth(BandwidthModel):
+    """Explicit epochs: rate ``rates[i]`` holds on ``[times[i], times[i+1])``.
+
+    ``times[0]`` must be 0; the final rate holds forever.
+    """
+
+    def __init__(self, times, rates) -> None:
+        t = np.asarray(times, dtype=np.float64).ravel()
+        r = np.asarray(rates, dtype=np.float64).ravel()
+        if t.shape != r.shape or t.size == 0:
+            raise ValueError("times and rates must be non-empty and of equal length")
+        if t[0] != 0.0 or np.any(np.diff(t) <= 0):
+            raise ValueError("times must start at 0 and strictly increase")
+        if np.any(r <= 0):
+            raise ValueError("rates must be positive")
+        self.times = t
+        self.rates = r
+
+    def rate(self, t: float) -> float:
+        idx = int(np.searchsorted(self.times, t, side="right") - 1)
+        return float(self.rates[max(idx, 0)])
+
+    def next_change(self, t: float) -> float:
+        idx = int(np.searchsorted(self.times, t, side="right"))
+        return float(self.times[idx]) if idx < self.times.size else math.inf
+
+    def mean_rate(self) -> float:
+        if self.times.size == 1:
+            return float(self.rates[0])
+        widths = np.diff(self.times)
+        return float(np.average(self.rates[:-1], weights=widths))
+
+
+class LognormalAR1Bandwidth(BandwidthModel):
+    """Stationary lognormal AR(1) bandwidth, lazily extended.
+
+    In log space the process is ``x_{k+1} = rho * x_k + eps_k`` with
+    ``eps ~ N(0, sigma^2 (1 - rho^2))``, so ``x_k ~ N(0, sigma^2)``
+    stationary; the rate in epoch ``k`` is
+    ``mean_mbps * exp(x_k - sigma^2 / 2)`` (the correction makes the
+    *mean* rate equal ``mean_mbps``).
+    """
+
+    def __init__(
+        self,
+        mean_mbps: float,
+        *,
+        sigma: float = 0.35,
+        rho: float = 0.8,
+        epoch_seconds: float = 60.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not (mean_mbps > 0.0):
+            raise ValueError(f"mean bandwidth must be positive, got {mean_mbps}")
+        if not (0.0 <= rho < 1.0):
+            raise ValueError(f"AR coefficient must be in [0, 1), got {rho}")
+        if sigma < 0.0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if epoch_seconds <= 0.0:
+            raise ValueError(f"epoch length must be positive, got {epoch_seconds}")
+        self.mean_mbps = float(mean_mbps)
+        self.sigma = float(sigma)
+        self.rho = float(rho)
+        self.epoch_seconds = float(epoch_seconds)
+        self._rng = rng if rng is not None else np.random.default_rng(475)
+        self._log_states: list[float] = [float(self._rng.normal(0.0, self.sigma))]
+
+    def _extend_to(self, k: int) -> None:
+        innov_sd = self.sigma * math.sqrt(max(1.0 - self.rho**2, 0.0))
+        while len(self._log_states) <= k:
+            prev = self._log_states[-1]
+            self._log_states.append(
+                self.rho * prev + float(self._rng.normal(0.0, innov_sd))
+            )
+
+    def rate(self, t: float) -> float:
+        k = max(int(t // self.epoch_seconds), 0)
+        self._extend_to(k)
+        return self.mean_mbps * math.exp(self._log_states[k] - self.sigma**2 / 2.0)
+
+    def next_change(self, t: float) -> float:
+        k = max(int(t // self.epoch_seconds), 0)
+        return (k + 1) * self.epoch_seconds
+
+    def mean_rate(self) -> float:
+        return self.mean_mbps
+
+
+def campus_link(rng: np.random.Generator | None = None) -> LognormalAR1Bandwidth:
+    """Table 4's configuration: manager on the campus LAN.
+
+    500 MB / (500/110 MB/s) ~= 110 s average checkpoint time, with mild
+    variability (shared departmental network).
+    """
+    return LognormalAR1Bandwidth(500.0 / 110.0, sigma=0.20, rho=0.7, rng=rng)
+
+
+def wan_link(rng: np.random.Generator | None = None) -> LognormalAR1Bandwidth:
+    """Table 5's configuration: manager across the wide area.
+
+    500 MB at ~1.05 MB/s ~= 475 s average checkpoint time, with the
+    stronger variability of Internet paths.
+    """
+    return LognormalAR1Bandwidth(500.0 / 475.0, sigma=0.45, rho=0.85, rng=rng)

@@ -1,0 +1,187 @@
+"""NWS-style forecasters for checkpoint/recovery cost prediction.
+
+The paper's system "combine[s] this model with predictions of network
+performance to the storage site" -- in the authors' ecosystem that
+prediction service is the Network Weather Service, which runs several
+simple forecasters over the measurement history and selects whichever
+has had the lowest error so far.  This module reproduces that design:
+
+* primitive forecasters: last value, sliding mean, sliding median,
+  exponential smoothing;
+* :class:`ForecasterEnsemble` -- the NWS "forecaster tournament":
+  every new measurement scores all members on their previous prediction
+  (squared error) and :meth:`predict` answers with the current winner's
+  forecast.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "ExponentialSmoothing",
+    "Forecaster",
+    "ForecasterEnsemble",
+    "LastValue",
+    "SlidingMean",
+    "SlidingMedian",
+    "default_ensemble",
+]
+
+
+class Forecaster(abc.ABC):
+    """Online one-step-ahead forecaster of a positive time series."""
+
+    name: str = "forecaster"
+
+    @abc.abstractmethod
+    def update(self, value: float) -> None:
+        """Feed one new measurement."""
+
+    @abc.abstractmethod
+    def predict(self) -> float:
+        """One-step-ahead forecast; requires at least one update."""
+
+
+class LastValue(Forecaster):
+    """Forecast = most recent measurement."""
+
+    name = "last"
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+
+    def update(self, value: float) -> None:
+        self._last = float(value)
+
+    def predict(self) -> float:
+        if self._last is None:
+            raise ValueError("no measurements yet")
+        return self._last
+
+
+class SlidingMean(Forecaster):
+    """Mean of the last ``window`` measurements."""
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.name = f"mean{window}"
+        self._buf: deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._buf.append(float(value))
+
+    def predict(self) -> float:
+        if not self._buf:
+            raise ValueError("no measurements yet")
+        return float(np.mean(self._buf))
+
+
+class SlidingMedian(Forecaster):
+    """Median of the last ``window`` measurements (robust to spikes)."""
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.name = f"median{window}"
+        self._buf: deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._buf.append(float(value))
+
+    def predict(self) -> float:
+        if not self._buf:
+            raise ValueError("no measurements yet")
+        return float(np.median(self._buf))
+
+
+class ExponentialSmoothing(Forecaster):
+    """EWMA with smoothing factor ``alpha`` (weight of the newest value)."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.name = f"ewma{alpha:g}"
+        self._state: float | None = None
+
+    def update(self, value: float) -> None:
+        v = float(value)
+        self._state = v if self._state is None else self.alpha * v + (1 - self.alpha) * self._state
+
+    def predict(self) -> float:
+        if self._state is None:
+            raise ValueError("no measurements yet")
+        return self._state
+
+
+class ForecasterEnsemble(Forecaster):
+    """The NWS forecaster tournament: lowest running MSE wins.
+
+    Each :meth:`update` first charges every member the squared error of
+    its outstanding prediction, then feeds it the measurement.
+    :meth:`predict` returns the forecast of the member with the smallest
+    accumulated mean squared error (ties break toward the earliest
+    member, making the ensemble deterministic).
+    """
+
+    name = "ensemble"
+
+    def __init__(self, members: list[Forecaster] | None = None) -> None:
+        self.members = members if members is not None else default_members()
+        if not self.members:
+            raise ValueError("ensemble needs at least one member")
+        self._sq_err = [0.0] * len(self.members)
+        self._n_scored = 0
+        self._has_data = False
+
+    def update(self, value: float) -> None:
+        v = float(value)
+        if self._has_data:
+            for i, m in enumerate(self.members):
+                err = m.predict() - v
+                self._sq_err[i] += err * err
+            self._n_scored += 1
+        for m in self.members:
+            m.update(v)
+        self._has_data = True
+
+    def predict(self) -> float:
+        if not self._has_data:
+            raise ValueError("no measurements yet")
+        best = min(range(len(self.members)), key=lambda i: self._sq_err[i])
+        return self.members[best].predict()
+
+    def best_member(self) -> Forecaster:
+        """The member currently winning the tournament."""
+        best = min(range(len(self.members)), key=lambda i: self._sq_err[i])
+        return self.members[best]
+
+    def mse(self) -> list[float]:
+        """Per-member mean squared error so far."""
+        n = max(self._n_scored, 1)
+        return [se / n for se in self._sq_err]
+
+
+def default_members() -> list[Forecaster]:
+    """The stock NWS-like battery."""
+    return [
+        LastValue(),
+        SlidingMean(5),
+        SlidingMean(20),
+        SlidingMedian(5),
+        SlidingMedian(20),
+        ExponentialSmoothing(0.25),
+        ExponentialSmoothing(0.5),
+    ]
+
+
+def default_ensemble() -> ForecasterEnsemble:
+    """An ensemble over the stock battery."""
+    return ForecasterEnsemble(default_members())

@@ -1,0 +1,194 @@
+"""A shared network link with fair-share transfers.
+
+The paper's core motivation is that the network is a *shared* resource:
+"over-utilization of a shared network resource will negatively impact
+the performance of all workstations".  This module models that resource:
+a :class:`SharedLink` divides its (possibly time-varying) bandwidth
+equally among all in-flight transfers, so concurrent checkpoints slow
+each other down -- the collision effect the paper's future-work section
+describes for parallel jobs.
+
+Transfers are first-class: :meth:`SharedLink.start_transfer` returns a
+:class:`Transfer` whose ``done`` event a process can ``yield``; if the
+process is interrupted (eviction) it calls :meth:`SharedLink.abort` and
+can read ``transfer.sent_mb`` for the partial-byte accounting the
+experiments need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.engine.core import Environment, Event
+from repro.network.bandwidth import BandwidthModel, ConstantBandwidth
+
+__all__ = ["SharedLink", "Transfer"]
+
+
+class Transfer:
+    """One in-flight (or finished/aborted) transfer on a shared link."""
+
+    __slots__ = ("size_mb", "sent_mb", "start_time", "end_time", "done", "aborted")
+
+    def __init__(self, env: Environment, size_mb: float) -> None:
+        self.size_mb = float(size_mb)
+        self.sent_mb = 0.0
+        self.start_time = env.now
+        self.end_time: Optional[float] = None
+        self.done: Event = env.event()
+        self.aborted = False
+
+    @property
+    def complete(self) -> bool:
+        return self.sent_mb >= self.size_mb - 1e-9 and not self.aborted
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time the transfer has been (or was) active."""
+        end = self.end_time if self.end_time is not None else math.inf
+        return end - self.start_time
+
+
+class SharedLink:
+    """Fair-share link: each of ``n`` active transfers gets ``rate/n``.
+
+    Progress bookkeeping is event-driven: whenever the active set or the
+    bandwidth epoch changes, all transfers' ``sent_mb`` are advanced for
+    the elapsed segment and the next completion/epoch event is
+    (re)scheduled.  A monotone wake-up sequence number invalidates stale
+    scheduled wake-ups, so membership churn never double-counts
+    progress.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: BandwidthModel | float,
+        *,
+        name: str = "link",
+        request_latency: float = 0.0,
+    ) -> None:
+        """``request_latency`` models the paper's footnote: each transfer
+        begins with a fixed connection/request delay before bytes flow
+        ("the latency of the initial request is insignificant compared
+        with the time for the data transfer" -- which the latency
+        ablation bench verifies rather than assumes)."""
+        if request_latency < 0:
+            raise ValueError(f"request latency must be >= 0, got {request_latency}")
+        self.env = env
+        self.bandwidth = (
+            ConstantBandwidth(bandwidth) if isinstance(bandwidth, (int, float)) else bandwidth
+        )
+        self.name = name
+        self.request_latency = float(request_latency)
+        self._active: list[Transfer] = []
+        self._pending_latency: set[Transfer] = set()
+        self._last_update = env.now
+        self._wake_seq = 0
+        self.total_mb_sent = 0.0  # lifetime byte counter (network-load metric)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def current_rate_per_transfer(self) -> float:
+        """MB/s each active transfer currently receives."""
+        if not self._active:
+            return self.bandwidth.rate(self.env.now)
+        return self.bandwidth.rate(self.env.now) / len(self._active)
+
+    def start_transfer(self, size_mb: float) -> Transfer:
+        """Begin a transfer of ``size_mb``; returns its handle."""
+        if size_mb < 0:
+            raise ValueError(f"transfer size must be >= 0, got {size_mb}")
+        tr = Transfer(self.env, size_mb)
+        if self.request_latency > 0.0:
+            self._pending_latency.add(tr)
+            wake = self.env.timeout(self.request_latency)
+            wake.callbacks.append(lambda _ev, tr=tr: self._admit(tr))
+            return tr
+        self._admit(tr)
+        return tr
+
+    def _admit(self, tr: Transfer) -> None:
+        """Move a transfer past its request latency onto the wire."""
+        self._pending_latency.discard(tr)
+        if tr.aborted:
+            return
+        self._advance()
+        if tr.size_mb == 0.0:
+            tr.end_time = self.env.now
+            tr.done.succeed(tr)
+            return
+        self._active.append(tr)
+        self._reschedule()
+
+    def abort(self, transfer: Transfer) -> None:
+        """Cancel an in-flight transfer (eviction mid-checkpoint).
+
+        Idempotent; after the call ``transfer.sent_mb`` holds the bytes
+        that made it onto the wire.
+        """
+        if transfer.aborted:
+            return
+        if transfer in self._pending_latency:
+            # evicted during the request handshake: no bytes moved
+            self._pending_latency.discard(transfer)
+            transfer.aborted = True
+            transfer.end_time = self.env.now
+            return
+        if transfer not in self._active:
+            return
+        self._advance()
+        self._active.remove(transfer)
+        transfer.aborted = True
+        transfer.end_time = self.env.now
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Credit progress for the segment since the last update."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt > 0 and self._active:
+            # the bandwidth model is piecewise constant and _reschedule
+            # never lets a segment span an epoch boundary, so the rate at
+            # the segment start holds throughout
+            rate = self.bandwidth.rate(self._last_update) / len(self._active)
+            for tr in self._active:
+                credit = min(rate * dt, tr.size_mb - tr.sent_mb)
+                tr.sent_mb += credit
+                self.total_mb_sent += credit
+        self._last_update = now
+        # complete finished transfers
+        finished = [tr for tr in self._active if tr.sent_mb >= tr.size_mb - 1e-9]
+        for tr in finished:
+            self._active.remove(tr)
+            tr.sent_mb = tr.size_mb
+            tr.end_time = now
+            tr.done.succeed(tr)
+
+    def _reschedule(self) -> None:
+        """Arm the next wake-up (completion or bandwidth epoch)."""
+        self._wake_seq += 1
+        if not self._active:
+            return
+        now = self.env.now
+        rate = self.bandwidth.rate(now) / len(self._active)
+        min_remaining = min(tr.size_mb - tr.sent_mb for tr in self._active)
+        eta = min_remaining / rate if rate > 0 else math.inf
+        epoch = self.bandwidth.next_change(now) - now
+        delay = min(eta, epoch)
+        if not math.isfinite(delay):
+            raise RuntimeError(f"link {self.name!r}: stalled transfers (zero bandwidth?)")
+        seq = self._wake_seq
+        wake = self.env.timeout(max(delay, 0.0))
+        wake.callbacks.append(lambda _ev, seq=seq: self._on_wake(seq))
+
+    def _on_wake(self, seq: int) -> None:
+        if seq != self._wake_seq:
+            return  # superseded by a membership/epoch change
+        self._advance()
+        self._reschedule()

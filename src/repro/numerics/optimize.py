@@ -1,0 +1,285 @@
+"""Scalar minimisation: bracketing and Golden Section Search.
+
+The paper minimises the expected overhead ratio ``Gamma(T)/T`` with the
+Golden Section Search "as implemented in Numerical Recipes".  This module
+provides a faithful, dependency-free implementation:
+
+* :func:`bracket_minimum` -- the ``mnbrak`` procedure: starting from two
+  abscissae it walks downhill (with parabolic extrapolation and a golden
+  ratio growth limit) until it finds a triple ``a < b < c`` with
+  ``f(b) <= f(a)`` and ``f(b) <= f(c)``.
+* :func:`golden_section_minimize` -- classic golden-section refinement of
+  a bracketing triple down to a requested relative tolerance.
+* :func:`minimize_positive_scalar` -- the convenience entry point used by
+  the checkpoint optimizer: minimises a function over ``(lo, hi)`` with
+  bracketing seeded from a caller-supplied initial guess, falling back to
+  a coarse grid scan when the function is awkwardly shaped (flat tails,
+  plateaus at the domain edge).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "Bracket",
+    "BracketError",
+    "GoldenSectionResult",
+    "bracket_minimum",
+    "golden_section_minimize",
+    "minimize_positive_scalar",
+]
+
+#: golden ratio section constants
+_GOLD = 1.618033988749895
+_CGOLD = 0.3819660112501051  # 2 - phi: the golden section fraction
+_TINY = 1e-21
+_GLIMIT = 100.0
+
+
+class BracketError(RuntimeError):
+    """Raised when a bracketing triple around a minimum cannot be found."""
+
+
+@dataclass(frozen=True)
+class Bracket:
+    """A bracketing triple ``a < b < c`` with ``f(b) <= min(f(a), f(c))``."""
+
+    a: float
+    b: float
+    c: float
+    fa: float
+    fb: float
+    fc: float
+
+    def __post_init__(self) -> None:
+        if not (self.a < self.b < self.c):
+            raise ValueError(f"bracket abscissae must be ordered: {self}")
+        if self.fb > self.fa or self.fb > self.fc:
+            raise ValueError(f"bracket does not contain a minimum: {self}")
+
+
+@dataclass(frozen=True)
+class GoldenSectionResult:
+    """Result of a golden-section minimisation."""
+
+    x: float
+    fx: float
+    iterations: int
+    converged: bool
+
+
+def bracket_minimum(
+    func: Callable[[float], float],
+    a: float,
+    b: float,
+    *,
+    grow_limit: float = _GLIMIT,
+    max_iter: int = 200,
+) -> Bracket:
+    """Bracket a minimum of ``func`` starting from abscissae ``a`` and ``b``.
+
+    This follows the ``mnbrak`` routine of Numerical Recipes: the points
+    are ordered downhill, then the search steps by golden-ratio
+    magnification (with parabolic extrapolation capped at ``grow_limit``
+    times the current step) until the function value rises again.
+
+    Raises
+    ------
+    BracketError
+        If no rise in the function is observed within ``max_iter`` steps
+        (e.g. the function decreases monotonically over the reachable
+        range).
+    """
+    fa = func(a)
+    fb = func(b)
+    if fb > fa:  # ensure we walk downhill from a to b
+        a, b = b, a
+        fa, fb = fb, fa
+    c = b + _GOLD * (b - a)
+    fc = func(c)
+    iterations = 0
+    while fb >= fc:
+        iterations += 1
+        if iterations > max_iter:
+            raise BracketError(
+                f"could not bracket a minimum within {max_iter} expansions "
+                f"(last triple: ({a}, {b}, {c}))"
+            )
+        # Parabolic extrapolation from a, b, c.
+        r = (b - a) * (fb - fc)
+        q = (b - c) * (fb - fa)
+        denom = 2.0 * math.copysign(max(abs(q - r), _TINY), q - r)
+        u = b - ((b - c) * q - (b - a) * r) / denom
+        ulim = b + grow_limit * (c - b)
+        if (b - u) * (u - c) > 0.0:  # u between b and c
+            fu = func(u)
+            if fu < fc:  # minimum between b and c
+                a, b = b, u
+                fa, fb = fb, fu
+                break
+            if fu > fb:  # minimum between a and u
+                c, fc = u, fu
+                break
+            u = c + _GOLD * (c - b)  # parabolic fit useless; golden step
+            fu = func(u)
+        elif (c - u) * (u - ulim) > 0.0:  # u between c and the limit
+            fu = func(u)
+            if fu < fc:
+                b, c, u = c, u, u + _GOLD * (u - c)
+                fb, fc, fu = fc, fu, func(u)
+        elif (u - ulim) * (ulim - c) >= 0.0:  # clamp to the limit
+            u = ulim
+            fu = func(u)
+        else:  # reject parabolic u; golden step
+            u = c + _GOLD * (c - b)
+            fu = func(u)
+        a, b, c = b, c, u
+        fa, fb, fc = fb, fc, fu
+    if a > c:
+        a, c = c, a
+        fa, fc = fc, fa
+    return Bracket(a=a, b=b, c=c, fa=fa, fb=fb, fc=fc)
+
+
+def golden_section_minimize(
+    func: Callable[[float], float],
+    bracket: Bracket,
+    *,
+    rel_tol: float = 1e-8,
+    abs_tol: float = 1e-10,
+    max_iter: int = 500,
+) -> GoldenSectionResult:
+    """Refine a bracketing triple with Golden Section Search.
+
+    Parameters
+    ----------
+    func:
+        The scalar objective.
+    bracket:
+        A :class:`Bracket` as produced by :func:`bracket_minimum`.
+    rel_tol, abs_tol:
+        Convergence when the bracket width drops below
+        ``rel_tol * (|x1| + |x2|) / 2 + abs_tol``.
+    max_iter:
+        Hard cap on function evaluations.
+    """
+    x0, x3 = bracket.a, bracket.c
+    if abs(bracket.c - bracket.b) > abs(bracket.b - bracket.a):
+        x1 = bracket.b
+        x2 = bracket.b + _CGOLD * (bracket.c - bracket.b)
+        f1 = bracket.fb
+        f2 = func(x2)
+    else:
+        x2 = bracket.b
+        x1 = bracket.b - _CGOLD * (bracket.b - bracket.a)
+        f2 = bracket.fb
+        f1 = func(x1)
+    iterations = 0
+    while abs(x3 - x0) > rel_tol * (abs(x1) + abs(x2)) / 2.0 + abs_tol:
+        iterations += 1
+        if iterations > max_iter:
+            x, fx = (x1, f1) if f1 < f2 else (x2, f2)
+            return GoldenSectionResult(x=x, fx=fx, iterations=iterations, converged=False)
+        if f2 < f1:
+            x0 = x1
+            x1, x2 = x2, x2 + _CGOLD * (x3 - x2)
+            f1, f2 = f2, func(x2)
+        else:
+            x3 = x2
+            x2, x1 = x1, x1 - _CGOLD * (x1 - x0)
+            f2, f1 = f1, func(x1)
+    if f1 < f2:
+        return GoldenSectionResult(x=x1, fx=f1, iterations=iterations, converged=True)
+    return GoldenSectionResult(x=x2, fx=f2, iterations=iterations, converged=True)
+
+
+def minimize_positive_scalar(
+    func: Callable[[float], float],
+    *,
+    guess: float,
+    lo: float = 1e-6,
+    hi: float = 1e9,
+    rel_tol: float = 1e-8,
+    grid_points: int = 64,
+) -> GoldenSectionResult:
+    """Minimise ``func`` over the open interval ``(lo, hi)``.
+
+    The strategy is the one used throughout the checkpoint optimizer:
+
+    1. try to bracket a minimum around ``guess`` with
+       :func:`bracket_minimum` and refine it with golden section;
+    2. if bracketing fails (monotone objective, plateau, minimum pinned
+       at a boundary), fall back to a log-spaced grid scan of
+       ``grid_points`` abscissae followed by golden-section refinement of
+       the best grid cell.
+
+    This makes the optimizer robust to the awkward shapes ``Gamma(T)/T``
+    takes for extreme parameters (e.g. very heavy tails pushing the
+    optimal interval toward the upper bound).
+    """
+    if not (lo < hi):
+        raise ValueError(f"invalid domain: lo={lo} must be < hi={hi}")
+    guess = min(max(guess, lo * 1.01), hi * 0.99)
+    try:
+        second = min(guess * 1.5 + 1e-9, hi * 0.999)
+        if second <= guess:
+            second = (guess + hi) / 2.0
+        bracket = bracket_minimum(_Clamped(func, lo, hi), guess, second)
+        result = golden_section_minimize(func, bracket, rel_tol=rel_tol)
+        if lo <= result.x <= hi:
+            return result
+    except (BracketError, ValueError, OverflowError):
+        pass
+    return _grid_then_golden(func, lo=lo, hi=hi, rel_tol=rel_tol, grid_points=grid_points)
+
+
+class _Clamped:
+    """Clamp the argument of ``func`` into ``[lo, hi]``.
+
+    Bracketing may probe outside the feasible domain; clamping keeps the
+    objective well defined there while preserving the interior landscape.
+    """
+
+    __slots__ = ("func", "lo", "hi")
+
+    def __init__(self, func: Callable[[float], float], lo: float, hi: float) -> None:
+        self.func = func
+        self.lo = lo
+        self.hi = hi
+
+    def __call__(self, x: float) -> float:
+        return self.func(min(max(x, self.lo), self.hi))
+
+
+def _grid_then_golden(
+    func: Callable[[float], float],
+    *,
+    lo: float,
+    hi: float,
+    rel_tol: float,
+    grid_points: int,
+) -> GoldenSectionResult:
+    """Log-spaced grid scan followed by golden-section refinement."""
+    log_lo, log_hi = math.log(lo), math.log(hi)
+    xs = [math.exp(log_lo + (log_hi - log_lo) * i / (grid_points - 1)) for i in range(grid_points)]
+    fs = [func(x) for x in xs]
+    best = min(range(len(xs)), key=lambda i: fs[i] if math.isfinite(fs[i]) else math.inf)
+    if not math.isfinite(fs[best]):
+        raise BracketError("objective is non-finite over the entire search grid")
+    if 0 < best < len(xs) - 1 and fs[best] <= fs[best - 1] and fs[best] <= fs[best + 1]:
+        # A strict interior bracket exists only if a neighbour is strictly
+        # larger; on flat plateaus just return the grid point.
+        if fs[best] < fs[best - 1] or fs[best] < fs[best + 1]:
+            bracket = Bracket(
+                a=xs[best - 1],
+                b=xs[best],
+                c=xs[best + 1],
+                fa=fs[best - 1],
+                fb=fs[best],
+                fc=fs[best + 1],
+            )
+            return golden_section_minimize(func, bracket, rel_tol=rel_tol)
+    return GoldenSectionResult(x=xs[best], fx=fs[best], iterations=grid_points, converged=True)

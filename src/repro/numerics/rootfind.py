@@ -1,0 +1,99 @@
+"""Scalar root finding: bisection and safeguarded Newton.
+
+The Weibull maximum-likelihood estimator reduces to a single nonlinear
+equation in the shape parameter (the profile-likelihood equation); we
+solve it with a Newton iteration that falls back to bisection whenever
+the Newton step leaves the current bracket or the derivative degenerates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = ["RootFindError", "bisect", "newton_safeguarded"]
+
+
+class RootFindError(RuntimeError):
+    """Raised when a root cannot be located or refined."""
+
+
+def bisect(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Find a root of ``func`` in ``[lo, hi]`` by bisection.
+
+    ``func(lo)`` and ``func(hi)`` must have opposite signs (a zero at an
+    endpoint is returned immediately).
+    """
+    flo, fhi = func(lo), func(hi)
+    if flo == 0.0:
+        return lo
+    if fhi == 0.0:
+        return hi
+    if flo * fhi > 0.0:
+        raise RootFindError(f"no sign change on [{lo}, {hi}]: f(lo)={flo}, f(hi)={fhi}")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        fmid = func(mid)
+        if fmid == 0.0 or (hi - lo) < tol * (1.0 + abs(mid)):
+            return mid
+        if flo * fmid < 0.0:
+            hi = mid
+        else:
+            lo, flo = mid, fmid
+    return 0.5 * (lo + hi)
+
+
+def newton_safeguarded(
+    func: Callable[[float], float],
+    dfunc: Callable[[float], float],
+    x0: float,
+    *,
+    lo: float,
+    hi: float,
+    tol: float = 1e-12,
+    max_iter: int = 100,
+) -> float:
+    """Newton iteration safeguarded by a bisection bracket.
+
+    ``[lo, hi]`` must bracket a root (opposite signs).  Newton steps are
+    taken from the current iterate; whenever a step leaves the bracket or
+    the derivative is tiny, a bisection step is substituted.  The bracket
+    shrinks monotonically, so convergence is guaranteed.
+    """
+    flo, fhi = func(lo), func(hi)
+    if flo == 0.0:
+        return lo
+    if fhi == 0.0:
+        return hi
+    if flo * fhi > 0.0:
+        raise RootFindError(f"no sign change on [{lo}, {hi}]: f(lo)={flo}, f(hi)={fhi}")
+    x = min(max(x0, lo), hi)
+    for _ in range(max_iter):
+        fx = func(x)
+        if fx == 0.0:
+            return x
+        if flo * fx < 0.0:
+            hi = x
+        else:
+            lo, flo = x, fx
+        dfx = dfunc(x)
+        use_bisection = True
+        if math.isfinite(dfx) and abs(dfx) > 1e-300:
+            step = fx / dfx
+            candidate = x - step
+            if lo < candidate < hi and math.isfinite(candidate):
+                x_new = candidate
+                use_bisection = False
+        if use_bisection:
+            x_new = 0.5 * (lo + hi)
+        if abs(x_new - x) < tol * (1.0 + abs(x_new)):
+            return x_new
+        x = x_new
+    return x

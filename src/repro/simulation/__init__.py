@@ -1,0 +1,16 @@
+"""Trace-driven simulation of model-steered checkpointing (Section 5.1)."""
+
+from repro.simulation.accounting import SimulationConfig, SimulationResult
+from repro.simulation.runner import PoolSweep, SweepSettings, simulate_machine, simulate_pool
+from repro.simulation.trace_sim import replay_schedule, simulate_trace
+
+__all__ = [
+    "PoolSweep",
+    "SimulationConfig",
+    "SimulationResult",
+    "SweepSettings",
+    "replay_schedule",
+    "simulate_machine",
+    "simulate_pool",
+    "simulate_trace",
+]

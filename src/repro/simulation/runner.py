@@ -1,0 +1,175 @@
+"""Pool-scale simulation sweeps (machines x models x checkpoint costs).
+
+This drives the paper's Figure 3 / Table 1 (efficiency) and Figure 4 /
+Table 3 (network load) protocol:
+
+1. for every machine trace, fit the four candidate models to the first
+   ``n_train`` observations (the training set);
+2. replay the machine's *entire* trace ("a job that begins before the
+   first measurement ... and continues to run after the last") once per
+   (model, checkpoint cost) pair;
+3. aggregate per-machine efficiencies and megabyte counts into the
+   per-(model, cost) vectors that the statistics layer turns into means,
+   confidence intervals and paired significance tests.
+
+Machines are independent, so the sweep optionally fans out across
+processes (``n_workers``) with a plain ``ProcessPoolExecutor`` -- the
+work is CPU-bound golden-section optimisation, which releases no GIL.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.fitting import MODEL_NAMES, fit_model
+from repro.simulation.accounting import SimulationConfig, SimulationResult
+from repro.simulation.trace_sim import simulate_trace
+from repro.traces.model import TRAINING_SET_SIZE, AvailabilityTrace, MachinePool
+
+__all__ = ["PoolSweep", "SweepSettings", "simulate_machine", "simulate_pool"]
+
+
+@dataclass(frozen=True)
+class SweepSettings:
+    """Protocol parameters for a pool sweep.
+
+    Attributes
+    ----------
+    checkpoint_costs:
+        The ``C`` values swept on the x-axis (the paper uses
+        50..1500 s).
+    model_names:
+        Candidate models fitted per machine (defaults to the paper's
+        four).
+    n_train:
+        Training-prefix length (the paper's 25).
+    replay:
+        ``"full"`` replays training+experimental observations (the
+        paper's steady-state protocol); ``"experimental"`` replays only
+        the held-out suffix.
+    base_config:
+        Template :class:`SimulationConfig`; its ``checkpoint_cost`` is
+        overridden per sweep point.
+    em_seed:
+        Seed for the hyperexponential EM restarts (per-machine streams
+        are derived from it).
+    """
+
+    checkpoint_costs: tuple[float, ...] = (50.0, 100.0, 200.0, 250.0, 400.0, 500.0, 750.0, 1000.0, 1250.0, 1500.0)
+    model_names: tuple[str, ...] = MODEL_NAMES
+    n_train: int = TRAINING_SET_SIZE
+    replay: str = "full"
+    base_config: SimulationConfig = SimulationConfig(checkpoint_cost=0.0)
+    em_seed: int = 424242
+
+    def __post_init__(self) -> None:
+        if not self.checkpoint_costs:
+            raise ValueError("at least one checkpoint cost is required")
+        if self.replay not in ("full", "experimental"):
+            raise ValueError(f"unknown replay mode: {self.replay!r}")
+
+
+def simulate_machine(
+    trace: AvailabilityTrace, settings: SweepSettings
+) -> list[SimulationResult]:
+    """Fit models to one machine's training prefix and run its sweep."""
+    train, test = trace.split(settings.n_train)
+    replay = trace.durations if settings.replay == "full" else test
+    # a deterministic per-machine EM stream (crc32, not hash(): the
+    # latter is salted per interpreter) so pool results are reproducible
+    # regardless of worker scheduling
+    machine_key = zlib.crc32(trace.machine_id.encode("utf-8"))
+    rng = np.random.default_rng(np.random.SeedSequence([settings.em_seed, machine_key]))
+    results: list[SimulationResult] = []
+    for model_name in settings.model_names:
+        dist = fit_model(model_name, train, rng=rng)
+        for cost in settings.checkpoint_costs:
+            config = replace(settings.base_config, checkpoint_cost=float(cost))
+            results.append(
+                simulate_trace(
+                    dist,
+                    replay,
+                    config,
+                    machine_id=trace.machine_id,
+                    model_name=model_name,
+                )
+            )
+    return results
+
+
+@dataclass(frozen=True)
+class PoolSweep:
+    """All per-(machine, model, cost) results of one pool sweep."""
+
+    settings: SweepSettings
+    results: tuple[SimulationResult, ...]
+
+    def metric_matrix(self, model_name: str, metric: str) -> np.ndarray:
+        """``(n_machines, n_costs)`` array of ``metric`` for one model.
+
+        ``metric`` is any numeric attribute/property of
+        :class:`SimulationResult` (e.g. ``"efficiency"``, ``"mb_total"``).
+        Rows are machines in first-seen order; columns follow
+        ``settings.checkpoint_costs``.
+        """
+        costs = {c: j for j, c in enumerate(self.settings.checkpoint_costs)}
+        machines: dict[str, int] = {}
+        rows: list[list[float]] = []
+        for r in self.results:
+            if r.model_name != model_name:
+                continue
+            if r.machine_id not in machines:
+                machines[r.machine_id] = len(rows)
+                rows.append([np.nan] * len(costs))
+            rows[machines[r.machine_id]][costs[r.checkpoint_cost]] = float(
+                getattr(r, metric)
+            )
+        out = np.asarray(rows, dtype=np.float64)
+        if out.size and np.any(np.isnan(out)):
+            raise ValueError(f"incomplete sweep for model {model_name!r}")
+        return out
+
+    def machines(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for r in self.results:
+            seen.setdefault(r.machine_id, None)
+        return tuple(seen)
+
+
+def _simulate_machine_star(args: tuple[AvailabilityTrace, SweepSettings]):
+    return simulate_machine(*args)
+
+
+def simulate_pool(
+    pool: MachinePool | Sequence[AvailabilityTrace],
+    settings: SweepSettings | None = None,
+    *,
+    n_workers: int | None = None,
+) -> PoolSweep:
+    """Run the full sweep over a machine pool.
+
+    ``n_workers=None`` or ``1`` runs serially; larger values fan machines
+    out across processes.
+    """
+    if settings is None:
+        settings = SweepSettings()
+    traces = list(pool)
+    all_results: list[SimulationResult] = []
+    if n_workers and n_workers > 1 and len(traces) > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool_exec:
+            chunks = pool_exec.map(
+                _simulate_machine_star,
+                [(t, settings) for t in traces],
+                chunksize=max(1, len(traces) // (n_workers * 4)),
+            )
+            for chunk in chunks:
+                all_results.extend(chunk)
+    else:
+        for trace in traces:
+            all_results.extend(simulate_machine(trace, settings))
+    return PoolSweep(settings=settings, results=tuple(all_results))

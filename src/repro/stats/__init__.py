@@ -1,0 +1,20 @@
+"""Statistics for the paper's tables: CIs, paired t-tests, markers."""
+
+from repro.stats.ci import MeanCI, mean_ci
+from repro.stats.significance import (
+    PairedComparison,
+    SignificanceRow,
+    holm_adjust,
+    paired_ttest,
+    significance_markers,
+)
+
+__all__ = [
+    "MeanCI",
+    "PairedComparison",
+    "SignificanceRow",
+    "holm_adjust",
+    "mean_ci",
+    "paired_ttest",
+    "significance_markers",
+]

@@ -1,0 +1,42 @@
+"""Availability traces: containers, synthetic generation, persistence."""
+
+from repro.traces.diurnal import (
+    DiurnalProfile,
+    DiurnalSessionIterator,
+    diurnal_gap,
+    office_hours_profile,
+    offpeak_profile,
+)
+from repro.traces.io import load_pool_json, load_trace_csv, save_pool_json, save_trace_csv
+from repro.traces.model import TRAINING_SET_SIZE, AvailabilityTrace, MachinePool
+from repro.traces.synthetic import (
+    PAPER_REFERENCE_SCALE,
+    PAPER_REFERENCE_SHAPE,
+    SyntheticPoolConfig,
+    generate_condor_pool,
+    paper_reference_distribution,
+    paper_reference_trace,
+    synthetic_trace,
+)
+
+__all__ = [
+    "PAPER_REFERENCE_SCALE",
+    "PAPER_REFERENCE_SHAPE",
+    "TRAINING_SET_SIZE",
+    "AvailabilityTrace",
+    "DiurnalProfile",
+    "DiurnalSessionIterator",
+    "MachinePool",
+    "SyntheticPoolConfig",
+    "diurnal_gap",
+    "office_hours_profile",
+    "offpeak_profile",
+    "generate_condor_pool",
+    "load_pool_json",
+    "load_trace_csv",
+    "paper_reference_distribution",
+    "paper_reference_trace",
+    "save_pool_json",
+    "save_trace_csv",
+    "synthetic_trace",
+]

@@ -1,0 +1,100 @@
+"""Trace persistence: JSON for pools, CSV for single machines.
+
+The on-disk JSON layout mirrors what the paper's monitoring system
+records: per machine a list of ``(timestamp, duration)`` pairs plus
+free-form metadata.  CSV is provided for interoperability with the kind
+of flat sensor logs the Condor occupancy monitor produces.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.model import AvailabilityTrace, MachinePool
+
+__all__ = ["load_pool_json", "load_trace_csv", "save_pool_json", "save_trace_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_pool_json(pool: MachinePool, path: str | Path) -> None:
+    """Serialise a pool to JSON (versioned, self-describing)."""
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "name": pool.name,
+        "machines": [
+            {
+                "machine_id": t.machine_id,
+                "durations": t.durations.tolist(),
+                "timestamps": None if t.timestamps is None else t.timestamps.tolist(),
+                "censored": None if t.censored is None else t.censored.tolist(),
+                "meta": t.meta,
+            }
+            for t in pool
+        ],
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_pool_json(path: str | Path) -> MachinePool:
+    """Load a pool saved by :func:`save_pool_json`."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported pool format version: {version!r}")
+    traces = tuple(
+        AvailabilityTrace(
+            machine_id=m["machine_id"],
+            durations=np.asarray(m["durations"], dtype=np.float64),
+            timestamps=(
+                None
+                if m.get("timestamps") is None
+                else np.asarray(m["timestamps"], dtype=np.float64)
+            ),
+            censored=(
+                None
+                if m.get("censored") is None
+                else np.asarray(m["censored"], dtype=bool)
+            ),
+            meta=m.get("meta", {}),
+        )
+        for m in doc["machines"]
+    )
+    return MachinePool(traces=traces, name=doc.get("name", "pool"))
+
+
+def save_trace_csv(trace: AvailabilityTrace, path: str | Path) -> None:
+    """One machine as ``timestamp,duration`` rows (monitor-log style)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp", "duration"])
+        timestamps = (
+            trace.timestamps
+            if trace.timestamps is not None
+            else np.full(len(trace), np.nan)
+        )
+        for ts, dur in zip(timestamps, trace.durations):
+            writer.writerow([repr(float(ts)), repr(float(dur))])
+
+
+def load_trace_csv(path: str | Path, *, machine_id: str | None = None) -> AvailabilityTrace:
+    """Load a CSV written by :func:`save_trace_csv`."""
+    timestamps: list[float] = []
+    durations: list[float] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or not {"timestamp", "duration"} <= set(reader.fieldnames):
+            raise ValueError(f"{path}: expected 'timestamp,duration' header")
+        for row in reader:
+            timestamps.append(float(row["timestamp"]))
+            durations.append(float(row["duration"]))
+    ts = np.asarray(timestamps)
+    return AvailabilityTrace(
+        machine_id=machine_id or Path(path).stem,
+        durations=np.asarray(durations),
+        timestamps=None if np.all(np.isnan(ts)) else ts,
+    )

@@ -1,0 +1,155 @@
+"""Availability-trace containers.
+
+The Condor occupancy monitor of Section 4 records, per machine, a
+sequence of availability durations with UTC timestamps.  The paper's
+simulation protocol splits each machine's sequence chronologically: the
+first 25 observations form the *training set* (used to fit the four
+candidate models), the remainder the *experimental set* (replayed by the
+trace simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["AvailabilityTrace", "MachinePool", "TRAINING_SET_SIZE"]
+
+#: the paper's training prefix length
+TRAINING_SET_SIZE = 25
+
+
+@dataclass(frozen=True)
+class AvailabilityTrace:
+    """One machine's chronological availability record.
+
+    Attributes
+    ----------
+    machine_id:
+        Stable identifier (the paper keys on Condor hostnames).
+    durations:
+        Availability durations in seconds, chronological order.
+    timestamps:
+        UTC start time (seconds) of each availability interval; optional
+        but always produced by the synthetic generators and the DES
+        occupancy monitor.
+    censored:
+        Optional boolean mask; ``True`` marks a *right-censored*
+        observation -- the machine was still available when measurement
+        stopped (e.g. the campaign horizon cut a long run short, the
+        effect Section 5.3 identifies).  Censored durations are lower
+        bounds; the fitting layer treats them as survival contributions.
+    meta:
+        Free-form provenance (ground-truth family and parameters for
+        synthetic traces, pool name, ...).
+    """
+
+    machine_id: str
+    durations: np.ndarray
+    timestamps: np.ndarray | None = None
+    censored: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        durations = np.asarray(self.durations, dtype=np.float64).ravel()
+        if durations.size == 0:
+            raise ValueError(f"trace {self.machine_id!r} has no observations")
+        if np.any(durations < 0) or not np.all(np.isfinite(durations)):
+            raise ValueError(f"trace {self.machine_id!r} has invalid durations")
+        durations.setflags(write=False)
+        object.__setattr__(self, "durations", durations)
+        if self.censored is not None:
+            cens = np.asarray(self.censored, dtype=bool).ravel()
+            if cens.shape != durations.shape:
+                raise ValueError(
+                    f"trace {self.machine_id!r}: censored mask shape {cens.shape} "
+                    f"!= durations shape {durations.shape}"
+                )
+            cens.setflags(write=False)
+            object.__setattr__(self, "censored", cens)
+        if self.timestamps is not None:
+            ts = np.asarray(self.timestamps, dtype=np.float64).ravel()
+            if ts.shape != durations.shape:
+                raise ValueError(
+                    f"trace {self.machine_id!r}: timestamps shape {ts.shape} "
+                    f"!= durations shape {durations.shape}"
+                )
+            if np.any(np.diff(ts) < 0):
+                raise ValueError(f"trace {self.machine_id!r}: timestamps not sorted")
+            ts.setflags(write=False)
+            object.__setattr__(self, "timestamps", ts)
+
+    def __len__(self) -> int:
+        return int(self.durations.size)
+
+    def split(self, n_train: int = TRAINING_SET_SIZE) -> tuple[np.ndarray, np.ndarray]:
+        """Chronological (training, experimental) split.
+
+        Raises if the trace is too short to leave a non-empty
+        experimental set, mirroring the paper's restriction to machines
+        "which the Condor scheduler chose ... a sufficient number of
+        times".
+        """
+        if n_train <= 0:
+            raise ValueError(f"n_train must be positive, got {n_train}")
+        if len(self) <= n_train:
+            raise ValueError(
+                f"trace {self.machine_id!r} has only {len(self)} observations; "
+                f"need > {n_train} for a train/test split"
+            )
+        return self.durations[:n_train], self.durations[n_train:]
+
+    @property
+    def total_availability(self) -> float:
+        """Total available seconds recorded for this machine."""
+        return float(self.durations.sum())
+
+    def head(self, n: int) -> "AvailabilityTrace":
+        """A trace containing only the first ``n`` observations."""
+        return AvailabilityTrace(
+            machine_id=self.machine_id,
+            durations=self.durations[:n],
+            timestamps=None if self.timestamps is None else self.timestamps[:n],
+            meta=dict(self.meta),
+        )
+
+
+@dataclass(frozen=True)
+class MachinePool:
+    """A collection of machine traces (the paper's ~640-machine pool)."""
+
+    traces: tuple[AvailabilityTrace, ...]
+    name: str = "pool"
+
+    def __post_init__(self) -> None:
+        traces = tuple(self.traces)
+        ids = [t.machine_id for t in traces]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"pool {self.name!r} has duplicate machine ids")
+        object.__setattr__(self, "traces", traces)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[AvailabilityTrace]:
+        return iter(self.traces)
+
+    def __getitem__(self, key: int | str) -> AvailabilityTrace:
+        if isinstance(key, int):
+            return self.traces[key]
+        for trace in self.traces:
+            if trace.machine_id == key:
+                return trace
+        raise KeyError(f"no machine {key!r} in pool {self.name!r}")
+
+    def with_min_observations(self, n: int) -> "MachinePool":
+        """Only machines observed at least ``n`` times (the paper keeps
+        machines chosen "a sufficient number of times")."""
+        kept = tuple(t for t in self.traces if len(t) >= n)
+        return MachinePool(traces=kept, name=self.name)
+
+    @property
+    def machine_ids(self) -> tuple[str, ...]:
+        return tuple(t.machine_id for t in self.traces)

@@ -1,0 +1,191 @@
+"""Synthetic Condor-pool trace generation.
+
+We do not have the paper's 18 months of UW-Madison Condor measurements,
+so (per the substitution table in DESIGN.md) we synthesise a pool whose
+statistical character matches what the paper reports:
+
+* availability durations are heavy-tailed; the one machine whose MLE
+  parameters the paper publishes is Weibull with shape 0.43 and scale
+  3409 -- :data:`PAPER_REFERENCE_SHAPE` / :data:`PAPER_REFERENCE_SCALE`;
+* machines are heterogeneous (over 1000 workstations, ~640 usable), so
+  per-machine ground-truth parameters are drawn from ranges centred on
+  the published machine;
+* a configurable fraction of machines follow hyperexponential or
+  lognormal ground truths, so no fitted family is trivially
+  correctly-specified for the whole pool (desktop reclamation mixes
+  "owner came back in minutes" with "machine idle all weekend").
+
+Timestamps are synthesised with exponential idle gaps between
+availability intervals, mimicking the monitor's UTC bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributions.base import AvailabilityDistribution
+from repro.distributions.hyperexponential import Hyperexponential
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.weibull import Weibull
+from repro.traces.model import AvailabilityTrace, MachinePool
+
+__all__ = [
+    "PAPER_REFERENCE_SCALE",
+    "PAPER_REFERENCE_SHAPE",
+    "SyntheticPoolConfig",
+    "generate_condor_pool",
+    "paper_reference_distribution",
+    "paper_reference_trace",
+    "synthetic_trace",
+]
+
+#: MLE Weibull parameters of the machine trace the paper publishes (§5.1)
+PAPER_REFERENCE_SHAPE = 0.43
+PAPER_REFERENCE_SCALE = 3409.0
+
+
+def paper_reference_distribution() -> Weibull:
+    """The heavy-tailed Weibull the paper's Table 2 experiment uses."""
+    return Weibull(shape=PAPER_REFERENCE_SHAPE, scale=PAPER_REFERENCE_SCALE)
+
+
+def synthetic_trace(
+    distribution: AvailabilityDistribution,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    machine_id: str = "synthetic",
+    start_time: float = 0.0,
+    mean_idle_gap: float = 1800.0,
+) -> AvailabilityTrace:
+    """Draw ``n`` availability durations from ``distribution``.
+
+    Idle gaps between intervals are exponential with mean
+    ``mean_idle_gap`` seconds (owner working at the machine), purely for
+    realistic timestamps; the simulators consume durations only.
+    """
+    if n <= 0:
+        raise ValueError(f"trace length must be positive, got {n}")
+    durations = np.asarray(distribution.sample(n, rng), dtype=np.float64)
+    gaps = rng.exponential(mean_idle_gap, size=n)
+    starts = start_time + np.concatenate(([0.0], np.cumsum(durations[:-1] + gaps[:-1])))
+    meta = {"ground_truth": distribution.name, **_flatten_params(distribution)}
+    return AvailabilityTrace(
+        machine_id=machine_id, durations=durations, timestamps=starts, meta=meta
+    )
+
+
+def paper_reference_trace(
+    n: int = 5000, rng: np.random.Generator | None = None
+) -> AvailabilityTrace:
+    """The Table 2 workload: 5000 draws from Weibull(0.43, 3409)."""
+    if rng is None:
+        rng = np.random.default_rng(2005)
+    return synthetic_trace(
+        paper_reference_distribution(), n, rng, machine_id="paper-reference"
+    )
+
+
+@dataclass(frozen=True)
+class SyntheticPoolConfig:
+    """Knobs for the synthetic Condor pool.
+
+    The defaults produce a pool that is laptop-tractable (120 machines,
+    125 observations each: 25 training + 100 experimental) while keeping
+    the paper's statistical character.  ``family_weights`` controls the
+    mix of per-machine ground truths.
+    """
+
+    n_machines: int = 120
+    n_observations: int = 125
+    #: log-uniform range for the Weibull shape parameter
+    shape_range: tuple[float, float] = (0.30, 0.70)
+    #: log-uniform range for the Weibull scale parameter (seconds);
+    #: centred below the paper's reference machine (scale 3409) because
+    #: the published pool-average efficiencies (0.75 at C=50 down to 0.33
+    #: at C=1500) imply most desktops had short availability runs
+    scale_range: tuple[float, float] = (300.0, 8000.0)
+    #: probability of each ground-truth family per machine
+    family_weights: dict = field(
+        default_factory=lambda: {"weibull": 0.6, "hyperexponential": 0.3, "lognormal": 0.1}
+    )
+    mean_idle_gap: float = 1800.0
+    name: str = "synthetic-condor"
+
+    def __post_init__(self) -> None:
+        if self.n_machines <= 0 or self.n_observations <= 1:
+            raise ValueError("pool must have machines and >1 observation each")
+        total = sum(self.family_weights.values())
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise ValueError(f"family weights must sum to 1, got {total}")
+        unknown = set(self.family_weights) - {"weibull", "hyperexponential", "lognormal"}
+        if unknown:
+            raise ValueError(f"unknown ground-truth families: {unknown}")
+
+
+def _flatten_params(dist) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for key, value in dist.params().items():
+        if isinstance(value, tuple):
+            for i, v in enumerate(value):
+                out[f"gt_{key}_{i}"] = float(v)
+        else:
+            out[f"gt_{key}"] = float(value)
+    return out
+
+
+def _draw_ground_truth(config: SyntheticPoolConfig, rng: np.random.Generator):
+    families = list(config.family_weights)
+    weights = np.asarray([config.family_weights[f] for f in families])
+    family = families[int(rng.choice(len(families), p=weights))]
+    lo_sh, hi_sh = config.shape_range
+    lo_sc, hi_sc = config.scale_range
+    shape = float(np.exp(rng.uniform(np.log(lo_sh), np.log(hi_sh))))
+    scale = float(np.exp(rng.uniform(np.log(lo_sc), np.log(hi_sc))))
+    if family == "weibull":
+        return Weibull(shape=shape, scale=scale)
+    if family == "hyperexponential":
+        # Match the Weibull's heavy-tailed flavour with a fast phase
+        # (owner reclaims quickly) and a slow phase (long idle stretch).
+        mean = scale * math.gamma(1.0 + 1.0 / shape)
+        p_fast = float(rng.uniform(0.35, 0.75))
+        fast_mean = float(rng.uniform(0.02, 0.15)) * mean
+        # choose the slow mean so the mixture mean matches `mean`
+        slow_mean = (mean - p_fast * fast_mean) / (1.0 - p_fast)
+        return Hyperexponential(
+            probs=[p_fast, 1.0 - p_fast], rates=[1.0 / fast_mean, 1.0 / slow_mean]
+        )
+    # lognormal with matching log-mean spread
+    mu = math.log(scale) - 0.5
+    sigma = float(rng.uniform(1.0, 2.0))
+    return LogNormal(mu=mu, sigma=sigma)
+
+
+def generate_condor_pool(
+    config: SyntheticPoolConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> MachinePool:
+    """Generate the synthetic Condor pool described in DESIGN.md."""
+    if config is None:
+        config = SyntheticPoolConfig()
+    if rng is None:
+        rng = np.random.default_rng(18 * 30)  # 18-month measurement period
+    traces = []
+    for i in range(config.n_machines):
+        gt = _draw_ground_truth(config, rng)
+        durations = np.asarray(gt.sample(config.n_observations, rng), dtype=np.float64)
+        gaps = rng.exponential(config.mean_idle_gap, size=config.n_observations)
+        starts = np.concatenate(([0.0], np.cumsum(durations[:-1] + gaps[:-1])))
+        meta = {"ground_truth": gt.name, **_flatten_params(gt)}
+        traces.append(
+            AvailabilityTrace(
+                machine_id=f"condor-{i:04d}",
+                durations=durations,
+                timestamps=starts,
+                meta=meta,
+            )
+        )
+    return MachinePool(traces=tuple(traces), name=config.name)

@@ -1,0 +1,32 @@
+"""Application workload models.
+
+The paper fixes the checkpoint at 500 MB ("our target application
+requires this size checkpoint"); real applications have state that
+varies -- often growing with progress.  This package models that:
+
+* :class:`ConstantSize` -- the paper's fixed transfer;
+* :class:`LinearGrowthSize` -- state grows with committed work (e.g. a
+  simulation accreting results), optionally capped at the machine's
+  memory;
+* :class:`JitteredSize` -- lognormal variation around a base size
+  (compression ratios, delta encodings).
+
+The live test process consumes these through its ``size_model`` hook:
+bigger checkpoints take longer on the link, the re-measured cost feeds
+the optimizer, and the schedule adapts -- no other component needs to
+know.
+"""
+
+from repro.workload.sizes import (
+    CheckpointSizeModel,
+    ConstantSize,
+    JitteredSize,
+    LinearGrowthSize,
+)
+
+__all__ = [
+    "CheckpointSizeModel",
+    "ConstantSize",
+    "JitteredSize",
+    "LinearGrowthSize",
+]

@@ -1,0 +1,84 @@
+"""Checkpoint-size models (see package docstring)."""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+__all__ = ["CheckpointSizeModel", "ConstantSize", "JitteredSize", "LinearGrowthSize"]
+
+
+class CheckpointSizeModel(abc.ABC):
+    """Size (MB) of the next checkpoint as a function of job progress."""
+
+    @abc.abstractmethod
+    def size_mb(self, committed_work: float, checkpoint_index: int) -> float:
+        """Megabytes of the checkpoint taken after ``committed_work``
+        seconds of durable computation (``checkpoint_index`` counts the
+        job's checkpoints, including failed attempts)."""
+
+    def recovery_size_mb(self, committed_work: float) -> float:
+        """Megabytes restored on recovery (defaults to the size the last
+        checkpoint would have had)."""
+        return self.size_mb(committed_work, 0)
+
+
+class ConstantSize(CheckpointSizeModel):
+    """The paper's fixed checkpoint size."""
+
+    def __init__(self, mb: float = 500.0) -> None:
+        if mb < 0:
+            raise ValueError(f"size must be >= 0, got {mb}")
+        self.mb = float(mb)
+
+    def size_mb(self, committed_work: float, checkpoint_index: int) -> float:
+        return self.mb
+
+
+class LinearGrowthSize(CheckpointSizeModel):
+    """State grows linearly with committed work, optionally capped.
+
+    ``size = base_mb + mb_per_hour * committed_work/3600``, clipped to
+    ``cap_mb`` (e.g. the host's memory, the paper's 512 MB bound).
+    """
+
+    def __init__(
+        self, base_mb: float = 100.0, mb_per_hour: float = 50.0, cap_mb: float = math.inf
+    ) -> None:
+        if base_mb < 0 or mb_per_hour < 0 or cap_mb <= 0:
+            raise ValueError("sizes and growth must be non-negative, cap positive")
+        self.base_mb = float(base_mb)
+        self.mb_per_hour = float(mb_per_hour)
+        self.cap_mb = float(cap_mb)
+
+    def size_mb(self, committed_work: float, checkpoint_index: int) -> float:
+        grown = self.base_mb + self.mb_per_hour * committed_work / 3600.0
+        return min(grown, self.cap_mb)
+
+
+class JitteredSize(CheckpointSizeModel):
+    """Lognormal jitter around a base size (mean-preserving).
+
+    Deterministic per checkpoint index under the seed, so experiments
+    remain reproducible.
+    """
+
+    def __init__(self, base_mb: float = 500.0, cv: float = 0.2, seed: int = 0) -> None:
+        if base_mb < 0:
+            raise ValueError(f"size must be >= 0, got {base_mb}")
+        if cv < 0:
+            raise ValueError(f"coefficient of variation must be >= 0, got {cv}")
+        self.base_mb = float(base_mb)
+        self.cv = float(cv)
+        self.seed = int(seed)
+        # lognormal with unit mean and the requested CV
+        self._sigma = math.sqrt(math.log(1.0 + cv * cv)) if cv > 0 else 0.0
+
+    def size_mb(self, committed_work: float, checkpoint_index: int) -> float:
+        if self._sigma == 0.0:
+            return self.base_mb
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, checkpoint_index]))
+        factor = math.exp(rng.normal(-0.5 * self._sigma**2, self._sigma))
+        return self.base_mb * factor

@@ -1,0 +1,25 @@
+"""Shared test configuration.
+
+A bounded hypothesis profile keeps the property-based suite fast and
+deterministic on CI-class machines; set ``HYPOTHESIS_PROFILE=thorough``
+for a deeper run.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    buf = io.StringIO()
+    code = main(list(argv), stdout=buf)
+    return code, buf.getvalue()
+
+
+class TestParser:
+    def test_commands_accepted(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "validate", "all"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestCommands:
+    def test_table2_small(self):
+        code, out = run_cli("table2", "--synthetic-points", "300")
+        assert code == 0
+        assert "Table 2" in out
+        assert "Weibull(0.43, 3409)" in out
+
+    def test_table1_small(self):
+        code, out = run_cli("table1", "--machines", "4", "--observations", "35")
+        assert code == 0
+        assert "Table 1" in out
+        assert "±" in out
+
+    def test_fig4_small(self):
+        code, out = run_cli("fig4", "--machines", "4", "--observations", "35")
+        assert code == 0
+        assert "Figure 4" in out
+
+    def test_table4_small(self):
+        code, out = run_cli(
+            "table4", "--horizon-days", "0.1", "--live-machines", "8"
+        )
+        assert code == 0
+        assert "Table 4" in out
+        assert "Sample Size" in out
+
+    def test_validate_small(self):
+        code, out = run_cli(
+            "validate", "--horizon-days", "0.1", "--live-machines", "8"
+        )
+        assert code == 0
+        assert "validated against" in out
+
+    def test_fitstudy_small(self):
+        code, out = run_cli("fitstudy", "--machines", "4", "--observations", "40")
+        assert code == 0
+        assert "mean KS" in out
+
+    def test_convergence_small(self):
+        code, out = run_cli("convergence", "--machines", "3", "--observations", "45")
+        assert code == 0
+        assert "Convergence" in out
+
+    def test_sensitivity_small(self):
+        code, out = run_cli("sensitivity", "--synthetic-points", "200")
+        assert code == 0
+        assert "Sensitivity" in out
+
+    def test_gang_small(self):
+        code, out = run_cli("gang", "--horizon-days", "0.05", "--live-machines", "12")
+        assert code == 0
+        assert "gang-scheduled" in out
+
+    def test_out_file(self, tmp_path):
+        path = tmp_path / "result.txt"
+        code, out = run_cli("table2", "--synthetic-points", "200", "--out", str(path))
+        assert code == 0
+        assert path.read_text().strip() != ""
+        assert "Table 2" in path.read_text()

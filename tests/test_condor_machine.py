@@ -1,0 +1,130 @@
+"""Tests for desktop machines with owner reclamation."""
+
+import numpy as np
+import pytest
+
+from repro.condor import CondorMachine, Eviction
+from repro.distributions import Exponential
+from repro.engine import Environment, Interrupt
+
+
+class TestLifecycle:
+    def test_trace_replay_sessions(self):
+        env = Environment()
+        m = CondorMachine.from_trace(
+            env, "m0", durations=[100.0, 50.0], gaps=[10.0, 20.0]
+        )
+        states = []
+
+        def observer(env):
+            for _ in range(8):
+                yield env.timeout(20.0)
+                states.append((env.now, m.is_available))
+
+        env.process(observer(env))
+        env.run()
+        # timeline: gap 0-10, avail 10-110, gap 110-130, avail 130-180
+        assert (20.0, True) in states
+        assert (120.0, False) in states
+        assert (140.0, True) in states
+        assert m.observed_durations == [100.0, 50.0]
+
+    def test_uptime(self):
+        env = Environment()
+        m = CondorMachine.from_trace(env, "m0", durations=[500.0], gaps=[100.0])
+        readings = []
+
+        def observer(env):
+            yield env.timeout(250.0)
+            readings.append(m.uptime())
+
+        env.process(observer(env))
+        env.run()
+        assert readings == [150.0]
+
+    def test_uptime_while_unavailable_raises(self):
+        env = Environment()
+        m = CondorMachine.from_trace(env, "m0", durations=[10.0], gaps=[100.0])
+        with pytest.raises(RuntimeError):
+            m.uptime()
+
+    def test_retires_after_trace_exhausted(self):
+        env = Environment()
+        m = CondorMachine.from_trace(env, "m0", durations=[10.0], gaps=[0.0])
+        env.run()
+        assert not m.is_available
+        assert env.now == 10.0
+
+
+class TestEvictionOfGuests:
+    def test_guest_interrupted_with_eviction_cause(self):
+        env = Environment()
+        m = CondorMachine.from_trace(env, "m0", durations=[100.0], gaps=[0.0])
+        causes = []
+
+        def guest(env):
+            try:
+                yield env.timeout(10000.0)
+            except Interrupt as i:
+                causes.append(i.cause)
+                return "evicted"
+
+        def starter(env):
+            yield env.timeout(5.0)
+            p = env.process(guest(env))
+            m.assign(p)
+
+        env.process(starter(env))
+        env.run()
+        assert len(causes) == 1
+        assert isinstance(causes[0], Eviction)
+        assert causes[0].machine_id == "m0"
+        assert causes[0].available_for == 100.0
+
+    def test_completed_guest_not_interrupted(self):
+        env = Environment()
+        m = CondorMachine.from_trace(env, "m0", durations=[100.0], gaps=[0.0])
+        results = []
+
+        def guest(env):
+            yield env.timeout(10.0)
+            results.append("finished")
+            return "ok"
+
+        def starter(env):
+            yield env.timeout(1.0)
+            p = env.process(guest(env))
+            m.assign(p)
+
+            def on_done(_ev):
+                m.release(p)
+
+            p.callbacks.append(on_done)
+
+        env.process(starter(env))
+        env.run()
+        assert results == ["finished"]
+        assert m.current_job is None
+
+    def test_assign_requires_idle(self):
+        env = Environment()
+        m = CondorMachine.from_trace(env, "m0", durations=[100.0], gaps=[50.0])
+
+        def dummy(env):
+            yield env.timeout(1.0)
+
+        with pytest.raises(RuntimeError):  # not yet available
+            m.assign(env.process(dummy(env)))
+
+
+class TestFromDistribution:
+    def test_durations_drawn_from_distribution(self):
+        env = Environment()
+        rng = np.random.default_rng(0)
+        m = CondorMachine.from_distribution(
+            env, "m0", Exponential(1.0 / 1000.0), rng, mean_owner_gap=100.0
+        )
+        env.run(until=200000.0)
+        durations = np.asarray(m.observed_durations)
+        assert durations.size > 50
+        assert durations.mean() == pytest.approx(1000.0, rel=0.25)

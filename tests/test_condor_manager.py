@@ -1,0 +1,88 @@
+"""Tests for the checkpoint manager's logging and aggregation."""
+
+import pytest
+
+from repro.condor import CheckpointManager
+from repro.engine import Environment
+from repro.network import SharedLink
+
+
+@pytest.fixture
+def manager():
+    env = Environment()
+    return CheckpointManager(env, SharedLink(env, 10.0))
+
+
+class TestLogs:
+    def test_open_close_log(self, manager):
+        log = manager.open_log("weibull", "m0")
+        assert log in manager.logs
+        manager.env._now = 100.0
+        manager.close_log(log)
+        assert log.occupied_time == 100.0
+
+    def test_occupied_time_before_close_raises(self, manager):
+        log = manager.open_log("weibull", "m0")
+        with pytest.raises(RuntimeError):
+            _ = log.occupied_time
+
+    def test_efficiency(self, manager):
+        log = manager.open_log("weibull", "m0")
+        log.committed_work = 60.0
+        manager.env._now = 100.0
+        manager.close_log(log)
+        assert log.efficiency == pytest.approx(0.6)
+
+
+class TestAggregation:
+    def _add_log(self, manager, model, committed, occupied, mb):
+        start = manager.env.now
+        log = manager.open_log(model, "m")
+        log.committed_work = committed
+        log.mb_transferred = mb
+        log.ended_at = start + occupied
+        return log
+
+    def test_aggregate_weighted_efficiency(self, manager):
+        self._add_log(manager, "weibull", 50.0, 100.0, 500.0)
+        self._add_log(manager, "weibull", 150.0, 300.0, 1500.0)
+        agg = manager.aggregate("weibull")
+        assert agg.avg_efficiency == pytest.approx(200.0 / 400.0)
+        assert agg.total_time == 400.0
+        assert agg.megabytes_used == 2000.0
+        assert agg.megabytes_per_hour == pytest.approx(2000.0 / (400.0 / 3600.0))
+        assert agg.sample_size == 2
+
+    def test_aggregate_excludes_other_models_and_open_logs(self, manager):
+        self._add_log(manager, "weibull", 50.0, 100.0, 0.0)
+        self._add_log(manager, "exponential", 10.0, 100.0, 0.0)
+        manager.open_log("weibull", "m")  # still running: excluded
+        agg = manager.aggregate("weibull")
+        assert agg.sample_size == 1
+
+    def test_empty_aggregate(self, manager):
+        agg = manager.aggregate("weibull")
+        assert agg.avg_efficiency == 0.0
+        assert agg.sample_size == 0
+
+    def test_per_placement_efficiencies(self, manager):
+        self._add_log(manager, "weibull", 50.0, 100.0, 0.0)
+        self._add_log(manager, "weibull", 30.0, 100.0, 0.0)
+        effs = manager.per_placement_efficiencies("weibull")
+        assert effs == pytest.approx([0.5, 0.3])
+
+
+class TestTransfers:
+    def test_transfer_goes_over_link(self, manager):
+        env = manager.env
+        done = {}
+
+        def proc(env):
+            tr = manager.start_transfer(50.0)
+            yield tr.done
+            done["t"] = env.now
+
+        env.process(proc(env))
+        env.run()
+        assert done["t"] == pytest.approx(5.0)
+        assert manager.link.total_mb_sent == 50.0

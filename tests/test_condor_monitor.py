@@ -1,0 +1,126 @@
+"""Tests for the occupancy monitor and trace collection."""
+
+import numpy as np
+import pytest
+
+from repro.condor import CondorMachine, CondorScheduler, OccupancyRecorder, collect_traces, make_monitor_job
+from repro.distributions import Exponential, Weibull
+from repro.engine import Environment
+
+
+class TestRecorder:
+    def test_to_pool_sorted_and_filtered(self):
+        rec = OccupancyRecorder()
+        rec.record("b", 10.0, 100.0)
+        rec.record("a", 0.0, 50.0)
+        rec.record("a", 200.0, 75.0)
+        pool = rec.to_pool(min_observations=2)
+        assert pool.machine_ids == ("a",)
+        assert np.allclose(pool["a"].durations, [50.0, 75.0])
+        assert np.allclose(pool["a"].timestamps, [0.0, 200.0])
+
+    def test_empty_pool(self):
+        with pytest.raises(Exception):
+            # MachinePool itself is fine empty, but traces require data;
+            # an empty recorder yields an empty pool
+            _ = OccupancyRecorder().to_pool()["missing"]
+
+
+class TestMonitorJob:
+    def test_monitor_records_exact_occupancy(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        rec = OccupancyRecorder()
+        CondorMachine.from_trace(
+            env, "m0", durations=[123.0], gaps=[7.0], scheduler=sched
+        )
+        sched.submit(make_monitor_job(rec))
+        env.run()
+        assert rec.records["m0"] == [(7.0, 123.0, False)]
+
+    def test_monitor_measures_occupancy_not_availability(self):
+        # if the sensor lands mid-interval it records the remaining time
+        env = Environment()
+        sched = CondorScheduler(env)
+        rec = OccupancyRecorder()
+        CondorMachine.from_trace(
+            env, "m0", durations=[100.0], gaps=[0.0], scheduler=sched
+        )
+
+        def late_submit(env):
+            yield env.timeout(40.0)
+            sched.submit(make_monitor_job(rec))
+
+        env.process(late_submit(env))
+        env.run()
+        (start, duration, censored), = rec.records["m0"]
+        assert start == 40.0
+        assert duration == pytest.approx(60.0)
+        assert not censored
+
+
+class TestCollectTraces:
+    def test_campaign_produces_pool(self):
+        rng = np.random.default_rng(0)
+        gts = {f"m{i}": Exponential(1.0 / 2000.0) for i in range(4)}
+        pool = collect_traces(gts, horizon=30 * 86400.0, rng=rng, min_observations=5)
+        assert len(pool) == 4
+        for trace in pool:
+            assert len(trace) >= 5
+            assert trace.timestamps is not None
+
+    def test_saturated_sensors_measure_availability(self):
+        # one sensor per machine => occupancy == availability (minus races)
+        rng = np.random.default_rng(1)
+        gts = {"solo": Weibull(0.6, 3000.0)}
+        pool = collect_traces(gts, horizon=120 * 86400.0, rng=rng)
+        mean = float(pool["solo"].durations.mean())
+        true_mean = Weibull(0.6, 3000.0).mean()
+        assert mean == pytest.approx(true_mean, rel=0.3)
+
+    def test_censor_at_horizon_records_lower_bounds(self):
+        rng = np.random.default_rng(3)
+        # long availabilities guarantee sensors straddle the horizon
+        gts = {f"m{i}": Exponential(1.0 / 5e6) for i in range(3)}
+        pool = collect_traces(
+            gts, horizon=10 * 86400.0, rng=rng, censor_at_horizon=True
+        )
+        assert any(t.censored is not None and t.censored.any() for t in pool)
+        for t in pool:
+            if t.censored is None:
+                continue
+            # a censored observation ends exactly at the horizon
+            idx = np.flatnonzero(t.censored)
+            for i in idx:
+                assert t.timestamps[i] + t.durations[i] == pytest.approx(10 * 86400.0)
+
+    def test_censoring_improves_fit_on_truncated_campaign(self):
+        # short campaign over long-lived machines: ignoring censoring
+        # badly underestimates the mean availability
+        from repro.distributions import fit_exponential
+
+        rng = np.random.default_rng(4)
+        true_mean = 3 * 86400.0
+        gts = {f"m{i}": Exponential(1.0 / true_mean) for i in range(12)}
+        pool = collect_traces(
+            gts, horizon=5 * 86400.0, rng=rng, censor_at_horizon=True
+        )
+        durations = np.concatenate([t.durations for t in pool])
+        masks = np.concatenate(
+            [
+                t.censored if t.censored is not None else np.zeros(len(t), dtype=bool)
+                for t in pool
+            ]
+        )
+        naive = 1.0 / fit_exponential(durations).lam
+        aware = 1.0 / fit_exponential(durations, masks).lam
+        assert abs(aware - true_mean) < abs(naive - true_mean)
+
+    def test_fewer_sensors_than_machines(self):
+        rng = np.random.default_rng(2)
+        gts = {f"m{i}": Exponential(1.0 / 5000.0) for i in range(6)}
+        pool = collect_traces(gts, horizon=30 * 86400.0, rng=rng, n_sensors=2)
+        # only 2 machines can be occupied at a time; far fewer observations
+        total_obs = sum(len(t) for t in pool)
+        assert 0 < total_obs
+        assert len(pool) <= 6

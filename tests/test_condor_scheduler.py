@@ -1,0 +1,121 @@
+"""Tests for the FIFO Condor matchmaker."""
+
+import pytest
+
+from repro.condor import CondorMachine, CondorScheduler
+from repro.engine import Environment, Interrupt
+
+
+def quick_job(duration=5.0, result="done"):
+    def body(env, machine):
+        try:
+            yield env.timeout(duration)
+            return result
+        except Interrupt:
+            return "evicted"
+
+    return body
+
+
+class TestMatchmaking:
+    def test_job_waits_for_idle_machine(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(env, "m0", durations=[100.0], gaps=[30.0], scheduler=sched)
+        sub = sched.submit(quick_job())
+        env.run()
+        assert len(sched.placements) == 1
+        p = sched.placements[0]
+        assert p.started_at == 30.0  # machine became available at t=30
+        assert p.ended_at == 35.0
+        assert p.result == "done"
+        assert p.submission is sub
+
+    def test_fifo_order(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(env, "m0", durations=[1000.0], gaps=[0.0], scheduler=sched)
+        order = []
+        for tag in ("first", "second"):
+            def body(env, machine, tag=tag):
+                order.append((tag, env.now))
+                yield env.timeout(10.0)
+                return tag
+            sched.submit(body, tag=tag)
+        env.run()
+        assert [t for t, _ in order] == ["first", "second"]
+        assert order[1][1] == 10.0  # second starts when first finishes
+
+    def test_lowest_machine_id_matched_first(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        for mid in ("b", "a"):
+            CondorMachine.from_trace(env, mid, durations=[100.0], gaps=[0.0], scheduler=sched)
+
+        def submit_later(env):
+            # submit once both machines are in the idle set: the tie is
+            # broken deterministically toward the lowest machine id
+            yield env.timeout(0.5)
+            sched.submit(quick_job())
+
+        env.process(submit_later(env))
+        env.run(until=1.0)
+        assert sched.placements[0].machine_id == "a"
+
+    def test_machine_returns_to_idle_after_completion(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(env, "m0", durations=[100.0], gaps=[0.0], scheduler=sched)
+        sched.submit(quick_job(duration=5.0))
+
+        def late_submit(env):
+            yield env.timeout(20.0)
+            sched.submit(quick_job(duration=5.0, result="second"))
+
+        env.process(late_submit(env))
+        env.run()
+        assert len(sched.placements) == 2
+        assert sched.placements[1].result == "second"
+
+    def test_eviction_reaches_job_body(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(env, "m0", durations=[10.0], gaps=[0.0], scheduler=sched)
+        sched.submit(quick_job(duration=10000.0))
+        env.run()
+        assert sched.placements[0].result == "evicted"
+        assert sched.placements[0].ended_at == 10.0
+
+    def test_on_complete_resubmission(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(
+            env, "m0", durations=[10.0, 10.0, 10.0], gaps=[0.0, 0.0, 0.0], scheduler=sched
+        )
+        count = {"n": 0}
+
+        def resubmit(placement):
+            count["n"] += 1
+            if count["n"] < 3:
+                sched.submit(quick_job(duration=10000.0), on_complete=resubmit)
+
+        sched.submit(quick_job(duration=10000.0), on_complete=resubmit)
+        env.run()
+        assert count["n"] == 3
+        assert len(sched.placements) == 3
+
+    def test_queue_and_idle_counters(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        sched.submit(quick_job())
+        assert sched.n_queued == 1
+        assert sched.n_idle == 0
+
+    def test_placement_properties_before_end(self):
+        env = Environment()
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(env, "m0", durations=[100.0], gaps=[0.0], scheduler=sched)
+        sched.submit(quick_job(duration=50.0))
+        env.run(until=10.0)
+        with pytest.raises(RuntimeError):
+            _ = sched.placements[0].occupied_time

@@ -1,0 +1,103 @@
+"""Tests for the instrumented test process (Section 5.2 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.condor import (
+    CheckpointManager,
+    CondorMachine,
+    CondorScheduler,
+    make_test_process,
+)
+from repro.core import CheckpointPlanner
+from repro.distributions import Exponential
+from repro.engine import Environment
+from repro.network import SharedLink
+
+
+def run_one_placement(availability, *, bandwidth=10.0, size_mb=500.0, dist=None):
+    """One machine, one placement, constant-bandwidth link."""
+    env = Environment()
+    link = SharedLink(env, bandwidth)
+    manager = CheckpointManager(env, link)
+    sched = CondorScheduler(env)
+    CondorMachine.from_trace(
+        env, "m0", durations=[availability], gaps=[0.0], scheduler=sched
+    )
+    planner = CheckpointPlanner.from_distribution(dist or Exponential(1.0 / 5000.0))
+    sched.submit(make_test_process(manager, planner, checkpoint_size_mb=size_mb))
+    env.run()
+    assert len(manager.logs) == 1
+    return manager.logs[0], sched.placements[0]
+
+
+class TestProtocol:
+    def test_initial_recovery_measured(self):
+        log, placement = run_one_placement(availability=100000.0)
+        # 500 MB at 10 MB/s = 50 s
+        assert log.recovery_overhead == pytest.approx(50.0)
+        assert log.recovery_completed
+        # each decision records (uptime, T_opt, measured cost)
+        assert log.decisions
+        assert log.decisions[0][2] == pytest.approx(50.0)
+
+    def test_work_checkpoint_cycles_accumulate(self):
+        log, placement = run_one_placement(availability=50000.0)
+        assert log.n_checkpoints_completed >= 1
+        assert log.committed_work > 0.0
+        # committed work is the sum of checkpointed intervals
+        ts = [t for (_, t, _) in log.decisions[: log.n_checkpoints_completed]]
+        assert log.committed_work == pytest.approx(sum(ts))
+
+    def test_eviction_during_recovery(self):
+        log, placement = run_one_placement(availability=20.0)
+        assert placement.result == "evicted-during-recovery"
+        assert not log.recovery_completed
+        assert log.recovery_overhead == pytest.approx(20.0)
+        assert log.mb_transferred == pytest.approx(200.0)  # 20 s at 10 MB/s
+
+    def test_eviction_during_work_loses_it(self):
+        # availability lets recovery finish (50 s) but not the first
+        # work interval
+        dist = Exponential(1.0 / 5000.0)
+        from repro.core import optimize_interval, CheckpointCosts
+
+        t_opt = optimize_interval(dist, CheckpointCosts.symmetric(50.0)).T_opt
+        log, placement = run_one_placement(availability=50.0 + t_opt / 2, dist=dist)
+        assert placement.result == "evicted-during-work"
+        assert log.lost_work == pytest.approx(t_opt / 2, rel=1e-6)
+        assert log.committed_work == 0.0
+
+    def test_heartbeats_counted(self):
+        log, _ = run_one_placement(availability=50000.0)
+        # one heartbeat per 10 s of work time
+        expected = int(sum(min(t, 1e18) // 10.0 for (_, t, _) in log.decisions[:-1]))
+        assert log.n_heartbeats >= log.committed_work // 10.0 * 0.9
+
+    def test_mb_accounting_matches_link(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        manager = CheckpointManager(env, link)
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(env, "m0", durations=[30000.0], gaps=[0.0], scheduler=sched)
+        planner = CheckpointPlanner.from_distribution(Exponential(1.0 / 5000.0))
+        sched.submit(make_test_process(manager, planner))
+        env.run()
+        assert manager.logs[0].mb_transferred == pytest.approx(link.total_mb_sent)
+
+    def test_log_closed_on_eviction(self):
+        log, _ = run_one_placement(availability=1000.0)
+        assert log.ended_at is not None
+        assert log.occupied_time == pytest.approx(1000.0)
+
+    def test_remeasured_cost_feeds_next_decision(self):
+        # on a constant link every measured cost is identical
+        log, _ = run_one_placement(availability=80000.0)
+        costs = [c for (_, _, c) in log.decisions]
+        assert all(c == pytest.approx(50.0) for c in costs)
+
+    def test_conditional_uptime_passed(self):
+        log, _ = run_one_placement(availability=80000.0)
+        uptimes = [u for (u, _, _) in log.decisions]
+        assert uptimes[0] == pytest.approx(50.0)  # after initial recovery
+        assert all(b > a for a, b in zip(uptimes, uptimes[1:]))

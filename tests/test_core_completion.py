@@ -1,0 +1,105 @@
+"""Tests for finite-job completion-time estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointCosts,
+    expected_completion_time,
+    simulate_completion_time,
+)
+from repro.distributions import Exponential, Hyperexponential, Weibull
+
+COSTS = CheckpointCosts.symmetric(100.0)
+
+
+class TestExpectedCompletionTime:
+    def test_makespan_dominates_work(self):
+        est = expected_completion_time(Exponential(1.0 / 5000.0), COSTS, 10000.0)
+        assert est.expected_makespan > 10000.0
+        assert est.expected_overhead > 0.0
+        assert 0.0 < est.expected_efficiency < 1.0
+
+    def test_tiny_job_single_interval(self):
+        est = expected_completion_time(Exponential(1.0 / 5000.0), COSTS, 10.0)
+        assert est.n_intervals == 1
+        # at minimum: recovery + work + checkpoint
+        assert est.expected_makespan >= 100.0 + 10.0 + 100.0
+
+    def test_makespan_monotone_in_work(self):
+        d = Weibull(0.5, 3000.0)
+        prev = 0.0
+        for work in (1000.0, 5000.0, 20000.0, 80000.0):
+            est = expected_completion_time(d, COSTS, work)
+            assert est.expected_makespan > prev
+            prev = est.expected_makespan
+
+    def test_flakier_machine_takes_longer(self):
+        stable = expected_completion_time(Exponential(1.0 / 50000.0), COSTS, 20000.0)
+        flaky = expected_completion_time(Exponential(1.0 / 2000.0), COSTS, 20000.0)
+        assert flaky.expected_makespan > stable.expected_makespan
+
+    def test_initial_recovery_toggle(self):
+        d = Exponential(1.0 / 5000.0)
+        with_r = expected_completion_time(d, COSTS, 5000.0)
+        without = expected_completion_time(d, COSTS, 5000.0, include_initial_recovery=False)
+        assert with_r.expected_makespan == pytest.approx(
+            without.expected_makespan + 100.0, rel=1e-9
+        )
+
+    def test_uptime_conditioning_helps_dfr(self):
+        d = Weibull(0.43, 3409.0)
+        fresh = expected_completion_time(d, COSTS, 20000.0, t_elapsed=0.0)
+        seasoned = expected_completion_time(d, COSTS, 20000.0, t_elapsed=20000.0)
+        # a machine that has survived 20000 s is expected to survive far
+        # longer -> cheaper completion
+        assert seasoned.expected_makespan < fresh.expected_makespan
+
+    def test_invalid_work_rejected(self):
+        with pytest.raises(ValueError):
+            expected_completion_time(Exponential(1e-4), COSTS, 0.0)
+
+    def test_efficiency_matches_steady_state_for_long_jobs(self):
+        # a very long job's completion efficiency approaches the
+        # steady-state expected efficiency of the periodic schedule
+        from repro.core import optimize_interval
+
+        d = Exponential(1.0 / 5000.0)
+        est = expected_completion_time(d, COSTS, 2e6, include_initial_recovery=False)
+        steady = optimize_interval(d, COSTS).expected_efficiency
+        assert est.expected_efficiency == pytest.approx(steady, rel=0.02)
+
+
+class TestSimulateCompletionTime:
+    def test_estimate_matches_monte_carlo_exponential(self):
+        d = Exponential(1.0 / 8000.0)
+        rng = np.random.default_rng(0)
+        sims = simulate_completion_time(d, d, COSTS, 20000.0, rng=rng, n_runs=400)
+        est = expected_completion_time(d, COSTS, 20000.0)
+        # the analytic estimate should sit near the Monte Carlo mean
+        assert est.expected_makespan == pytest.approx(float(sims.mean()), rel=0.12)
+
+    def test_simulated_makespan_bounds(self):
+        d = Exponential(1.0 / 8000.0)
+        rng = np.random.default_rng(1)
+        sims = simulate_completion_time(d, d, COSTS, 5000.0, rng=rng, n_runs=50)
+        # at least work + one checkpoint per run (recovery can be skipped
+        # only on flawless first intervals, which still pay R here)
+        assert np.all(sims >= 5000.0 + 100.0)
+
+    def test_model_mismatch_still_completes(self):
+        model = Exponential(1.0 / 3000.0)
+        truth = Hyperexponential([0.5, 0.5], [1.0 / 300.0, 1.0 / 20000.0])
+        rng = np.random.default_rng(2)
+        sims = simulate_completion_time(model, truth, COSTS, 10000.0, rng=rng, n_runs=30)
+        assert np.all(np.isfinite(sims))
+
+    def test_invalid_work_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_completion_time(
+                Exponential(1e-4),
+                Exponential(1e-4),
+                COSTS,
+                -5.0,
+                rng=np.random.default_rng(0),
+            )

@@ -1,0 +1,75 @@
+"""Tests for the high-level CheckpointPlanner API."""
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointPlanner
+from repro.distributions import Exponential, Hyperexponential, Weibull
+
+
+@pytest.fixture
+def training_data():
+    rng = np.random.default_rng(21)
+    return Weibull(0.5, 2500.0).sample(60, rng)
+
+
+class TestFit:
+    def test_fit_each_model(self, training_data):
+        for model, cls in (
+            ("exponential", Exponential),
+            ("weibull", Weibull),
+            ("hyperexp2", Hyperexponential),
+            ("hyperexp3", Hyperexponential),
+        ):
+            planner = CheckpointPlanner.fit(training_data, model=model)
+            assert isinstance(planner.distribution, cls)
+            assert planner.model_name == model
+
+    def test_from_distribution(self):
+        d = Exponential(1e-4)
+        planner = CheckpointPlanner.from_distribution(d)
+        assert planner.distribution is d
+        assert planner.model_name == "exponential"
+
+    def test_unknown_model_rejected(self, training_data):
+        with pytest.raises(ValueError):
+            CheckpointPlanner.fit(training_data, model="zipf")
+
+    def test_extended_families_accepted(self, training_data):
+        for model in ("lognormal", "pareto"):
+            planner = CheckpointPlanner.fit(training_data, model=model)
+            assert planner.model_name == model
+            sched = planner.schedule(checkpoint_cost=100.0)
+            assert sched.work_interval(0) > 0.0
+
+
+class TestSchedule:
+    def test_recovery_defaults_to_checkpoint(self, training_data):
+        planner = CheckpointPlanner.fit(training_data, model="weibull")
+        sched = planner.schedule(checkpoint_cost=200.0)
+        assert sched.costs.recovery == 200.0
+        assert sched.costs.checkpoint == 200.0
+
+    def test_explicit_recovery(self, training_data):
+        planner = CheckpointPlanner.fit(training_data, model="weibull")
+        sched = planner.schedule(checkpoint_cost=200.0, recovery_cost=80.0, latency=10.0)
+        assert sched.costs.recovery == 80.0
+        assert sched.costs.latency == 10.0
+
+    def test_t_elapsed_passed_through(self, training_data):
+        planner = CheckpointPlanner.fit(training_data, model="weibull")
+        sched = planner.schedule(checkpoint_cost=100.0, t_elapsed=3600.0)
+        assert sched.t_elapsed == 3600.0
+
+
+class TestOptimalInterval:
+    def test_matches_schedule_first_interval(self, training_data):
+        planner = CheckpointPlanner.fit(training_data, model="hyperexp2")
+        opt = planner.optimal_interval(checkpoint_cost=150.0, t_elapsed=1000.0)
+        sched = planner.schedule(checkpoint_cost=150.0, t_elapsed=1000.0)
+        assert opt.T_opt == pytest.approx(sched.work_interval(0), rel=1e-6)
+
+    def test_efficiency_bounds(self, training_data):
+        planner = CheckpointPlanner.fit(training_data, model="exponential")
+        opt = planner.optimal_interval(checkpoint_cost=150.0)
+        assert 0.0 < opt.expected_efficiency < 1.0

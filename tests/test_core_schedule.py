@@ -1,0 +1,102 @@
+"""Tests for aperiodic checkpoint schedules."""
+
+import pytest
+
+from repro.core import CheckpointCosts, CheckpointSchedule
+from repro.distributions import Exponential, Hyperexponential, Weibull
+
+COSTS = CheckpointCosts.symmetric(110.0)
+
+
+class TestMemoryless:
+    def test_exponential_schedule_periodic(self):
+        sched = CheckpointSchedule(Exponential(1.0 / 4000.0), COSTS)
+        intervals = sched.intervals(6)
+        assert sched.is_periodic
+        assert all(t == intervals[0] for t in intervals)
+
+    def test_exponential_ignores_t_elapsed(self):
+        a = CheckpointSchedule(Exponential(1.0 / 4000.0), COSTS, t_elapsed=0.0)
+        b = CheckpointSchedule(Exponential(1.0 / 4000.0), COSTS, t_elapsed=90000.0)
+        assert a.work_interval(0) == pytest.approx(b.work_interval(0), rel=1e-9)
+
+
+class TestAperiodic:
+    def test_dfr_weibull_intervals_lengthen(self):
+        sched = CheckpointSchedule(Weibull(0.43, 3409.0), COSTS)
+        ts = sched.intervals(8)
+        assert not sched.is_periodic
+        # after the first interval (where the unconditional retry term
+        # distorts the trade-off) DFR ageing lengthens every interval
+        assert all(b >= a * 0.999 for a, b in zip(ts[1:], ts[2:]))
+        assert ts[-1] > ts[1] > 0.0
+
+    def test_ages_accumulate_work_plus_checkpoint(self):
+        sched = CheckpointSchedule(Weibull(0.5, 2000.0), COSTS, t_elapsed=500.0)
+        assert sched.age_of_interval(0) == 500.0
+        t0 = sched.work_interval(0)
+        assert sched.age_of_interval(1) == pytest.approx(500.0 + t0 + 110.0)
+
+    def test_include_recovery_age(self):
+        sched = CheckpointSchedule(
+            Weibull(0.5, 2000.0), COSTS, t_elapsed=0.0, include_recovery_age=True
+        )
+        assert sched.age_of_interval(0) == pytest.approx(110.0)
+
+    def test_t_elapsed_changes_first_interval(self):
+        young = CheckpointSchedule(Hyperexponential([0.6, 0.4], [1 / 200.0, 1 / 9000.0]), COSTS)
+        old = CheckpointSchedule(
+            Hyperexponential([0.6, 0.4], [1 / 200.0, 1 / 9000.0]), COSTS, t_elapsed=5000.0
+        )
+        assert old.work_interval(0) != pytest.approx(young.work_interval(0), rel=1e-3)
+
+    def test_negative_t_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointSchedule(Exponential(1e-4), COSTS, t_elapsed=-1.0)
+
+    def test_negative_index_rejected(self):
+        sched = CheckpointSchedule(Exponential(1e-4), COSTS)
+        with pytest.raises(IndexError):
+            sched.interval(-1)
+
+
+class TestConvergenceShortcut:
+    def test_converged_schedule_reuses_interval(self):
+        sched = CheckpointSchedule(
+            Hyperexponential([0.6, 0.4], [1 / 200.0, 1 / 9000.0]),
+            COSTS,
+            converge_rel_tol=1e-2,
+        )
+        ts = sched.intervals(30)
+        # once conditioned past the fast phase the optimum is constant
+        assert ts[-1] == ts[-2] == ts[-3]
+
+    def test_shortcut_accuracy(self):
+        d = Weibull(0.43, 3409.0)
+        exact = CheckpointSchedule(d, COSTS).intervals(12)
+        fast = CheckpointSchedule(d, COSTS, converge_rel_tol=1e-3).intervals(12)
+        for a, b in zip(exact, fast):
+            assert b == pytest.approx(a, rel=0.05)
+
+
+class TestIterationAndHelpers:
+    def test_iterator_matches_indexing(self):
+        sched = CheckpointSchedule(Weibull(0.6, 1500.0), COSTS)
+        from itertools import islice
+
+        assert list(islice(iter(sched), 4)) == sched.intervals(4)
+
+    def test_expected_efficiency_in_unit_interval(self):
+        sched = CheckpointSchedule(Weibull(0.6, 1500.0), COSTS)
+        assert 0.0 < sched.expected_efficiency(0) < 1.0
+
+    def test_restarted_resets_age(self):
+        sched = CheckpointSchedule(Weibull(0.5, 2000.0), COSTS, t_elapsed=8000.0)
+        fresh = sched.restarted()
+        assert fresh.t_elapsed == 0.0
+        assert fresh.distribution is sched.distribution
+
+    def test_with_costs_changes_interval(self):
+        sched = CheckpointSchedule(Exponential(1.0 / 4000.0), COSTS)
+        pricier = sched.with_costs(CheckpointCosts.symmetric(1000.0))
+        assert pricier.work_interval(0) > sched.work_interval(0)

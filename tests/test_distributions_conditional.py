@@ -1,0 +1,115 @@
+"""Tests for the generic future-lifetime (conditional) wrapper -- eq. (8)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import ConditionalDistribution, Exponential, Weibull
+
+
+@pytest.fixture
+def base():
+    return Weibull(shape=0.5, scale=2000.0)
+
+
+@pytest.fixture
+def cond(base):
+    return ConditionalDistribution(base, age=4000.0)
+
+
+class TestConstruction:
+    def test_negative_age_rejected(self, base):
+        with pytest.raises(ValueError):
+            ConditionalDistribution(base, -1.0)
+
+    def test_age_zero_via_conditional_returns_base(self, base):
+        assert base.conditional(0.0) is base
+
+    def test_conditional_wraps_weibull(self, base):
+        c = base.conditional(100.0)
+        assert isinstance(c, ConditionalDistribution)
+        assert c.age == 100.0
+
+
+class TestEq8:
+    def test_cdf_matches_definition(self, base, cond):
+        t = 4000.0
+        for x in (10.0, 500.0, 20000.0):
+            expected = (float(base.cdf(t + x)) - float(base.cdf(t))) / float(base.sf(t))
+            assert cond.cdf_one(x) == pytest.approx(expected, rel=1e-10)
+            assert float(cond.cdf(x)) == pytest.approx(expected, rel=1e-10)
+
+    def test_pdf_matches_definition(self, base, cond):
+        t = 4000.0
+        x = np.array([100.0, 1000.0])
+        expected = np.asarray(base.pdf(t + x)) / float(base.sf(t))
+        assert np.allclose(np.asarray(cond.pdf(x)), expected)
+
+    def test_cdf_zero_at_origin_one_at_infinity(self, cond):
+        assert float(cond.cdf(0.0)) == 0.0
+        assert float(cond.cdf(1e12)) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMoments:
+    def test_mean_equals_mean_residual_life(self, base, cond):
+        assert cond.mean() == pytest.approx(float(base.mean_residual_life(4000.0)), rel=1e-9)
+
+    def test_dfr_conditional_mean_exceeds_unconditional(self, base, cond):
+        assert cond.mean() > base.mean()
+
+    def test_variance_positive(self, cond):
+        assert cond.variance() > 0.0
+
+    def test_exponential_consistency(self):
+        # wrap an exponential manually: conditional must equal the base
+        e = Exponential(1.0 / 700.0)
+        c = ConditionalDistribution(e, age=1234.0)
+        x = np.linspace(0, 5000, 30)
+        assert np.allclose(np.asarray(c.cdf(x)), np.asarray(e.cdf(x)), atol=1e-12)
+        assert c.mean() == pytest.approx(e.mean(), rel=1e-9)
+
+
+class TestPartialExpectation:
+    def test_matches_quadrature(self, cond):
+        from repro.numerics import gauss_legendre
+
+        for x in (200.0, 5000.0, 60000.0):
+            quad = gauss_legendre(
+                lambda t: t * np.asarray(cond.pdf(t)), 0.0, x, order=80, panels=16
+            )
+            assert cond.partial_expectation_one(x) == pytest.approx(quad, rel=1e-6)
+
+    def test_scalar_fast_path_matches_array(self, cond):
+        for x in (0.0, 77.0, 9000.0):
+            assert cond.partial_expectation_one(x) == pytest.approx(
+                float(cond.partial_expectation(x)), rel=1e-10, abs=1e-12
+            )
+            assert cond.cdf_one(x) == pytest.approx(float(cond.cdf(x)), abs=1e-12)
+
+
+class TestQuantileSampling:
+    def test_quantile_inverts_cdf(self, cond):
+        for q in (0.1, 0.5, 0.9):
+            x = float(cond.quantile(q))
+            assert float(cond.cdf(x)) == pytest.approx(q, abs=1e-6)
+
+    def test_sampling_matches_cdf(self, cond):
+        rng = np.random.default_rng(23)
+        s = cond.sample(20000, rng)
+        med = float(cond.quantile(0.5))
+        assert (s <= med).mean() == pytest.approx(0.5, abs=0.02)
+
+
+class TestComposition:
+    def test_conditioning_composes(self, base):
+        c1 = base.conditional(1000.0).conditional(2000.0)
+        c2 = base.conditional(3000.0)
+        x = np.array([50.0, 500.0, 5000.0])
+        assert np.allclose(np.asarray(c1.cdf(x)), np.asarray(c2.cdf(x)), rtol=1e-10)
+
+    def test_exhausted_support_rejected(self):
+        # a distribution with bounded support cannot be conditioned past it
+        from repro.distributions import EmpiricalDistribution
+
+        emp = EmpiricalDistribution([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            ConditionalDistribution(emp, age=5.0)

@@ -1,0 +1,66 @@
+"""Tests for the empirical (ECDF) distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import EmpiricalDistribution
+
+
+@pytest.fixture
+def emp():
+    return EmpiricalDistribution([5.0, 1.0, 3.0, 3.0, 9.0])
+
+
+class TestConstruction:
+    def test_sorted_readonly(self, emp):
+        assert list(emp.values) == [1.0, 3.0, 3.0, 5.0, 9.0]
+        with pytest.raises(ValueError):
+            emp.values[0] = 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, -2.0])
+
+
+class TestECDF:
+    def test_step_values(self, emp):
+        assert float(emp.cdf(0.5)) == 0.0
+        assert float(emp.cdf(1.0)) == pytest.approx(0.2)
+        assert float(emp.cdf(3.0)) == pytest.approx(0.6)  # ties counted
+        assert float(emp.cdf(100.0)) == 1.0
+
+    def test_vectorised(self, emp):
+        x = np.array([0.0, 1.0, 4.0, 9.0])
+        assert np.allclose(np.asarray(emp.cdf(x)), [0.0, 0.2, 0.6, 1.0])
+
+
+class TestMoments:
+    def test_mean_variance(self, emp):
+        vals = np.array([1.0, 3.0, 3.0, 5.0, 9.0])
+        assert emp.mean() == pytest.approx(vals.mean())
+        assert emp.variance() == pytest.approx(vals.var())
+
+    def test_partial_expectation_step(self, emp):
+        # PE(4) = (1 + 3 + 3) / 5
+        assert float(emp.partial_expectation(4.0)) == pytest.approx(7.0 / 5.0)
+        assert float(emp.partial_expectation(100.0)) == pytest.approx(emp.mean())
+
+
+class TestQuantileSample:
+    def test_quantiles_are_observations(self, emp):
+        for q in (0.1, 0.35, 0.62, 0.99):
+            assert float(emp.quantile(q)) in emp.values
+
+    def test_bootstrap_sample_support(self, emp):
+        rng = np.random.default_rng(0)
+        s = emp.sample(1000, rng)
+        assert set(np.unique(s)) <= set(emp.values)
+
+    def test_bootstrap_mean(self, emp):
+        rng = np.random.default_rng(1)
+        s = emp.sample(20000, rng)
+        assert s.mean() == pytest.approx(emp.mean(), rel=0.05)

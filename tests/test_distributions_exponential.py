@@ -1,0 +1,132 @@
+"""Tests for the exponential availability model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+
+
+@pytest.fixture
+def dist():
+    return Exponential(lam=1.0 / 2000.0)
+
+
+class TestConstruction:
+    def test_invalid_rates(self):
+        for bad in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(ValueError):
+                Exponential(bad)
+
+    def test_params(self, dist):
+        assert dist.params() == {"lam": 1.0 / 2000.0}
+        assert dist.n_params == 1
+        assert dist.name == "exponential"
+
+
+class TestMoments:
+    def test_mean_variance(self, dist):
+        assert dist.mean() == pytest.approx(2000.0)
+        assert dist.variance() == pytest.approx(2000.0**2)
+
+
+class TestPointwise:
+    def test_pdf_cdf_sf_consistency(self, dist):
+        x = np.linspace(0.0, 10000.0, 101)
+        assert np.allclose(np.asarray(dist.cdf(x)) + np.asarray(dist.sf(x)), 1.0)
+        # numeric derivative of cdf ~ pdf
+        h = 1e-3
+        mid = x[1:-1]
+        deriv = (np.asarray(dist.cdf(mid + h)) - np.asarray(dist.cdf(mid - h))) / (2 * h)
+        assert np.allclose(deriv, np.asarray(dist.pdf(mid)), rtol=1e-5)
+
+    def test_negative_inputs(self, dist):
+        assert dist.cdf(-5.0) == 0.0
+        assert dist.pdf(-5.0) == 0.0
+        assert dist.sf(-5.0) == 1.0
+
+    def test_hazard_is_constant(self, dist):
+        x = np.array([1.0, 100.0, 5000.0])
+        assert np.allclose(np.asarray(dist.hazard(x)), dist.lam)
+
+    def test_scalar_fast_paths_match_array(self, dist):
+        for x in (0.0, 1.0, 500.0, 1e6):
+            assert dist.cdf_one(x) == pytest.approx(float(dist.cdf(x)), abs=1e-14)
+            assert dist.partial_expectation_one(x) == pytest.approx(
+                float(dist.partial_expectation(x)), abs=1e-12
+            )
+
+
+class TestPartialExpectation:
+    def test_limits(self, dist):
+        assert dist.partial_expectation(0.0) == 0.0
+        assert dist.partial_expectation(np.inf) == pytest.approx(dist.mean())
+
+    def test_against_quadrature(self, dist):
+        from repro.numerics import gauss_legendre
+
+        for x in (50.0, 1000.0, 7000.0):
+            quad = gauss_legendre(
+                lambda t: t * np.asarray(dist.pdf(t)), 0.0, x, order=64, panels=8
+            )
+            assert dist.partial_expectation(x) == pytest.approx(quad, rel=1e-10)
+
+    def test_truncated_mean_below_cutoff(self, dist):
+        assert float(dist.truncated_mean(500.0)) < 500.0
+
+
+class TestMemorylessness:
+    def test_conditional_is_self(self, dist):
+        assert dist.conditional(0.0) is dist
+        assert dist.conditional(12345.0) is dist
+
+    def test_negative_age_rejected(self, dist):
+        with pytest.raises(ValueError):
+            dist.conditional(-1.0)
+
+    def test_mean_residual_life_constant(self, dist):
+        assert float(dist.mean_residual_life(0.0)) == pytest.approx(2000.0)
+        assert float(dist.mean_residual_life(99999.0)) == pytest.approx(2000.0)
+
+
+class TestQuantileSample:
+    def test_quantile_inverts_cdf(self, dist):
+        q = np.array([0.01, 0.5, 0.99])
+        x = np.asarray(dist.quantile(q))
+        assert np.allclose(np.asarray(dist.cdf(x)), q)
+
+    def test_quantile_bounds(self, dist):
+        assert dist.quantile(0.0) == 0.0
+        assert math.isinf(dist.quantile(1.0))
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_sample_moments(self, dist):
+        rng = np.random.default_rng(42)
+        s = dist.sample(40000, rng)
+        assert s.mean() == pytest.approx(2000.0, rel=0.03)
+        assert s.min() >= 0.0
+
+
+class TestLikelihood:
+    def test_mle_is_likelihood_maximum(self, dist):
+        rng = np.random.default_rng(3)
+        data = dist.sample(500, rng)
+        lam_hat = 1.0 / data.mean()
+        ll_hat = Exponential(lam_hat).log_likelihood(data)
+        for factor in (0.8, 0.9, 1.1, 1.25):
+            assert Exponential(lam_hat * factor).log_likelihood(data) < ll_hat
+
+    def test_censored_contributions(self, dist):
+        data = np.array([100.0, 200.0])
+        cens = np.array([False, True])
+        expected = math.log(float(dist.pdf(100.0))) + math.log(float(dist.sf(200.0)))
+        assert dist.log_likelihood(data, cens) == pytest.approx(expected)
+
+    def test_empty_data(self, dist):
+        assert dist.log_likelihood([]) == 0.0
+
+    def test_negative_data_rejected(self, dist):
+        with pytest.raises(ValueError):
+            dist.log_likelihood([-1.0])

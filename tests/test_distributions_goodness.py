@@ -1,0 +1,89 @@
+"""Tests for goodness-of-fit measures (KS, AD, AIC/BIC)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    Weibull,
+    anderson_darling_statistic,
+    evaluate_fit,
+    fit_exponential,
+    fit_weibull,
+    ks_pvalue,
+    ks_statistic,
+)
+
+
+@pytest.fixture
+def weibull_data():
+    rng = np.random.default_rng(100)
+    return Weibull(0.5, 2000.0).sample(400, rng)
+
+
+class TestKS:
+    def test_perfect_fit_small_distance(self, weibull_data):
+        d = ks_statistic(Weibull(0.5, 2000.0), weibull_data)
+        assert d < 0.08
+
+    def test_wrong_family_larger_distance(self, weibull_data):
+        d_true = ks_statistic(Weibull(0.5, 2000.0), weibull_data)
+        d_exp = ks_statistic(fit_exponential(weibull_data), weibull_data)
+        assert d_exp > d_true
+
+    def test_distance_bounds(self, weibull_data):
+        d = ks_statistic(Exponential(1.0), weibull_data)  # terrible fit
+        assert 0.0 < d <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(Exponential(1.0), [])
+
+    def test_pvalue_monotone_in_distance(self):
+        n = 100
+        ps = [ks_pvalue(d, n) for d in (0.02, 0.08, 0.2, 0.5)]
+        assert all(a >= b for a, b in zip(ps, ps[1:]))
+        assert ps[0] > 0.9 and ps[-1] < 1e-6
+
+    def test_pvalue_edges(self):
+        assert ks_pvalue(0.0, 50) == 1.0
+        with pytest.raises(ValueError):
+            ks_pvalue(0.1, 0)
+
+
+class TestAndersonDarling:
+    def test_good_fit_small_statistic(self, weibull_data):
+        a2_true = anderson_darling_statistic(Weibull(0.5, 2000.0), weibull_data)
+        a2_exp = anderson_darling_statistic(Exponential(1.0 / 1000.0), weibull_data)
+        assert a2_true < a2_exp
+
+    def test_uniform_reference(self):
+        # AD of a uniform sample against its own CDF is O(1)
+        rng = np.random.default_rng(2)
+        data = rng.uniform(0, 1000.0, size=500)
+
+        class UniformModel(Exponential):
+            def cdf(self, x):
+                return np.clip(np.asarray(x, dtype=float) / 1000.0, 0.0, 1.0)
+
+        a2 = anderson_darling_statistic(UniformModel(1.0), data)
+        assert a2 < 5.0
+
+
+class TestEvaluateFit:
+    def test_bundle_consistency(self, weibull_data):
+        dist = fit_weibull(weibull_data)
+        gof = evaluate_fit(dist, weibull_data)
+        assert gof.model == "weibull"
+        assert gof.n == len(weibull_data)
+        assert gof.aic == pytest.approx(2 * 2 - 2 * gof.log_likelihood)
+        assert gof.bic == pytest.approx(
+            2 * np.log(len(weibull_data)) - 2 * gof.log_likelihood
+        )
+        assert 0.0 <= gof.ks <= 1.0
+        assert 0.0 <= gof.ks_pvalue <= 1.0
+
+    def test_correct_family_wins_aic(self, weibull_data):
+        weib = evaluate_fit(fit_weibull(weibull_data), weibull_data)
+        expo = evaluate_fit(fit_exponential(weibull_data), weibull_data)
+        assert weib.aic < expo.aic

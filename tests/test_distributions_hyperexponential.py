@@ -1,0 +1,151 @@
+"""Tests for the k-phase hyperexponential availability model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Hyperexponential
+
+
+@pytest.fixture
+def h2():
+    """Fast phase (owner returns in ~5 min), slow phase (~3 hours)."""
+    return Hyperexponential(probs=[0.6, 0.4], rates=[1.0 / 300.0, 1.0 / 10800.0])
+
+
+class TestConstruction:
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([0.5, 0.4], [1.0, 2.0])
+
+    def test_negative_prob_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([-0.1, 1.1], [1.0, 2.0])
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([0.5, 0.5], [1.0, 0.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([1.0], [1.0, 2.0])
+
+    def test_phases_sorted_by_rate(self):
+        h = Hyperexponential([0.3, 0.7], [5.0, 1.0])
+        assert tuple(h.rates) == (1.0, 5.0)
+        assert tuple(h.probs) == (0.7, 0.3)
+
+    def test_single_phase_equals_exponential(self):
+        h = Hyperexponential([1.0], [1.0 / 100.0])
+        e = Exponential(1.0 / 100.0)
+        x = np.linspace(0, 1000, 20)
+        assert np.allclose(np.asarray(h.cdf(x)), np.asarray(e.cdf(x)))
+        assert h.mean() == pytest.approx(e.mean())
+
+
+class TestMoments:
+    def test_mean_is_weighted(self, h2):
+        assert h2.mean() == pytest.approx(0.6 * 300.0 + 0.4 * 10800.0)
+
+    def test_cv_greater_than_one(self, h2):
+        # hyperexponentials are always over-dispersed relative to exponential
+        cv2 = h2.variance() / h2.mean() ** 2
+        assert cv2 > 1.0
+
+    def test_n_params(self, h2):
+        assert h2.n_params == 3  # 2 rates + 1 free probability
+
+
+class TestPointwise:
+    def test_cdf_is_mixture(self, h2):
+        x = 700.0
+        expected = 1.0 - (0.6 * math.exp(-x / 300.0) + 0.4 * math.exp(-x / 10800.0))
+        assert h2.cdf_one(x) == pytest.approx(expected, rel=1e-12)
+        assert float(h2.cdf(x)) == pytest.approx(expected, rel=1e-12)
+
+    def test_pdf_integrates_to_cdf(self, h2):
+        from repro.numerics import gauss_legendre
+
+        x = 2500.0
+        mass = gauss_legendre(lambda t: np.asarray(h2.pdf(t)), 0.0, x, order=60, panels=8)
+        assert mass == pytest.approx(float(h2.cdf(x)), rel=1e-9)
+
+    def test_hazard_decreasing(self, h2):
+        # mixtures of exponentials have decreasing hazard
+        xs = np.array([1.0, 300.0, 3000.0, 30000.0])
+        h = np.asarray(h2.hazard(xs))
+        assert np.all(np.diff(h) < 0)
+
+    def test_scalar_fast_paths_match_array(self, h2):
+        for x in (0.0, 10.0, 1000.0, 1e5):
+            assert h2.cdf_one(x) == pytest.approx(float(h2.cdf(x)), abs=1e-14)
+            assert h2.partial_expectation_one(x) == pytest.approx(
+                float(h2.partial_expectation(x)), rel=1e-12
+            )
+
+
+class TestPartialExpectation:
+    def test_against_quadrature(self, h2):
+        from repro.numerics import gauss_legendre
+
+        for x in (100.0, 1000.0, 40000.0):
+            quad = gauss_legendre(
+                lambda t: t * np.asarray(h2.pdf(t)), 0.0, x, order=80, panels=16
+            )
+            assert float(h2.partial_expectation(x)) == pytest.approx(quad, rel=1e-9)
+
+    def test_limits(self, h2):
+        assert h2.partial_expectation(0.0) == 0.0
+        assert float(h2.partial_expectation(np.inf)) == pytest.approx(h2.mean())
+
+
+class TestConditionalReweighting:
+    def test_conditional_is_hyperexponential_same_rates(self, h2):
+        cond = h2.conditional(3600.0)
+        assert isinstance(cond, Hyperexponential)
+        assert np.allclose(cond.rates, h2.rates)
+
+    def test_reweighting_formula(self, h2):
+        t = 1800.0
+        cond = h2.conditional(t)
+        w = h2.probs * np.exp(-h2.rates * t)
+        assert np.allclose(cond.probs, w / w.sum())
+
+    def test_eq10_future_lifetime(self, h2):
+        # (F_H)_t(x) = 1 - sum p_i e^{-lam_i (t+x)} / sum p_i e^{-lam_i t}
+        t, x = 2000.0, 900.0
+        num = float(np.dot(h2.probs, np.exp(-h2.rates * (t + x))))
+        den = float(np.dot(h2.probs, np.exp(-h2.rates * t)))
+        assert h2.conditional(t).cdf_one(x) == pytest.approx(1.0 - num / den, rel=1e-12)
+
+    def test_weight_shifts_to_slow_phase(self, h2):
+        cond = h2.conditional(7200.0)
+        slow_idx = int(np.argmin(cond.rates))
+        assert cond.probs[slow_idx] > h2.probs[np.argmin(h2.rates)]
+
+    def test_extreme_age_numerically_stable(self, h2):
+        cond = h2.conditional(1e7)  # e^{-lam*t} underflows for the fast phase
+        assert np.isfinite(cond.probs).all()
+        assert cond.probs.sum() == pytest.approx(1.0)
+        # essentially pure slow phase
+        assert cond.probs[np.argmin(cond.rates)] == pytest.approx(1.0, abs=1e-9)
+
+    def test_conditioning_composes(self, h2):
+        once = h2.conditional(1000.0).conditional(500.0)
+        direct = h2.conditional(1500.0)
+        assert np.allclose(once.probs, direct.probs)
+
+
+class TestSampling:
+    def test_sample_mean(self, h2):
+        rng = np.random.default_rng(17)
+        s = h2.sample(80000, rng)
+        assert s.mean() == pytest.approx(h2.mean(), rel=0.05)
+
+    def test_sample_mixture_proportions(self, h2):
+        rng = np.random.default_rng(18)
+        s = h2.sample(50000, rng)
+        # P(X < 300) under the mixture
+        expected = h2.cdf_one(300.0)
+        assert (s < 300.0).mean() == pytest.approx(expected, abs=0.01)

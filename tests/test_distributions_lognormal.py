@@ -1,0 +1,133 @@
+"""Tests for the lognormal availability model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal, fit_lognormal
+from repro.core import CheckpointCosts, optimize_interval
+
+
+@pytest.fixture
+def dist():
+    return LogNormal(mu=7.5, sigma=1.4)
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogNormal(mu=math.nan, sigma=1.0)
+        with pytest.raises(ValueError):
+            LogNormal(mu=0.0, sigma=0.0)
+
+    def test_params(self, dist):
+        assert dist.params() == {"mu": 7.5, "sigma": 1.4}
+        assert dist.n_params == 2
+
+
+class TestMoments:
+    def test_mean(self, dist):
+        assert dist.mean() == pytest.approx(math.exp(7.5 + 1.4**2 / 2))
+
+    def test_variance(self, dist):
+        s2 = 1.4**2
+        expected = (math.exp(s2) - 1.0) * math.exp(2 * 7.5 + s2)
+        assert dist.variance() == pytest.approx(expected)
+
+
+class TestPointwise:
+    def test_cdf_median(self, dist):
+        assert dist.cdf_one(math.exp(7.5)) == pytest.approx(0.5)
+
+    def test_pdf_integrates_to_cdf(self, dist):
+        from repro.numerics import gauss_legendre
+
+        x = 5000.0
+        mass = gauss_legendre(
+            lambda t: np.asarray(dist.pdf(np.maximum(t, 1e-12))), 1e-9, x, order=80, panels=40
+        )
+        assert mass == pytest.approx(dist.cdf_one(x), rel=1e-6)
+
+    def test_scalar_matches_vector(self, dist):
+        for x in (0.0, 1.0, 1000.0, 1e7):
+            assert dist.cdf_one(x) == pytest.approx(float(dist.cdf(x)), abs=1e-12)
+            assert dist.partial_expectation_one(x) == pytest.approx(
+                float(dist.partial_expectation(x)), rel=1e-10, abs=1e-12
+            )
+
+
+class TestPartialExpectation:
+    def test_against_quadrature(self, dist):
+        from repro.numerics import gauss_legendre
+
+        for x in (500.0, 5000.0, 1e5):
+            quad = gauss_legendre(
+                lambda t: t * np.asarray(dist.pdf(np.maximum(t, 1e-12))),
+                1e-9,
+                x,
+                order=100,
+                panels=60,
+            )
+            assert dist.partial_expectation_one(x) == pytest.approx(quad, rel=1e-5)
+
+    def test_limits(self, dist):
+        assert dist.partial_expectation_one(0.0) == 0.0
+        assert dist.partial_expectation_one(np.inf) == pytest.approx(dist.mean())
+
+
+class TestQuantileSample:
+    def test_quantile_inverts(self, dist):
+        for q in (0.05, 0.5, 0.95):
+            assert dist.cdf_one(float(dist.quantile(q))) == pytest.approx(q, abs=1e-9)
+
+    def test_sample_log_moments(self, dist):
+        rng = np.random.default_rng(0)
+        s = np.log(dist.sample(50000, rng))
+        assert s.mean() == pytest.approx(7.5, abs=0.05)
+        assert s.std() == pytest.approx(1.4, abs=0.05)
+
+
+class TestFitting:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(1)
+        data = LogNormal(6.0, 0.9).sample(5000, rng)
+        fit = fit_lognormal(data)
+        assert fit.mu == pytest.approx(6.0, abs=0.05)
+        assert fit.sigma == pytest.approx(0.9, abs=0.05)
+
+    def test_censoring_improves_truth_recovery(self):
+        rng = np.random.default_rng(2)
+        true = LogNormal(6.0, 1.0)
+        full = true.sample(3000, rng)
+        cutoff = float(np.quantile(full, 0.6))
+        observed = np.minimum(full, cutoff)
+        cens = full > cutoff
+        naive = fit_lognormal(observed)
+        aware = fit_lognormal(observed, cens)
+        assert abs(aware.mu - 6.0) < abs(naive.mu - 6.0)
+
+    def test_fit_model_dispatch(self):
+        from repro.distributions import fit_model
+
+        rng = np.random.default_rng(3)
+        data = LogNormal(5.0, 1.0).sample(300, rng)
+        assert isinstance(fit_model("lognormal", data), LogNormal)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lognormal([])
+
+
+class TestWorksWithOptimizer:
+    def test_t_opt_found(self, dist):
+        opt = optimize_interval(dist, CheckpointCosts.symmetric(200.0), age=2000.0)
+        assert opt.T_opt > 0.0
+        assert 0.0 < opt.expected_efficiency < 1.0
+
+    def test_dfr_like_aging_lengthens_interval(self, dist):
+        costs = CheckpointCosts.symmetric(200.0)
+        t0 = optimize_interval(dist, costs, age=0.0).T_opt
+        t1 = optimize_interval(dist, costs, age=50000.0).T_opt
+        # lognormal hazard eventually decreases: long uptime => longer T
+        assert t1 > t0

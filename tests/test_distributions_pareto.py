@@ -1,0 +1,152 @@
+"""Tests for the Pareto (Lomax) availability model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointCosts, optimize_interval
+from repro.distributions import Pareto, fit_pareto
+
+
+@pytest.fixture
+def dist():
+    return Pareto(shape=2.2, scale=4000.0)
+
+
+class TestConstruction:
+    def test_shape_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            Pareto(shape=1.0, scale=100.0)
+        with pytest.raises(ValueError):
+            Pareto(shape=0.5, scale=100.0)
+
+    def test_scale_positive(self):
+        with pytest.raises(ValueError):
+            Pareto(shape=2.0, scale=0.0)
+
+
+class TestMoments:
+    def test_mean(self, dist):
+        assert dist.mean() == pytest.approx(4000.0 / 1.2)
+
+    def test_variance_infinite_for_small_shape(self):
+        assert math.isinf(Pareto(shape=1.5, scale=100.0).variance())
+
+    def test_variance_finite_for_large_shape(self):
+        assert np.isfinite(Pareto(shape=3.0, scale=100.0).variance())
+
+
+class TestPointwise:
+    def test_cdf_formula(self, dist):
+        x = 2500.0
+        assert dist.cdf_one(x) == pytest.approx(1.0 - (1.0 + x / 4000.0) ** -2.2)
+
+    def test_pdf_integrates_to_cdf(self, dist):
+        from repro.numerics import gauss_legendre
+
+        x = 9000.0
+        mass = gauss_legendre(lambda t: np.asarray(dist.pdf(t)), 0.0, x, order=80, panels=16)
+        assert mass == pytest.approx(dist.cdf_one(x), rel=1e-8)
+
+    def test_power_law_tail(self, dist):
+        # survival ratio follows the power law
+        assert float(dist.sf(80000.0)) / float(dist.sf(8000.0)) == pytest.approx(
+            ((4000.0 + 80000.0) / (4000.0 + 8000.0)) ** -2.2, rel=1e-9
+        )
+
+    def test_scalar_matches_vector(self, dist):
+        for x in (0.0, 10.0, 4000.0, 1e6):
+            assert dist.cdf_one(x) == pytest.approx(float(dist.cdf(x)), abs=1e-12)
+            assert dist.partial_expectation_one(x) == pytest.approx(
+                float(dist.partial_expectation(x)), rel=1e-10, abs=1e-12
+            )
+
+
+class TestPartialExpectation:
+    def test_against_quadrature(self, dist):
+        from repro.numerics import gauss_legendre
+
+        for x in (100.0, 4000.0, 1e5):
+            quad = gauss_legendre(
+                lambda t: t * np.asarray(dist.pdf(t)), 0.0, x, order=80, panels=32
+            )
+            assert dist.partial_expectation_one(x) == pytest.approx(quad, rel=1e-7)
+
+    def test_limit_is_mean(self, dist):
+        assert dist.partial_expectation_one(np.inf) == pytest.approx(dist.mean())
+
+
+class TestConditional:
+    def test_closed_form_aging(self, dist):
+        cond = dist.conditional(3000.0)
+        assert isinstance(cond, Pareto)
+        assert cond.shape == dist.shape
+        assert cond.scale == dist.scale + 3000.0
+
+    def test_matches_eq8(self, dist):
+        t, x = 3000.0, 1500.0
+        cond = dist.conditional(t)
+        expected = (dist.cdf_one(t + x) - dist.cdf_one(t)) / float(dist.sf(t))
+        assert cond.cdf_one(x) == pytest.approx(expected, rel=1e-10)
+
+    def test_linear_mean_residual_life(self, dist):
+        mrl0 = float(dist.mean_residual_life(0.0))
+        mrl1 = float(dist.mean_residual_life(12000.0))
+        assert mrl1 - mrl0 == pytest.approx(12000.0 / 1.2, rel=1e-9)
+
+
+class TestQuantileSample:
+    def test_quantile_inverts(self, dist):
+        for q in (0.1, 0.5, 0.99):
+            assert dist.cdf_one(float(dist.quantile(q))) == pytest.approx(q, abs=1e-10)
+
+    def test_sample_median(self, dist):
+        rng = np.random.default_rng(0)
+        s = dist.sample(60000, rng)
+        assert np.median(s) == pytest.approx(float(dist.quantile(0.5)), rel=0.05)
+
+
+class TestFitting:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(1)
+        data = Pareto(shape=2.5, scale=3000.0).sample(8000, rng)
+        fit = fit_pareto(data)
+        assert fit.shape == pytest.approx(2.5, rel=0.15)
+        assert fit.scale == pytest.approx(3000.0, rel=0.2)
+
+    def test_shape_floor_enforced(self):
+        # extremely heavy synthetic data pushes the MLE toward shape <= 1;
+        # the fitter floors it so the mean stays finite
+        rng = np.random.default_rng(2)
+        u = rng.random(2000)
+        data = 100.0 * ((1.0 - u) ** (-1.0 / 0.8) - 1.0)  # shape 0.8 Lomax
+        fit = fit_pareto(data)
+        assert fit.shape >= 1.05
+        assert np.isfinite(fit.mean())
+
+    def test_censoring_improves_truth_recovery(self):
+        rng = np.random.default_rng(3)
+        true = Pareto(shape=2.0, scale=2000.0)
+        full = true.sample(4000, rng)
+        cutoff = float(np.quantile(full, 0.7))
+        observed = np.minimum(full, cutoff)
+        cens = full > cutoff
+        naive = fit_pareto(observed)
+        aware = fit_pareto(observed, cens)
+        assert abs(aware.mean() - true.mean()) < abs(naive.mean() - true.mean())
+
+    def test_fit_model_dispatch(self):
+        from repro.distributions import fit_model
+
+        rng = np.random.default_rng(4)
+        data = Pareto(shape=2.0, scale=1000.0).sample(300, rng)
+        assert isinstance(fit_model("pareto", data), Pareto)
+
+
+class TestWorksWithOptimizer:
+    def test_t_opt_and_aggressive_aging(self, dist):
+        costs = CheckpointCosts.symmetric(300.0)
+        t0 = optimize_interval(dist, costs, age=0.0).T_opt
+        t1 = optimize_interval(dist, costs, age=40000.0).T_opt
+        assert 0.0 < t0 < t1  # linear MRL: strong lengthening with age

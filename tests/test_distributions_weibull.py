@@ -1,0 +1,133 @@
+"""Tests for the Weibull availability model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+
+
+@pytest.fixture
+def paper_machine():
+    """The paper's published reference machine."""
+    return Weibull(shape=0.43, scale=3409.0)
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        for shape, scale in ((0.0, 1.0), (-1.0, 1.0), (1.0, 0.0), (math.nan, 1.0)):
+            with pytest.raises(ValueError):
+                Weibull(shape, scale)
+
+    def test_params(self, paper_machine):
+        assert paper_machine.params() == {"shape": 0.43, "scale": 3409.0}
+        assert paper_machine.n_params == 2
+
+
+class TestMoments:
+    def test_mean_formula(self, paper_machine):
+        expected = 3409.0 * math.gamma(1.0 + 1.0 / 0.43)
+        assert paper_machine.mean() == pytest.approx(expected)
+
+    def test_variance_positive_heavy_tail(self, paper_machine):
+        assert paper_machine.variance() > paper_machine.mean() ** 2  # CV > 1
+
+    def test_shape_one_matches_exponential(self):
+        w = Weibull(shape=1.0, scale=500.0)
+        e = Exponential(lam=1.0 / 500.0)
+        x = np.linspace(0.1, 3000.0, 50)
+        assert np.allclose(np.asarray(w.cdf(x)), np.asarray(e.cdf(x)))
+        assert np.allclose(np.asarray(w.pdf(x)), np.asarray(e.pdf(x)))
+        assert w.mean() == pytest.approx(e.mean())
+
+
+class TestPointwise:
+    def test_cdf_sf_complement(self, paper_machine):
+        x = np.geomspace(1.0, 1e6, 60)
+        assert np.allclose(
+            np.asarray(paper_machine.cdf(x)) + np.asarray(paper_machine.sf(x)), 1.0
+        )
+
+    def test_pdf_is_cdf_derivative(self, paper_machine):
+        x = np.geomspace(10.0, 1e5, 40)
+        h = 1e-2
+        deriv = (
+            np.asarray(paper_machine.cdf(x + h)) - np.asarray(paper_machine.cdf(x - h))
+        ) / (2 * h)
+        assert np.allclose(deriv, np.asarray(paper_machine.pdf(x)), rtol=1e-4)
+
+    def test_decreasing_hazard_for_shape_below_one(self, paper_machine):
+        x = np.array([10.0, 100.0, 1000.0, 10000.0])
+        h = np.asarray(paper_machine.hazard(x))
+        assert np.all(np.diff(h) < 0)
+
+    def test_increasing_hazard_for_shape_above_one(self):
+        w = Weibull(shape=2.0, scale=100.0)
+        h = np.asarray(w.hazard(np.array([1.0, 10.0, 100.0])))
+        assert np.all(np.diff(h) > 0)
+
+    def test_scalar_fast_paths_match_array(self, paper_machine):
+        for x in (0.0, 1.0, 500.0, 34090.0):
+            assert paper_machine.cdf_one(x) == pytest.approx(
+                float(paper_machine.cdf(x)), abs=1e-14
+            )
+            assert paper_machine.partial_expectation_one(x) == pytest.approx(
+                float(paper_machine.partial_expectation(x)), rel=1e-12
+            )
+
+
+class TestPartialExpectation:
+    def test_against_quadrature(self, paper_machine):
+        from repro.numerics import gauss_legendre
+
+        for x in (100.0, 3000.0, 50000.0):
+            quad = gauss_legendre(
+                lambda t: t * np.asarray(paper_machine.pdf(np.maximum(t, 1e-12))),
+                1e-9,
+                x,
+                order=80,
+                panels=40,
+            )
+            assert float(paper_machine.partial_expectation(x)) == pytest.approx(
+                quad, rel=5e-3
+            )
+
+    def test_limits(self, paper_machine):
+        assert paper_machine.partial_expectation(0.0) == 0.0
+        assert float(paper_machine.partial_expectation(np.inf)) == pytest.approx(
+            paper_machine.mean()
+        )
+
+    def test_monotone(self, paper_machine):
+        x = np.geomspace(1.0, 1e6, 30)
+        pe = np.asarray(paper_machine.partial_expectation(x))
+        assert np.all(np.diff(pe) > 0)
+
+
+class TestConditional:
+    def test_dfr_mean_residual_life_grows(self, paper_machine):
+        mrl = [float(paper_machine.mean_residual_life(t)) for t in (0.0, 1e3, 1e4, 1e5)]
+        assert mrl[0] == pytest.approx(paper_machine.mean(), rel=1e-9)
+        assert all(a < b for a, b in zip(mrl, mrl[1:]))
+
+    def test_future_lifetime_formula(self, paper_machine):
+        # eq. (9): (F_W)_t(x) = 1 - exp((t/b)^a - ((t+x)/b)^a)
+        t, x = 5000.0, 2000.0
+        cond = paper_machine.conditional(t)
+        a, b = 0.43, 3409.0
+        expected = 1.0 - math.exp((t / b) ** a - ((t + x) / b) ** a)
+        assert cond.cdf_one(x) == pytest.approx(expected, rel=1e-12)
+
+
+class TestQuantileSample:
+    def test_quantile_inverts(self, paper_machine):
+        q = np.array([0.05, 0.5, 0.95])
+        assert np.allclose(
+            np.asarray(paper_machine.cdf(paper_machine.quantile(q))), q
+        )
+
+    def test_sample_median(self, paper_machine):
+        rng = np.random.default_rng(5)
+        s = paper_machine.sample(60000, rng)
+        assert np.median(s) == pytest.approx(float(paper_machine.quantile(0.5)), rel=0.05)

@@ -1,0 +1,322 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.engine import Environment, Interrupt, SimulationError, any_of
+
+
+class TestEventBasics:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        ev = env.event()
+        got = []
+
+        def waiter(env, ev):
+            got.append((yield ev))
+
+        env.process(waiter(env, ev))
+        ev.succeed("payload", delay=5.0)
+        env.run()
+        assert got == ["payload"]
+        assert env.now == 5.0
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_trigger_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_already_processed_event_still_waitable(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(99)
+        seen = []
+
+        def late(env):
+            yield env.timeout(10.0)
+            seen.append((yield ev))
+
+        env.process(late(env))
+        env.run()
+        assert seen == [99]
+
+
+class TestTimeoutsAndClock:
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(env, 30, "c"))
+        env.process(proc(env, 10, "a"))
+        env.process(proc(env, 20, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(5)
+            order.append(tag)
+
+        for tag in "xyz":
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["x", "y", "z"]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_stops_clock(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(100)
+
+        env.process(proc(env))
+        env.run(until=40)
+        assert env.now == 40
+        env.run()
+        assert env.now == 100
+
+    def test_run_until_past_rejected(self):
+        env = Environment()
+        env._now = 50.0
+        with pytest.raises(SimulationError):
+            env.run(until=10)
+
+
+class TestProcesses:
+    def test_process_completion_event(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(3)
+            return "result"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value + "!"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == "result!"
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_exception_propagates_out_of_run(self):
+        env = Environment()
+
+        def boom(env):
+            yield env.timeout(1)
+            raise RuntimeError("kaboom")
+
+        env.process(boom(env))
+        with pytest.raises(RuntimeError, match="kaboom"):
+            env.run()
+
+
+class TestInterrupts:
+    def test_interrupt_carries_cause(self):
+        env = Environment()
+        caught = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                caught.append((env.now, i.cause))
+                return "stopped"
+
+        def attacker(env, proc):
+            yield env.timeout(7)
+            proc.interrupt("reclaimed")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert caught == [(7.0, "reclaimed")]
+        assert v.value == "stopped"
+
+    def test_interrupt_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(quick(env))
+        env.run()
+        p.interrupt("too late")
+        env.run()
+        assert p.value == "done"
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+        log = []
+
+        def resilient(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append("hit")
+            yield env.timeout(5)
+            log.append("recovered at %g" % env.now)
+
+        p = env.process(resilient(env))
+
+        def attacker(env):
+            yield env.timeout(10)
+            p.interrupt()
+
+        env.process(attacker(env))
+        env.run()
+        assert log == ["hit", "recovered at 15"]
+
+    def test_unhandled_interrupt_is_an_error(self):
+        env = Environment()
+
+        def careless(env):
+            yield env.timeout(100)
+
+        p = env.process(careless(env))
+
+        def attacker(env):
+            yield env.timeout(1)
+            p.interrupt()
+
+        env.process(attacker(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_no_double_resume_after_interrupt(self):
+        # the original timeout must not wake the process a second time
+        env = Environment()
+        wakes = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10)
+                wakes.append("timeout")
+            except Interrupt:
+                wakes.append("interrupt")
+            yield env.timeout(50)
+            wakes.append("later")
+
+        p = env.process(victim(env))
+
+        def attacker(env):
+            yield env.timeout(5)
+            p.interrupt()
+
+        env.process(attacker(env))
+        env.run()
+        assert wakes == ["interrupt", "later"]
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            slow = env.timeout(100, "slow")
+            fast = env.timeout(10, "fast")
+            winner = yield any_of(env, [slow, fast])
+            got.append((winner.value, env.now))
+
+        env.process(proc(env))
+        env.run()
+        assert got == [("fast", 10.0)]
+
+    def test_loser_fires_harmlessly(self):
+        env = Environment()
+
+        def proc(env):
+            yield any_of(env, [env.timeout(1), env.timeout(2)])
+            return "ok"
+
+        p = env.process(proc(env))
+        env.run()  # the t=2 timeout still fires after the race resolved
+        assert p.value == "ok"
+        assert env.now == 2.0
+
+    def test_already_processed_source_wins_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("early")
+        env.run()  # process the event
+        got = []
+
+        def proc(env):
+            winner = yield any_of(env, [ev, env.timeout(100)])
+            got.append((winner.value, env.now))
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert got == [("early", 0.0)]
+
+    def test_failed_source_fails_race(self):
+        env = Environment()
+
+        def proc(env):
+            bad = env.event()
+            bad.fail(RuntimeError("boom"))
+            try:
+                yield any_of(env, [env.timeout(100), bad])
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = env.process(proc(env))
+        env.run(until=200)
+        assert p.value == "boom"
+
+    def test_empty_race_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            any_of(env, [])
+
+    def test_non_event_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            any_of(env, [42])
+
+
+class TestPeekStep:
+    def test_peek_empty(self):
+        assert Environment().peek() == float("inf")
+
+    def test_step_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().step()

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs end-to-end (scaled down)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "T_opt(0)" in out
+        assert "hyperexp2" in out
+
+    def test_pool_study_small(self):
+        out = run_example("pool_study.py", "4")
+        assert "Table 1" in out
+        assert "Figure 4" in out
+
+    def test_live_condor_short(self):
+        out = run_example("live_condor.py", "campus", "0.05")
+        assert "Table 4" in out
+        assert "validated against" in out
+
+    def test_finite_job(self):
+        out = run_example("finite_job.py")
+        assert "expected makespan" in out
+        assert "Monte Carlo" in out
+
+    def test_gang_job(self):
+        out = run_example("gang_job.py", "2")
+        assert "gang" in out
+        assert "coordinated" in out.lower()
+
+    def test_network_aware(self):
+        out = run_example("network_aware.py")
+        assert "NWS ensemble" in out
+        assert "tournament winner" in out
+
+    def test_model_selection(self):
+        out = run_example("model_selection.py")
+        assert "model-selection winners" in out

@@ -1,0 +1,53 @@
+"""Tests for the goodness-of-fit study driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fit_study
+from repro.traces import SyntheticPoolConfig, generate_condor_pool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return generate_condor_pool(
+        SyntheticPoolConfig(n_machines=8, n_observations=80),
+        np.random.default_rng(99),
+    )
+
+
+class TestFitStudy:
+    def test_paper_families(self, pool):
+        result = run_fit_study(pool)
+        assert set(result.mean_ks) == {
+            "exponential",
+            "weibull",
+            "hyperexp2",
+            "hyperexp3",
+        }
+        assert result.n_machines == 8
+
+    def test_section31_claim(self, pool):
+        # heavy-tailed families beat the exponential on held-out KS
+        result = run_fit_study(pool)
+        assert result.best_by_mean_ks() != "exponential"
+        assert result.mean_ks["weibull"] < result.mean_ks["exponential"]
+
+    def test_extended_families(self, pool):
+        result = run_fit_study(
+            pool,
+            models=("exponential", "weibull", "lognormal", "pareto"),
+        )
+        assert set(result.mean_ks) == {"exponential", "weibull", "lognormal", "pareto"}
+        for wins in (result.aic_wins, result.bic_wins):
+            assert sum(wins.values()) == result.n_machines
+
+    def test_table_renders(self, pool):
+        text = run_fit_study(pool).table().render()
+        assert "mean KS" in text
+        assert "AIC wins" in text
+
+    def test_short_traces_skipped(self, pool):
+        result = run_fit_study(pool, n_train=79)  # leaves 1 held-out point
+        assert result.n_machines == 8
+        with pytest.raises(ValueError):
+            run_fit_study(pool, n_train=100)  # nothing splittable

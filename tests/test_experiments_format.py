@@ -1,0 +1,76 @@
+"""Tests for table rendering and ASCII figures."""
+
+import pytest
+
+from repro.experiments import AsciiFigure, PaperTable, Series
+
+
+class TestPaperTable:
+    def test_render_alignment(self):
+        t = PaperTable(title="T", header=["A", "Blong"], notes=["a note"])
+        t.add_row(["1", "2"])
+        t.add_row(["333", "4"])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert "-+-" in lines[2]
+        assert out.endswith("  a note")
+
+    def test_row_width_mismatch(self):
+        t = PaperTable(title="T", header=["A"])
+        with pytest.raises(ValueError):
+            t.add_row(["1", "2"])
+
+    def test_markdown(self):
+        t = PaperTable(title="T", header=["A", "B"])
+        t.add_row(["x", "y"])
+        md = t.to_markdown()
+        assert "| A | B |" in md
+        assert "| x | y |" in md
+
+    def test_str(self):
+        t = PaperTable(title="T", header=["A"])
+        assert str(t) == t.render()
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series(label="s", x=(1.0,), y=())
+        with pytest.raises(ValueError):
+            Series(label="s", x=(), y=())
+
+
+class TestAsciiFigure:
+    def test_render_contains_series_glyphs(self):
+        fig = AsciiFigure("F", xlabel="x", ylabel="y")
+        fig.add_series("alpha", [0, 1, 2], [0.0, 1.0, 0.5])
+        fig.add_series("beta", [0, 1, 2], [1.0, 0.0, 0.5])
+        out = fig.render()
+        assert "F" in out
+        assert "e = alpha" in out and "w = beta" in out
+        body = "\n".join(out.splitlines()[1:-3])
+        assert "e" in body and "w" in body
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiFigure("F", xlabel="x", ylabel="y").render()
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiFigure("F", xlabel="x", ylabel="y", width=4, height=2)
+
+    def test_flat_series_renders(self):
+        fig = AsciiFigure("F", xlabel="x", ylabel="y")
+        fig.add_series("flat", [0, 1], [5.0, 5.0])
+        assert "flat" in fig.render()
+
+    def test_monotone_series_row_positions(self):
+        # higher y values must appear on earlier (upper) grid rows
+        fig = AsciiFigure("F", xlabel="x", ylabel="y", width=40, height=10)
+        fig.add_series("s", [0, 1], [0.0, 1.0])
+        lines = fig.render().splitlines()[1:11]
+        first_col = min(i for i, l in enumerate(lines) if "e" in l.split("|", 1)[1])
+        last_col = max(i for i, l in enumerate(lines) if "e" in l.split("|", 1)[1])
+        assert first_col < last_col  # y=1 near the top, y=0 near the bottom

@@ -1,0 +1,62 @@
+"""Tests for the Table 4/5 drivers and the Section 5.3 validation."""
+
+import pytest
+
+from repro.experiments import run_live_study, validate_simulation
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return run_live_study(
+        "campus", horizon=0.25 * 86400.0, n_machines=12, n_concurrent_jobs=6, seed=9
+    )
+
+
+class TestLiveStudy:
+    def test_table_number(self, campus):
+        assert campus.table_number == 4
+
+    def test_table_renders_all_columns(self, campus):
+        text = campus.table().render()
+        for col in ("Avg.", "Total Time", "Megabytes Used", "Megabytes/Hour", "Sample Size"):
+            assert col in text
+        assert "campus" in text
+
+    def test_wan_is_table5(self):
+        study = run_live_study(
+            "wan", horizon=0.1 * 86400.0, n_machines=8, n_concurrent_jobs=4, seed=9
+        )
+        assert study.table_number == 5
+        assert "wide area" in study.table().render()
+
+    def test_unknown_location(self):
+        with pytest.raises(ValueError):
+            run_live_study("moon")
+
+
+class TestValidation:
+    def test_per_model_coverage(self, campus):
+        validation = validate_simulation(campus.experiment)
+        assert set(validation.per_model) == set(campus.experiment.aggregates)
+
+    def test_gaps_are_bounded(self, campus):
+        validation = validate_simulation(campus.experiment)
+        # the simulator and the live system share schedules and costs, so
+        # residual gaps stay small (variable C/R + censoring only)
+        assert validation.max_efficiency_gap() < 0.25
+
+    def test_placement_counts_match_aggregates(self, campus):
+        validation = validate_simulation(campus.experiment)
+        for model, v in validation.per_model.items():
+            assert v.n_placements <= campus.experiment.aggregates[model].sample_size
+
+    def test_table_renders(self, campus):
+        validation = validate_simulation(campus.experiment)
+        text = validation.table().render()
+        assert "Live eff." in text
+        assert "right-censored" in text
+
+    def test_mb_comparison_positive(self, campus):
+        validation = validate_simulation(campus.experiment)
+        for v in validation.per_model.values():
+            assert v.live_mb >= 0.0 and v.simulated_mb >= 0.0

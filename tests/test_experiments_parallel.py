@@ -1,0 +1,50 @@
+"""Tests for the parallel-workload extension study."""
+
+import pytest
+
+from repro.experiments import run_parallel_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_parallel_study(
+        widths=(2, 8),
+        models=("exponential", "hyperexp2"),
+        horizon=0.25 * 86400.0,
+        n_machines=12,
+        seed=3,
+    )
+
+
+class TestParallelStudy:
+    def test_all_cells_present(self, study):
+        assert set(study.cells) == {
+            ("exponential", 2),
+            ("exponential", 8),
+            ("hyperexp2", 2),
+            ("hyperexp2", 8),
+        }
+
+    def test_collision_inflates_cost(self, study):
+        for model in study.models:
+            assert (
+                study.cell(model, 8).mean_transfer_cost
+                > study.cell(model, 2).mean_transfer_cost
+            )
+
+    def test_efficiencies_bounded(self, study):
+        for cell in study.cells.values():
+            assert 0.0 <= cell.efficiency <= 1.0
+            assert cell.sample_size >= 1
+
+    def test_table_renders(self, study):
+        text = study.table().render()
+        assert "W=2" in text and "W=8" in text
+        assert "Exp." in text
+
+    def test_gap_helper(self, study):
+        gap = study.efficiency_gap(8)
+        assert gap == pytest.approx(
+            study.cell("hyperexp2", 8).efficiency
+            - study.cell("exponential", 8).efficiency
+        )

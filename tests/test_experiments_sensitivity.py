@@ -1,0 +1,71 @@
+"""Tests for the parameter-sensitivity study."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Hyperexponential, LogNormal, Weibull
+from repro.experiments import perturb_distribution, run_sensitivity_study
+
+
+class TestPerturbDistribution:
+    def test_exponential_rate_scaled(self):
+        d = perturb_distribution(Exponential(1e-3), 2.0)
+        assert d.lam == pytest.approx(2e-3)
+
+    def test_weibull_scale_inverse(self):
+        d = perturb_distribution(Weibull(0.5, 1000.0), 2.0)
+        assert d.shape == 0.5
+        assert d.scale == pytest.approx(500.0)
+
+    def test_hyperexp_rates_scaled(self):
+        base = Hyperexponential([0.4, 0.6], [1e-3, 1e-4])
+        d = perturb_distribution(base, 0.5)
+        assert np.allclose(d.rates, base.rates * 0.5)
+        assert np.allclose(d.probs, base.probs)
+
+    def test_factor_one_is_identity_in_mean(self):
+        base = Weibull(0.5, 1000.0)
+        d = perturb_distribution(base, 1.0)
+        assert d.mean() == pytest.approx(base.mean())
+
+    def test_means_scale_inversely(self):
+        for base in (Exponential(1e-3), Weibull(0.7, 800.0), Hyperexponential([1.0], [1e-3])):
+            assert perturb_distribution(base, 2.0).mean() == pytest.approx(
+                base.mean() / 2.0
+            )
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            perturb_distribution(Exponential(1e-3), 0.0)
+
+    def test_unknown_family(self):
+        with pytest.raises(TypeError):
+            perturb_distribution(LogNormal(1.0, 1.0), 2.0)
+
+
+class TestSensitivityStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sensitivity_study(
+            factors=(0.5, 1.0, 2.0), n_points=400, seed=5
+        )
+
+    def test_all_cells(self, result):
+        assert len(result.efficiency) == 4 * 3
+
+    def test_baseline_required(self):
+        with pytest.raises(ValueError):
+            run_sensitivity_study(factors=(0.5, 2.0), n_points=100)
+
+    def test_efficiency_flatness(self, result):
+        for model in ("exponential", "weibull", "hyperexp2", "hyperexp3"):
+            assert result.max_efficiency_drop(model) < 0.10
+
+    def test_load_monotone_in_rate(self, result):
+        for model in ("exponential", "weibull"):
+            loads = [result.mb_total[(model, f)] for f in result.factors]
+            assert loads[0] < loads[-1]
+
+    def test_table_renders(self, result):
+        text = result.table().render()
+        assert "x0.5" in text and "x2" in text

@@ -1,0 +1,67 @@
+"""Tests for the Figure 3/4 + Table 1/3 simulation study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_simulation_study
+from repro.traces import SyntheticPoolConfig
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_simulation_study(
+        pool_config=SyntheticPoolConfig(n_machines=8, n_observations=60),
+        checkpoint_costs=(50.0, 500.0, 1500.0),
+        seed=77,
+    )
+
+
+class TestTables:
+    def test_table1_shape(self, study):
+        t = study.efficiency_table()
+        assert len(t.rows) == 3
+        assert t.header[0] == "CTime"
+        assert "Weib." in t.header
+        # cells carry the "m ± h" format
+        assert "±" in t.rows[0][1]
+
+    def test_table3_shape(self, study):
+        t = study.bandwidth_table()
+        assert len(t.rows) == 3
+        assert "MB" in t.title
+
+    def test_tables_render(self, study):
+        assert "CTime" in study.efficiency_table().render()
+        assert "CTime" in study.bandwidth_table().render()
+
+
+class TestFigures:
+    def test_figures_render(self, study):
+        assert "Figure 3" in study.efficiency_figure().render()
+        assert "Figure 4" in study.bandwidth_figure().render()
+
+
+class TestPaperShape:
+    def test_efficiency_decays_with_cost(self, study):
+        for series in study.mean_series("efficiency").values():
+            assert series[0] > series[1] > series[2]
+
+    def test_bandwidth_decreases_with_cost(self, study):
+        for series in study.mean_series("mb_total").values():
+            assert series[0] > series[-1]
+
+    def test_exponential_uses_most_bandwidth(self, study):
+        mb = study.mean_series("mb_total")
+        for j in range(3):
+            assert mb["exponential"][j] >= mb["hyperexp2"][j]
+
+    def test_efficiency_insensitive_to_model(self, study):
+        eff = study.mean_series("efficiency")
+        arr = np.vstack(list(eff.values()))
+        spread = arr.max(axis=0) - arr.min(axis=0)
+        assert np.all(spread < 0.08)
+
+    def test_metric_matrix_values_sane(self, study):
+        for model in ("exponential", "weibull", "hyperexp2", "hyperexp3"):
+            eff = study.sweep.metric_matrix(model, "efficiency")
+            assert np.all((eff >= 0.0) & (eff <= 1.0))

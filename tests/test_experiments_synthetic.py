@@ -1,0 +1,51 @@
+"""Tests for the Table 2 synthetic-Weibull study."""
+
+import pytest
+
+from repro.experiments import run_synthetic_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    # smaller than the paper's 5000 points but the same protocol
+    return run_synthetic_study(n_points=800, seed=42)
+
+
+class TestTable2:
+    def test_all_cells_present(self, result):
+        assert len(result.efficiencies) == 4 * 2 * 2  # models x costs x fit sizes
+
+    def test_efficiencies_in_unit_interval(self, result):
+        for v in result.efficiencies.values():
+            assert 0.0 <= v <= 1.0
+
+    def test_c50_beats_c500(self, result):
+        for model in ("exponential", "weibull", "hyperexp2", "hyperexp3"):
+            assert result.efficiency(model, 50.0, "All") > result.efficiency(
+                model, 500.0, "All"
+            )
+
+    def test_misspecification_costs_little(self, result):
+        # the paper's point: wrong families lose only a few points of
+        # efficiency on pure-Weibull data
+        for cost in (50.0, 500.0):
+            weib = result.efficiency("weibull", cost, "All")
+            for model in ("exponential", "hyperexp2", "hyperexp3"):
+                assert result.efficiency(model, cost, "All") > weib - 0.12
+
+    def test_25_points_suffice(self, result):
+        # fitting on 25 points degrades accuracy only slightly
+        for model in ("exponential", "weibull"):
+            for cost in (50.0, 500.0):
+                full = result.efficiency(model, cost, "All")
+                small = result.efficiency(model, cost, "First 25")
+                assert abs(full - small) < 0.1
+
+    def test_table_renders(self, result):
+        text = result.table().render()
+        assert "Weibull(0.43, 3409)" in text
+        assert "C=50 All" in text
+        assert "First 25" in text
+
+    def test_fit_sizes_normalised(self, result):
+        assert result.fit_sizes == (25, 800)

@@ -1,0 +1,103 @@
+"""Tests for the exponential and Weibull maximum-likelihood estimators."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull, fit_exponential, fit_weibull
+
+
+class TestExponentialMLE:
+    def test_recovers_rate(self):
+        rng = np.random.default_rng(0)
+        data = Exponential(1.0 / 750.0).sample(5000, rng)
+        fit = fit_exponential(data)
+        assert fit.lam == pytest.approx(1.0 / 750.0, rel=0.05)
+
+    def test_closed_form(self):
+        data = np.array([100.0, 200.0, 300.0])
+        assert fit_exponential(data).lam == pytest.approx(3.0 / 600.0)
+
+    def test_censoring_lowers_rate(self):
+        data = np.array([100.0, 200.0, 300.0])
+        cens = np.array([False, False, True])
+        # 2 events over 600s of exposure
+        assert fit_exponential(data, cens).lam == pytest.approx(2.0 / 600.0)
+
+    def test_censoring_improves_truth_recovery(self):
+        rng = np.random.default_rng(1)
+        true = Exponential(1.0 / 1000.0)
+        full = true.sample(4000, rng)
+        cutoff = 800.0
+        observed = np.minimum(full, cutoff)
+        cens = full > cutoff
+        naive = fit_exponential(observed)
+        aware = fit_exponential(observed, cens)
+        truth = 1.0 / 1000.0
+        assert abs(aware.lam - truth) < abs(naive.lam - truth)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([])
+
+    def test_all_censored_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0, 2.0], [True, True])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0, -2.0])
+
+
+class TestWeibullMLE:
+    @pytest.mark.parametrize("shape,scale", [(0.43, 3409.0), (0.8, 500.0), (1.5, 100.0), (3.0, 42.0)])
+    def test_recovers_parameters(self, shape, scale):
+        rng = np.random.default_rng(int(shape * 100))
+        data = Weibull(shape, scale).sample(4000, rng)
+        fit = fit_weibull(data)
+        assert fit.shape == pytest.approx(shape, rel=0.08)
+        assert fit.scale == pytest.approx(scale, rel=0.08)
+
+    def test_is_likelihood_maximum(self):
+        rng = np.random.default_rng(9)
+        data = Weibull(0.6, 1500.0).sample(800, rng)
+        fit = fit_weibull(data)
+        ll_hat = fit.log_likelihood(data)
+        for ds, dc in ((1.1, 1.0), (0.9, 1.0), (1.0, 1.15), (1.0, 0.85)):
+            other = Weibull(fit.shape * ds, fit.scale * dc)
+            assert other.log_likelihood(data) < ll_hat
+
+    def test_small_sample_25_points(self):
+        # the paper's training sets are 25 points; the estimator must not
+        # blow up even if it is noisy
+        rng = np.random.default_rng(4)
+        data = Weibull(0.43, 3409.0).sample(25, rng)
+        fit = fit_weibull(data)
+        assert 0.1 < fit.shape < 2.0
+        assert fit.scale > 0.0
+
+    def test_censoring_improves_truth_recovery(self):
+        rng = np.random.default_rng(5)
+        true = Weibull(0.7, 1000.0)
+        full = true.sample(4000, rng)
+        cutoff = float(np.quantile(full, 0.7))
+        observed = np.minimum(full, cutoff)
+        cens = full > cutoff
+        naive = fit_weibull(observed)
+        aware = fit_weibull(observed, cens)
+        assert abs(aware.scale - 1000.0) < abs(naive.scale - 1000.0)
+
+    def test_identical_values_degenerate(self):
+        fit = fit_weibull([500.0] * 10)
+        assert fit.scale == pytest.approx(500.0)
+        assert fit.shape >= 100.0  # pinned at the bracket edge
+
+    def test_zero_durations_tolerated(self):
+        # the occupancy monitor records 0 for instantly reclaimed machines
+        fit = fit_weibull([0.0, 10.0, 100.0, 1000.0])
+        assert np.isfinite(fit.shape) and np.isfinite(fit.scale)
+
+    def test_exponential_data_gives_shape_one(self):
+        rng = np.random.default_rng(6)
+        data = Exponential(1.0 / 300.0).sample(6000, rng)
+        fit = fit_weibull(data)
+        assert fit.shape == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,86 @@
+"""Tests for the fitting dispatcher and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    Hyperexponential,
+    Weibull,
+    fit_all_models,
+    fit_model,
+    select_best_model,
+)
+from repro.distributions.fitting import MODEL_NAMES
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(12)
+    return Weibull(0.5, 2000.0).sample(300, rng)
+
+
+class TestFitModel:
+    def test_dispatch_types(self, data):
+        assert isinstance(fit_model("exponential", data), Exponential)
+        assert isinstance(fit_model("weibull", data), Weibull)
+        h2 = fit_model("hyperexp2", data)
+        assert isinstance(h2, Hyperexponential) and h2.k <= 2
+        h3 = fit_model("hyperexp3", data)
+        assert isinstance(h3, Hyperexponential) and h3.k <= 3
+
+    def test_arbitrary_phase_count(self, data):
+        h4 = fit_model("hyperexp4", data)
+        assert isinstance(h4, Hyperexponential) and h4.k <= 4
+
+    def test_unknown_name_rejected(self, data):
+        with pytest.raises(ValueError):
+            fit_model("gamma", data)
+        with pytest.raises(ValueError):
+            fit_model("hyperexpX", data)
+
+
+class TestModelSuite:
+    def test_fit_all_models(self, data):
+        suite = fit_all_models(data)
+        names = [name for name, _ in suite.items()]
+        assert names == list(MODEL_NAMES)
+
+    def test_getitem(self, data):
+        suite = fit_all_models(data)
+        assert suite["weibull"] is suite.weibull
+        with pytest.raises(KeyError):
+            suite["nope"]
+
+    def test_reproducible_under_rng(self, data):
+        a = fit_all_models(data, rng=np.random.default_rng(3))
+        b = fit_all_models(data, rng=np.random.default_rng(3))
+        assert np.allclose(a.hyperexp3.rates, b.hyperexp3.rates)
+
+
+class TestSelectBestModel:
+    def test_weibull_data_prefers_weibull(self, data):
+        suite = fit_all_models(data)
+        name, dist = select_best_model(suite, data, criterion="bic")
+        assert name in ("weibull", "hyperexp2", "hyperexp3")  # heavy-tailed family
+        assert name != "exponential"
+        assert dist is suite[name]
+
+    def test_loglik_prefers_most_flexible(self, data):
+        suite = fit_all_models(data)
+        name, _ = select_best_model(suite, data, criterion="loglik")
+        lls = {n: d.log_likelihood(np.maximum(data, 1e-9)) for n, d in suite.items()}
+        assert lls[name] == max(lls.values())
+
+    def test_exponential_data_bic(self):
+        rng = np.random.default_rng(13)
+        data = Exponential(1.0 / 400.0).sample(2000, rng)
+        suite = fit_all_models(data)
+        name, _ = select_best_model(suite, data, criterion="bic")
+        # BIC's complexity penalty should favour the 1-parameter truth
+        assert name == "exponential"
+
+    def test_unknown_criterion(self, data):
+        suite = fit_all_models(data)
+        with pytest.raises(ValueError):
+            select_best_model(suite, data, criterion="magic")

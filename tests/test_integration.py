@@ -1,0 +1,131 @@
+"""End-to-end integration tests spanning all subsystems.
+
+These run miniature versions of the complete pipelines:
+
+1. monitor campaign -> traces -> fits -> schedules -> trace simulation;
+2. the full experiment chain behind every table, at toy scale;
+3. cross-validation: the DES and the trace simulator agree when fed
+   identical, deterministic worlds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.condor import (
+    CheckpointManager,
+    CondorMachine,
+    CondorScheduler,
+    collect_traces,
+    make_test_process,
+)
+from repro.core import CheckpointPlanner
+from repro.distributions import Exponential, Weibull, fit_all_models
+from repro.engine import Environment
+from repro.network import SharedLink
+from repro.simulation import SimulationConfig, SweepSettings, simulate_pool, simulate_trace
+from repro.traces import SyntheticPoolConfig, generate_condor_pool
+
+
+class TestMeasureFitScheduleSimulate:
+    def test_full_pipeline_from_monitor(self):
+        rng = np.random.default_rng(50)
+        gts = {f"m{i}": Weibull(0.5, 2500.0) for i in range(3)}
+        pool = collect_traces(gts, horizon=200 * 86400.0, rng=rng, min_observations=40)
+        assert len(pool) == 3
+        for trace in pool:
+            train, test = trace.split(25)
+            suite = fit_all_models(train)
+            for name, dist in suite.items():
+                res = simulate_trace(
+                    dist, test, SimulationConfig(checkpoint_cost=110.0)
+                )
+                assert 0.0 < res.efficiency <= 1.0
+                assert abs(res.conservation_residual()) < 1e-6 * res.total_time
+
+    def test_pool_sweep_feeds_stats(self):
+        pool = generate_condor_pool(
+            SyntheticPoolConfig(n_machines=4, n_observations=40),
+            np.random.default_rng(51),
+        )
+        sweep = simulate_pool(
+            pool, SweepSettings(checkpoint_costs=(110.0, 475.0), n_train=10)
+        )
+        from repro.stats import mean_ci, significance_markers
+
+        eff = {
+            m: sweep.metric_matrix(m, "efficiency")[:, 0]
+            for m in sweep.settings.model_names
+        }
+        row = significance_markers(eff)
+        for m in eff:
+            ci = mean_ci(eff[m])
+            assert 0.0 <= ci.mean <= 1.0
+            assert isinstance(row[m], str)
+
+
+class TestDESCrossValidation:
+    def test_des_matches_trace_simulator_deterministic_world(self):
+        """Same fixed availability, same constant link: the DES test
+        process and the trace simulator must account identically."""
+        durations = [9000.0, 4000.0, 12000.0]
+        bandwidth = 10.0  # 500 MB -> 50 s transfers
+        dist = Exponential(1.0 / 5000.0)
+
+        # --- DES run: one machine, resubmitted test process ----------
+        env = Environment()
+        link = SharedLink(env, bandwidth)
+        manager = CheckpointManager(env, link)
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(
+            env, "m0", durations=durations, gaps=[1.0, 1.0, 1.0], scheduler=sched
+        )
+        planner = CheckpointPlanner.from_distribution(dist)
+        body = make_test_process(manager, planner)
+
+        def resubmit(_):
+            sched.submit(body, on_complete=resubmit)
+
+        sched.submit(body, on_complete=resubmit)
+        env.run(until=sum(durations) + 100.0)
+        live_committed = sum(l.committed_work for l in manager.logs)
+        live_mb = sum(l.mb_transferred for l in manager.logs)
+
+        # --- trace-simulator run with the same constants ----------------
+        res = simulate_trace(
+            dist,
+            durations,
+            SimulationConfig(checkpoint_cost=50.0, recovery_cost=50.0),
+        )
+        # identical protocol, identical constants: exact agreement on
+        # committed work and bytes
+        assert live_committed == pytest.approx(res.useful_work, rel=1e-6)
+        assert live_mb == pytest.approx(res.mb_total, rel=1e-6)
+
+
+class TestExperimentChain:
+    def test_all_tables_generate_at_toy_scale(self):
+        from repro.experiments import (
+            run_live_study,
+            run_simulation_study,
+            run_synthetic_study,
+            validate_simulation,
+        )
+
+        study = run_simulation_study(
+            pool_config=SyntheticPoolConfig(n_machines=3, n_observations=35),
+            checkpoint_costs=(110.0, 475.0),
+            seed=1,
+        )
+        assert "Table 1" in study.efficiency_table().render()
+        assert "Table 3" in study.bandwidth_table().render()
+
+        synth = run_synthetic_study(n_points=200, seed=1)
+        assert "Table 2" in synth.table().render()
+
+        live = run_live_study(
+            "campus", horizon=0.05 * 86400.0, n_machines=6, n_concurrent_jobs=3, seed=1
+        )
+        assert "Table 4" in live.table().render()
+
+        validation = validate_simulation(live.experiment)
+        assert "validated" in validation.table().render()

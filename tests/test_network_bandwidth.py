@@ -1,0 +1,106 @@
+"""Tests for bandwidth models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    ConstantBandwidth,
+    LognormalAR1Bandwidth,
+    PiecewiseConstantBandwidth,
+    campus_link,
+    wan_link,
+)
+
+
+class TestConstant:
+    def test_rate_and_next_change(self):
+        bw = ConstantBandwidth(4.5)
+        assert bw.rate(0.0) == 4.5
+        assert bw.rate(1e9) == 4.5
+        assert math.isinf(bw.next_change(0.0))
+        assert bw.mean_rate() == 4.5
+
+    def test_invalid(self):
+        for bad in (0.0, -1.0, math.inf):
+            with pytest.raises(ValueError):
+                ConstantBandwidth(bad)
+
+
+class TestPiecewise:
+    def test_epoch_lookup(self):
+        bw = PiecewiseConstantBandwidth([0.0, 10.0, 20.0], [1.0, 2.0, 3.0])
+        assert bw.rate(0.0) == 1.0
+        assert bw.rate(9.999) == 1.0
+        assert bw.rate(10.0) == 2.0
+        assert bw.rate(25.0) == 3.0
+
+    def test_next_change(self):
+        bw = PiecewiseConstantBandwidth([0.0, 10.0], [1.0, 2.0])
+        assert bw.next_change(3.0) == 10.0
+        assert math.isinf(bw.next_change(15.0))
+
+    def test_mean_rate_weighted(self):
+        bw = PiecewiseConstantBandwidth([0.0, 10.0, 40.0], [1.0, 2.0, 9.0])
+        assert bw.mean_rate() == pytest.approx((1.0 * 10 + 2.0 * 30) / 40)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantBandwidth([1.0], [2.0])  # must start at 0
+        with pytest.raises(ValueError):
+            PiecewiseConstantBandwidth([0.0, 0.0], [1.0, 2.0])  # not increasing
+        with pytest.raises(ValueError):
+            PiecewiseConstantBandwidth([0.0], [-1.0])
+
+
+class TestLognormalAR1:
+    def test_piecewise_constant_within_epoch(self):
+        bw = LognormalAR1Bandwidth(5.0, epoch_seconds=60.0, rng=np.random.default_rng(0))
+        assert bw.rate(10.0) == bw.rate(59.9)
+        assert bw.next_change(10.0) == 60.0
+
+    def test_stationary_mean(self):
+        bw = LognormalAR1Bandwidth(
+            5.0, sigma=0.4, rho=0.6, epoch_seconds=1.0, rng=np.random.default_rng(1)
+        )
+        rates = [bw.rate(t) for t in range(30000)]
+        assert np.mean(rates) == pytest.approx(5.0, rel=0.05)
+
+    def test_temporal_correlation(self):
+        bw = LognormalAR1Bandwidth(
+            5.0, sigma=0.5, rho=0.9, epoch_seconds=1.0, rng=np.random.default_rng(2)
+        )
+        rates = np.log([bw.rate(t) for t in range(20000)])
+        r = np.corrcoef(rates[:-1], rates[1:])[0, 1]
+        assert r == pytest.approx(0.9, abs=0.05)
+
+    def test_reproducible_lazy_extension(self):
+        a = LognormalAR1Bandwidth(5.0, rng=np.random.default_rng(3))
+        b = LognormalAR1Bandwidth(5.0, rng=np.random.default_rng(3))
+        # query in different orders: rates must agree epoch-by-epoch
+        _ = a.rate(600.0)
+        assert a.rate(0.0) == b.rate(0.0)
+        assert a.rate(600.0) == b.rate(600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalAR1Bandwidth(0.0)
+        with pytest.raises(ValueError):
+            LognormalAR1Bandwidth(1.0, rho=1.0)
+        with pytest.raises(ValueError):
+            LognormalAR1Bandwidth(1.0, epoch_seconds=0.0)
+
+
+class TestPresets:
+    def test_campus_calibration(self):
+        bw = campus_link(np.random.default_rng(0))
+        # 500 MB at the mean rate ~ 110 s
+        assert 500.0 / bw.mean_rate() == pytest.approx(110.0, rel=1e-9)
+
+    def test_wan_calibration(self):
+        bw = wan_link(np.random.default_rng(0))
+        assert 500.0 / bw.mean_rate() == pytest.approx(475.0, rel=1e-9)
+
+    def test_wan_more_variable_than_campus(self):
+        assert wan_link().sigma > campus_link().sigma

@@ -1,0 +1,97 @@
+"""Tests for the NWS-style forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    ExponentialSmoothing,
+    ForecasterEnsemble,
+    LastValue,
+    SlidingMean,
+    SlidingMedian,
+    default_ensemble,
+)
+
+
+class TestPrimitives:
+    def test_last_value(self):
+        f = LastValue()
+        with pytest.raises(ValueError):
+            f.predict()
+        f.update(3.0)
+        f.update(7.0)
+        assert f.predict() == 7.0
+
+    def test_sliding_mean_window(self):
+        f = SlidingMean(window=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            f.update(v)
+        assert f.predict() == pytest.approx(3.0)  # mean of last 3
+
+    def test_sliding_median_robust_to_spike(self):
+        f = SlidingMedian(window=5)
+        for v in (10.0, 10.0, 10.0, 10.0, 1000.0):
+            f.update(v)
+        assert f.predict() == 10.0
+
+    def test_ewma(self):
+        f = ExponentialSmoothing(alpha=0.5)
+        f.update(10.0)
+        f.update(20.0)
+        assert f.predict() == pytest.approx(15.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SlidingMean(0)
+        with pytest.raises(ValueError):
+            SlidingMedian(0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(1.5)
+
+    def test_predict_before_update(self):
+        for f in (SlidingMean(3), SlidingMedian(3), ExponentialSmoothing(0.3)):
+            with pytest.raises(ValueError):
+                f.predict()
+
+
+class TestEnsemble:
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            ForecasterEnsemble([])
+
+    def test_predicts_after_one_update(self):
+        ens = default_ensemble()
+        ens.update(42.0)
+        assert ens.predict() == 42.0
+
+    def test_tracks_best_on_constant_series(self):
+        ens = default_ensemble()
+        for _ in range(50):
+            ens.update(100.0)
+        assert ens.predict() == pytest.approx(100.0)
+        assert max(ens.mse()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_median_wins_on_spiky_series(self):
+        rng = np.random.default_rng(0)
+        ens = ForecasterEnsemble([LastValue(), SlidingMedian(10)])
+        for i in range(300):
+            v = 10.0 if rng.random() > 0.1 else 500.0  # occasional spike
+            ens.update(v)
+        assert ens.best_member().name.startswith("median")
+
+    def test_last_value_wins_on_random_walk(self):
+        rng = np.random.default_rng(1)
+        ens = ForecasterEnsemble([LastValue(), SlidingMean(20)])
+        x = 100.0
+        for _ in range(500):
+            x += rng.normal(0, 5.0)
+            ens.update(x)
+        assert ens.best_member().name == "last"
+
+    def test_mse_lengths(self):
+        ens = default_ensemble()
+        for v in (1.0, 2.0, 3.0):
+            ens.update(v)
+        assert len(ens.mse()) == len(ens.members)

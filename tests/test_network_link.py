@@ -1,0 +1,212 @@
+"""Tests for the fair-share shared link."""
+
+import pytest
+
+from repro.engine import Environment, Interrupt
+from repro.network import PiecewiseConstantBandwidth, SharedLink
+
+
+def sender(env, link, results, name, size, start=0.0):
+    yield env.timeout(start)
+    tr = link.start_transfer(size)
+    yield tr.done
+    results[name] = (env.now, tr.sent_mb, tr.elapsed)
+
+
+class TestSingleTransfer:
+    def test_duration(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        results = {}
+        env.process(sender(env, link, results, "a", 50.0))
+        env.run()
+        t, sent, elapsed = results["a"]
+        assert t == pytest.approx(5.0)
+        assert sent == 50.0
+        assert elapsed == pytest.approx(5.0)
+
+    def test_zero_size_completes_immediately(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        tr = link.start_transfer(0.0)
+        assert tr.done.triggered
+        assert tr.complete
+
+    def test_negative_size_rejected(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        with pytest.raises(ValueError):
+            link.start_transfer(-1.0)
+
+
+class TestFairSharing:
+    def test_two_equal_transfers(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        results = {}
+        env.process(sender(env, link, results, "a", 100.0))
+        env.process(sender(env, link, results, "b", 100.0))
+        env.run()
+        assert results["a"][0] == pytest.approx(20.0)
+        assert results["b"][0] == pytest.approx(20.0)
+
+    def test_staggered_arrivals(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        results = {}
+        env.process(sender(env, link, results, "a", 100.0, start=0.0))
+        env.process(sender(env, link, results, "b", 100.0, start=5.0))
+        env.run()
+        assert results["a"][0] == pytest.approx(15.0)  # 50 alone + 50 shared
+        assert results["b"][0] == pytest.approx(20.0)
+
+    def test_short_transfer_releases_bandwidth(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        results = {}
+        env.process(sender(env, link, results, "small", 10.0))
+        env.process(sender(env, link, results, "big", 100.0))
+        env.run()
+        # small: 10 MB at 5 MB/s = 2 s; big: 10 MB in 2 s + 90 at full = 11 s
+        assert results["small"][0] == pytest.approx(2.0)
+        assert results["big"][0] == pytest.approx(11.0)
+
+    def test_total_mb_counter(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        results = {}
+        env.process(sender(env, link, results, "a", 30.0))
+        env.process(sender(env, link, results, "b", 70.0))
+        env.run()
+        assert link.total_mb_sent == pytest.approx(100.0)
+
+
+class TestAbort:
+    def test_partial_bytes_on_interrupt(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        out = {}
+
+        def victim(env):
+            tr = link.start_transfer(100.0)
+            try:
+                yield tr.done
+            except Interrupt:
+                link.abort(tr)
+                out["sent"] = tr.sent_mb
+                out["aborted"] = tr.aborted
+
+        def evictor(env, p):
+            yield env.timeout(4.0)
+            p.interrupt()
+
+        p = env.process(victim(env))
+        env.process(evictor(env, p))
+        env.run()
+        assert out["sent"] == pytest.approx(40.0)
+        assert out["aborted"]
+
+    def test_abort_idempotent(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        tr = link.start_transfer(100.0)
+        link.abort(tr)
+        link.abort(tr)  # no-op
+        assert tr.aborted
+        assert link.n_active == 0
+
+    def test_abort_speeds_up_peer(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        results = {}
+        env.process(sender(env, link, results, "survivor", 100.0))
+
+        def aborter(env):
+            tr = link.start_transfer(100.0)
+            yield env.timeout(5.0)
+            link.abort(tr)
+
+        env.process(aborter(env))
+        env.run()
+        # shared for 5 s (25 MB), then alone for 7.5 s
+        assert results["survivor"][0] == pytest.approx(12.5)
+
+
+class TestRequestLatency:
+    def test_latency_delays_completion(self):
+        env = Environment()
+        link = SharedLink(env, 10.0, request_latency=3.0)
+        results = {}
+        env.process(sender(env, link, results, "a", 50.0))
+        env.run()
+        assert results["a"][0] == pytest.approx(8.0)  # 3 s handshake + 5 s data
+
+    def test_latency_does_not_consume_bandwidth(self):
+        # b's handshake overlaps a's data phase without slowing it
+        env = Environment()
+        link = SharedLink(env, 10.0, request_latency=5.0)
+        results = {}
+        env.process(sender(env, link, results, "a", 50.0, start=0.0))
+        env.process(sender(env, link, results, "b", 50.0, start=4.0))
+        env.run()
+        # a: handshake 0-5, data 5-?; b: handshake 4-9.
+        # a alone on the wire 5-9 (40 MB), shared 9-11 (10 MB) -> done 11
+        assert results["a"][0] == pytest.approx(11.0)
+
+    def test_abort_during_handshake_moves_no_bytes(self):
+        from repro.engine import Interrupt
+
+        env = Environment()
+        link = SharedLink(env, 10.0, request_latency=10.0)
+        out = {}
+
+        def victim(env):
+            tr = link.start_transfer(100.0)
+            try:
+                yield tr.done
+            except Interrupt:
+                link.abort(tr)
+                out["sent"] = tr.sent_mb
+
+        def evictor(env, p):
+            yield env.timeout(5.0)
+            p.interrupt()
+
+        p = env.process(victim(env))
+        env.process(evictor(env, p))
+        env.run()
+        assert out["sent"] == 0.0
+        assert link.total_mb_sent == 0.0
+
+    def test_negative_latency_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SharedLink(env, 10.0, request_latency=-1.0)
+
+
+class TestTimeVaryingBandwidth:
+    def test_epoch_boundary_respected(self):
+        env = Environment()
+        bw = PiecewiseConstantBandwidth([0.0, 10.0], [10.0, 2.0])
+        link = SharedLink(env, bw)
+        results = {}
+        env.process(sender(env, link, results, "c", 120.0))
+        env.run()
+        assert results["c"][0] == pytest.approx(20.0)
+
+    def test_transfer_spanning_many_epochs(self):
+        env = Environment()
+        bw = PiecewiseConstantBandwidth([0.0, 5.0, 10.0, 15.0], [1.0, 2.0, 4.0, 8.0])
+        link = SharedLink(env, bw)
+        results = {}
+        env.process(sender(env, link, results, "d", 5.0 + 10.0 + 20.0 + 16.0))
+        env.run()
+        assert results["d"][0] == pytest.approx(17.0)
+
+    def test_current_rate_per_transfer(self):
+        env = Environment()
+        link = SharedLink(env, 12.0)
+        link.start_transfer(100.0)
+        link.start_transfer(100.0)
+        link.start_transfer(100.0)
+        assert link.current_rate_per_transfer() == pytest.approx(4.0)

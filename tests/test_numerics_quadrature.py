@@ -1,0 +1,93 @@
+"""Tests for adaptive Simpson and Gauss-Legendre quadrature."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.numerics import QuadratureError, adaptive_simpson, gauss_legendre, gauss_legendre_nodes
+
+
+class TestAdaptiveSimpson:
+    def test_polynomial_exact(self):
+        # Simpson is exact for cubics even without refinement
+        val = adaptive_simpson(lambda x: x**3 - 2 * x, 0.0, 2.0)
+        assert val == pytest.approx(4.0 - 4.0, abs=1e-12)
+
+    def test_exponential(self):
+        val = adaptive_simpson(math.exp, 0.0, 1.0, tol=1e-12)
+        assert val == pytest.approx(math.e - 1.0, abs=1e-10)
+
+    def test_oscillatory(self):
+        val = adaptive_simpson(lambda x: math.sin(10.0 * x), 0.0, math.pi, tol=1e-11)
+        assert val == pytest.approx((1.0 - math.cos(10.0 * math.pi)) / 10.0, abs=1e-8)
+
+    def test_zero_width(self):
+        assert adaptive_simpson(math.exp, 1.0, 1.0) == 0.0
+
+    def test_reversed_limits_negate(self):
+        a = adaptive_simpson(math.exp, 0.0, 1.0)
+        b = adaptive_simpson(math.exp, 1.0, 0.0)
+        assert a == pytest.approx(-b, rel=1e-12)
+
+    def test_singularity_hits_depth_limit(self):
+        with pytest.raises(QuadratureError):
+            adaptive_simpson(lambda x: 1.0 / x if x > 0 else 1e308, 0.0, 1.0, tol=1e-14, max_depth=8)
+
+
+class TestGaussLegendre:
+    def test_nodes_cached_and_correct(self):
+        nodes, weights = gauss_legendre_nodes(5)
+        assert weights.sum() == pytest.approx(2.0, abs=1e-12)
+        assert np.all(np.diff(nodes) > 0)
+        again, _ = gauss_legendre_nodes(5)
+        assert again is nodes  # lru_cache returns the same object
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            gauss_legendre_nodes(0)
+
+    def test_polynomial_exact(self):
+        # order-n GL integrates degree 2n-1 exactly
+        val = gauss_legendre(lambda x: x**7 + x**2, -1.0, 2.0, order=4, panels=1)
+        exact = (2.0**8 - 1.0) / 8.0 + (2.0**3 + 1.0) / 3.0
+        assert val == pytest.approx(exact, rel=1e-12)
+
+    def test_weibull_density_mass(self):
+        # integral of a (smooth, shape > 1) Weibull pdf over a long range ~ 1
+        a, b = 1.5, 100.0
+
+        def pdf(x):
+            z = np.maximum(x, 1e-12) / b
+            return (a / b) * z ** (a - 1.0) * np.exp(-(z**a))
+
+        val = gauss_legendre(pdf, 0.0, 5000.0, order=60, panels=20)
+        assert val == pytest.approx(1.0, abs=1e-5)
+
+    def test_integrable_singularity_degrades_gracefully(self):
+        # shape < 1 puts an x^(a-1) singularity at 0: equal-width panels
+        # lose accuracy but remain within a percent -- which is why the
+        # paper families carry closed-form partial expectations instead
+        a, b = 0.7, 100.0
+
+        def pdf(x):
+            z = np.maximum(x, 1e-12) / b
+            return (a / b) * z ** (a - 1.0) * np.exp(-(z**a))
+
+        val = gauss_legendre(pdf, 1e-9, 5000.0, order=60, panels=20)
+        assert val == pytest.approx(1.0, abs=2e-2)
+
+    def test_zero_width(self):
+        assert gauss_legendre(np.exp, 2.0, 2.0) == 0.0
+
+    def test_reversed_limits_negate(self):
+        a = gauss_legendre(np.exp, 0.0, 1.0)
+        b = gauss_legendre(np.exp, 1.0, 0.0)
+        assert a == pytest.approx(-b, rel=1e-12)
+
+    def test_matches_simpson(self):
+        f_arr = lambda x: np.sin(x) * np.exp(-0.1 * x)
+        f_sca = lambda x: math.sin(x) * math.exp(-0.1 * x)
+        gl = gauss_legendre(f_arr, 0.0, 10.0, order=40, panels=4)
+        simp = adaptive_simpson(f_sca, 0.0, 10.0, tol=1e-12)
+        assert gl == pytest.approx(simp, abs=1e-9)

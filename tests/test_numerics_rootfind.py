@@ -1,0 +1,74 @@
+"""Tests for bisection and safeguarded Newton."""
+
+import math
+
+import pytest
+
+from repro.numerics import RootFindError, bisect, newton_safeguarded
+
+
+class TestBisect:
+    def test_simple_root(self):
+        assert bisect(lambda x: x - 2.5, 0.0, 10.0) == pytest.approx(2.5, abs=1e-9)
+
+    def test_transcendental(self):
+        root = bisect(lambda x: math.cos(x) - x, 0.0, 1.0)
+        assert math.cos(root) == pytest.approx(root, abs=1e-9)
+
+    def test_root_at_endpoint(self):
+        assert bisect(lambda x: x, 0.0, 1.0) == 0.0
+        assert bisect(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_no_sign_change(self):
+        with pytest.raises(RootFindError):
+            bisect(lambda x: x * x + 1.0, -1.0, 1.0)
+
+
+class TestNewtonSafeguarded:
+    def test_quadratic(self):
+        root = newton_safeguarded(
+            lambda x: x * x - 9.0, lambda x: 2.0 * x, 1.0, lo=0.0, hi=10.0
+        )
+        assert root == pytest.approx(3.0, abs=1e-10)
+
+    def test_flat_derivative_falls_back_to_bisection(self):
+        # derivative reported as zero everywhere: must still converge
+        root = newton_safeguarded(
+            lambda x: x - 4.0, lambda x: 0.0, 1.0, lo=0.0, hi=10.0
+        )
+        assert root == pytest.approx(4.0, abs=1e-8)
+
+    def test_newton_step_escaping_bracket_is_rejected(self):
+        # f has an inflection that throws plain Newton far away
+        f = lambda x: math.atan(x - 3.0)
+        df = lambda x: 1.0 / (1.0 + (x - 3.0) ** 2)
+        root = newton_safeguarded(f, df, 50.0, lo=-100.0, hi=100.0)
+        assert root == pytest.approx(3.0, abs=1e-8)
+
+    def test_weibull_profile_equation_shape(self):
+        # the exact equation the Weibull MLE solves, on clean data
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        x = 2000.0 * rng.weibull(0.6, size=400)
+        log_x = np.log(np.maximum(x, 1e-12))
+        mean_log = float(log_x.mean())
+
+        def g(alpha):
+            w = x**alpha
+            return float((w * log_x).sum() / w.sum()) - 1.0 / alpha - mean_log
+
+        def dg(alpha):
+            w = x**alpha
+            sw, swl, swll = w.sum(), (w * log_x).sum(), (w * log_x**2).sum()
+            return float((swll * sw - swl * swl) / sw**2) + 1.0 / alpha**2
+
+        root = newton_safeguarded(g, dg, 1.0, lo=0.01, hi=20.0)
+        assert root == pytest.approx(0.6, abs=0.06)
+
+    def test_no_sign_change(self):
+        with pytest.raises(RootFindError):
+            newton_safeguarded(lambda x: 1.0 + x * x, lambda x: 2 * x, 0.0, lo=-1, hi=1)
+
+    def test_root_at_bracket_edge(self):
+        assert newton_safeguarded(lambda x: x, lambda x: 1.0, 0.5, lo=0.0, hi=1.0) == 0.0

@@ -1,0 +1,124 @@
+"""Property-based tests for the Markov model, optimizer and simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CheckpointCosts, MarkovIntervalModel, optimize_interval
+from repro.distributions import Exponential, Hyperexponential, Weibull
+from repro.simulation import SimulationConfig, simulate_trace
+
+dists = st.sampled_from(
+    [
+        Exponential(1.0 / 500.0),
+        Exponential(1.0 / 8000.0),
+        Weibull(0.43, 3409.0),
+        Weibull(0.8, 1000.0),
+        Weibull(1.6, 4000.0),
+        Hyperexponential([0.6, 0.4], [1.0 / 200.0, 1.0 / 9000.0]),
+        Hyperexponential([0.3, 0.5, 0.2], [1.0 / 50.0, 1.0 / 1000.0, 1.0 / 20000.0]),
+    ]
+)
+#: checkpoint costs >= 10 s: sub-second costs make T_opt tiny, turning
+#: each simulated interval into thousands of cycles and the property
+#: suite into a soak test without exercising anything new
+costs = st.floats(min_value=10.0, max_value=2000.0)
+Ts = st.floats(min_value=1.0, max_value=1e5)
+ages = st.floats(min_value=0.0, max_value=5e4)
+durations_lists = st.lists(
+    st.floats(min_value=0.0, max_value=3e4), min_size=1, max_size=20
+)
+
+
+class TestMarkovProperties:
+    @given(dists, costs, Ts, ages)
+    @settings(max_examples=200, deadline=None)
+    def test_probability_simplex(self, dist, c, T, age):
+        model = MarkovIntervalModel(dist, CheckpointCosts.symmetric(c), age)
+        tr = model.transitions(T)
+        assert tr.p01 + tr.p02 == pytest.approx(1.0, abs=1e-9)
+        assert tr.p21 + tr.p22 == pytest.approx(1.0, abs=1e-9)
+        assert 0.0 <= tr.p01 <= 1.0 and 0.0 <= tr.p21 <= 1.0
+
+    @given(dists, costs, Ts, ages)
+    @settings(max_examples=200, deadline=None)
+    def test_costs_within_horizons(self, dist, c, T, age):
+        model = MarkovIntervalModel(dist, CheckpointCosts.symmetric(c), age)
+        tr = model.transitions(T)
+        assert tr.k01 == c + T
+        assert tr.k21 == c + T  # R = C, L = 0
+        assert 0.0 <= tr.k02 <= tr.k01 + 1e-9
+        assert 0.0 <= tr.k22 <= tr.k21 + 1e-9
+
+    @given(dists, costs, Ts, ages)
+    @settings(max_examples=200, deadline=None)
+    def test_gamma_dominates_ideal_time(self, dist, c, T, age):
+        model = MarkovIntervalModel(dist, CheckpointCosts.symmetric(c), age)
+        g = model.gamma(T)
+        assert g >= T + c - 1e-9
+        eff = model.expected_efficiency(T)
+        assert 0.0 <= eff <= T / (T + c) + 1e-9
+
+
+class TestOptimizerProperties:
+    @given(dists, costs, ages)
+    @settings(max_examples=60, deadline=None)
+    def test_t_opt_is_local_minimum(self, dist, c, age):
+        opt = optimize_interval(dist, CheckpointCosts.symmetric(c), age=age)
+        model = MarkovIntervalModel(dist, CheckpointCosts.symmetric(c), age)
+        for factor in (0.8, 0.9, 1.1, 1.25):
+            assert model.overhead_ratio(opt.T_opt) <= model.overhead_ratio(
+                opt.T_opt * factor
+            ) * (1.0 + 1e-6)
+
+    @given(dists, costs, ages)
+    @settings(max_examples=60, deadline=None)
+    def test_efficiency_unit_interval(self, dist, c, age):
+        opt = optimize_interval(dist, CheckpointCosts.symmetric(c), age=age)
+        assert 0.0 < opt.expected_efficiency < 1.0
+        assert opt.T_opt > 0.0
+
+
+class TestSimulatorProperties:
+    @given(
+        dists,
+        dists,
+        costs,
+        durations_lists,
+        st.sampled_from(["proportional", "full", "none"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_bounds(self, model_dist, _gt, c, durations, policy):
+        cfg = SimulationConfig(checkpoint_cost=c, partial_transfer_policy=policy)
+        res = simulate_trace(model_dist, durations, cfg)
+        total = res.total_time
+        assert abs(res.conservation_residual()) <= max(1e-6 * max(total, 1.0), 1e-6)
+        assert 0.0 <= res.efficiency <= 1.0
+        assert res.useful_work <= total + 1e-9
+        assert res.n_checkpoints_completed <= res.n_checkpoints_attempted
+        assert res.mb_total >= 0.0
+
+    @given(dists, durations_lists, costs)
+    @settings(max_examples=40, deadline=None)
+    def test_bandwidth_policy_ordering(self, dist, durations, c):
+        mk = lambda policy: simulate_trace(
+            dist,
+            durations,
+            SimulationConfig(checkpoint_cost=c, partial_transfer_policy=policy),
+        ).mb_total
+        none, prop, full = mk("none"), mk("proportional"), mk("full")
+        assert none <= prop + 1e-9 <= full + 1e-9
+
+    @given(
+        dists,
+        st.lists(st.floats(min_value=0.0, max_value=20.0), min_size=1, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_zero_cost_zero_overhead(self, dist, durations):
+        # zero cost drives T_opt to the t_min floor, so keep the replayed
+        # intervals tiny -- the point is only the overhead accounting
+        cfg = SimulationConfig(checkpoint_cost=0.0, checkpoint_size_mb=0.0)
+        res = simulate_trace(dist, durations, cfg)
+        assert res.checkpoint_overhead == 0.0
+        assert res.recovery_overhead == 0.0

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the distribution algebra.
+
+These pin down the invariants the checkpoint optimizer relies on, over
+wide randomised parameter ranges:
+
+* CDFs are monotone, within [0, 1], with matching survival complements;
+* partial expectations are monotone, bounded by ``x * F(x)`` and the
+  mean, and agree with quadrature;
+* conditional (future-lifetime) distributions satisfy eq. (8) and
+  compose; conditioning a hyperexponential preserves its rates;
+* fitted models reproduce summary statistics of their training data.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Exponential,
+    Hyperexponential,
+    Weibull,
+    fit_exponential,
+    fit_weibull,
+)
+
+# -- strategies ------------------------------------------------------------
+
+rates = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+shapes = st.floats(min_value=0.2, max_value=5.0, allow_nan=False)
+scales = st.floats(min_value=1.0, max_value=1e5, allow_nan=False)
+xs = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+ages = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+@st.composite
+def hyperexps(draw, max_k=3):
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    raw = [draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(k)]
+    probs = np.asarray(raw) / np.sum(raw)
+    lam = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-5, max_value=1e-1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+    )
+    return Hyperexponential(probs, lam)
+
+
+@st.composite
+def distributions(draw):
+    which = draw(st.integers(min_value=0, max_value=2))
+    if which == 0:
+        return Exponential(draw(rates))
+    if which == 1:
+        return Weibull(draw(shapes), draw(scales))
+    return draw(hyperexps())
+
+
+# -- properties ------------------------------------------------------------
+
+
+class TestCDFProperties:
+    @given(distributions(), xs, xs)
+    @settings(max_examples=150, deadline=None)
+    def test_cdf_monotone_and_bounded(self, dist, a, b):
+        lo, hi = min(a, b), max(a, b)
+        fa, fb = dist.cdf_one(lo), dist.cdf_one(hi)
+        assert 0.0 <= fa <= fb <= 1.0 + 1e-12
+
+    @given(distributions(), xs)
+    @settings(max_examples=150, deadline=None)
+    def test_sf_complement(self, dist, x):
+        assert dist.cdf_one(x) + float(dist.sf(x)) == pytest.approx(1.0, abs=1e-9)
+
+    @given(distributions(), xs)
+    @settings(max_examples=100, deadline=None)
+    def test_scalar_matches_vector(self, dist, x):
+        assert dist.cdf_one(x) == pytest.approx(float(dist.cdf(x)), abs=1e-10)
+        assert dist.partial_expectation_one(x) == pytest.approx(
+            float(dist.partial_expectation(x)), rel=1e-8, abs=1e-10
+        )
+
+
+class TestPartialExpectationProperties:
+    @given(distributions(), xs, xs)
+    @settings(max_examples=150, deadline=None)
+    def test_monotone(self, dist, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert dist.partial_expectation_one(lo) <= dist.partial_expectation_one(hi) + 1e-9
+
+    @given(distributions(), xs)
+    @settings(max_examples=150, deadline=None)
+    def test_bounds(self, dist, x):
+        pe = dist.partial_expectation_one(x)
+        assert -1e-12 <= pe <= min(x * dist.cdf_one(x) + 1e-9, dist.mean() + 1e-6)
+
+    @given(distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_limit_is_mean(self, dist):
+        big = dist.mean() * 1e4
+        assume(math.isfinite(big))
+        assert dist.partial_expectation_one(big) == pytest.approx(
+            dist.mean(), rel=1e-2
+        )
+
+
+class TestConditionalProperties:
+    @given(distributions(), ages, xs)
+    @settings(max_examples=150, deadline=None)
+    def test_eq8(self, dist, age, x):
+        surv = float(dist.sf(age))
+        assume(surv > 1e-9)
+        cond = dist.conditional(age)
+        expected = (dist.cdf_one(age + x) - dist.cdf_one(age)) / surv
+        assert cond.cdf_one(x) == pytest.approx(expected, abs=1e-7)
+
+    @given(hyperexps(), ages)
+    @settings(max_examples=100, deadline=None)
+    def test_hyperexp_conditional_keeps_rates(self, dist, age):
+        assume(float(dist.sf(age)) > 1e-12)
+        cond = dist.conditional(age)
+        assert isinstance(cond, Hyperexponential)
+        assert np.allclose(cond.rates, dist.rates)
+        assert cond.probs.sum() == pytest.approx(1.0)
+
+    @given(st.floats(min_value=1e-5, max_value=1e-1), ages, xs)
+    @settings(max_examples=100, deadline=None)
+    def test_exponential_memoryless(self, lam, age, x):
+        dist = Exponential(lam)
+        assert dist.conditional(age).cdf_one(x) == pytest.approx(
+            dist.cdf_one(x), abs=1e-12
+        )
+
+
+class TestFittingProperties:
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e5), min_size=3, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_exponential_mle_matches_sample_mean(self, data):
+        fit = fit_exponential(data)
+        assert 1.0 / fit.lam == pytest.approx(float(np.mean(data)), rel=1e-9)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e5), min_size=5, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_weibull_fit_valid_and_no_worse_than_exponential(self, data):
+        assume(np.ptp(data) > 1e-6)
+        weib = fit_weibull(data)
+        expo = fit_exponential(data)
+        assert weib.shape > 0 and weib.scale > 0
+        # Weibull nests the exponential, so MLE log-lik cannot be lower
+        assert weib.log_likelihood(data) >= expo.log_likelihood(data) - 1e-6

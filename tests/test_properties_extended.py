@@ -1,0 +1,132 @@
+"""Property-based tests for the extended families and gang distribution."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import LogNormal, Pareto, ProductAvailability, Weibull, Exponential
+
+lognormals = st.builds(
+    LogNormal,
+    mu=st.floats(min_value=2.0, max_value=12.0),
+    sigma=st.floats(min_value=0.2, max_value=2.5),
+)
+paretos = st.builds(
+    Pareto,
+    shape=st.floats(min_value=1.1, max_value=6.0),
+    scale=st.floats(min_value=10.0, max_value=1e5),
+)
+members = st.sampled_from(
+    [
+        Exponential(1.0 / 2000.0),
+        Weibull(0.5, 3000.0),
+        Weibull(1.5, 1000.0),
+        LogNormal(7.0, 1.2),
+        Pareto(2.0, 4000.0),
+    ]
+)
+xs = st.floats(min_value=0.0, max_value=1e6)
+ages = st.floats(min_value=0.0, max_value=1e5)
+
+
+class TestExtendedFamilies:
+    @given(st.one_of(lognormals, paretos), xs, xs)
+    @settings(max_examples=120, deadline=None)
+    def test_cdf_monotone_bounded(self, dist, a, b):
+        lo, hi = min(a, b), max(a, b)
+        fa, fb = dist.cdf_one(lo), dist.cdf_one(hi)
+        assert 0.0 <= fa <= fb <= 1.0 + 1e-12
+
+    @given(st.one_of(lognormals, paretos), xs)
+    @settings(max_examples=120, deadline=None)
+    def test_partial_expectation_bounds(self, dist, x):
+        pe = dist.partial_expectation_one(x)
+        assert -1e-12 <= pe
+        assert pe <= x * dist.cdf_one(x) + 1e-9
+        assert pe <= dist.mean() + 1e-6 * dist.mean()
+
+    @given(st.one_of(lognormals, paretos), ages, xs)
+    @settings(max_examples=120, deadline=None)
+    def test_eq8_conditioning(self, dist, age, x):
+        surv = float(dist.sf(age))
+        assume(surv > 1e-9)
+        cond = dist.conditional(age)
+        expected = (dist.cdf_one(age + x) - dist.cdf_one(age)) / surv
+        assert cond.cdf_one(x) == pytest.approx(expected, abs=1e-7)
+
+    @given(paretos, ages)
+    @settings(max_examples=100, deadline=None)
+    def test_lomax_linear_mrl(self, dist, t):
+        mrl = float(dist.mean_residual_life(t))
+        assert mrl == pytest.approx((dist.scale + t) / (dist.shape - 1.0), rel=1e-9)
+
+    @given(st.one_of(lognormals, paretos), st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_inverts(self, dist, q):
+        x = float(dist.quantile(q))
+        assert dist.cdf_one(x) == pytest.approx(q, abs=1e-7)
+
+
+class TestProductProperties:
+    @given(st.lists(members, min_size=1, max_size=4), xs)
+    @settings(max_examples=100, deadline=None)
+    def test_survival_product(self, ms, x):
+        gang = ProductAvailability(ms)
+        expected = 1.0
+        for m in ms:
+            expected *= float(m.sf(x))
+        assert float(gang.sf(x)) == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @given(st.lists(members, min_size=1, max_size=4), xs)
+    @settings(max_examples=100, deadline=None)
+    def test_min_dominates_members(self, ms, x):
+        gang = ProductAvailability(ms)
+        for m in ms:
+            assert gang.cdf_one(x) >= float(m.cdf(x)) - 1e-9
+
+    @given(st.lists(members, min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_below_smallest_member_mean(self, ms):
+        gang = ProductAvailability(ms)
+        assert gang.mean() <= min(m.mean() for m in ms) * (1 + 1e-6)
+
+    @given(st.lists(members, min_size=1, max_size=3), ages, xs)
+    @settings(max_examples=60, deadline=None)
+    def test_conditioning_distributes(self, ms, age, x):
+        gang = ProductAvailability(ms)
+        surv = float(gang.sf(age))
+        assume(surv > 1e-9)
+        cond = gang.conditional(age)
+        expected = (gang.cdf_one(age + x) - gang.cdf_one(age)) / surv
+        assert cond.cdf_one(x) == pytest.approx(expected, abs=1e-6)
+
+
+class TestCompletionProperties:
+    @given(
+        st.floats(min_value=100.0, max_value=1e5),
+        st.floats(min_value=10.0, max_value=1000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_dominates_work_plus_overheads(self, work, cost):
+        from repro.core import CheckpointCosts, expected_completion_time
+
+        d = Weibull(0.6, 5000.0)
+        est = expected_completion_time(d, CheckpointCosts.symmetric(cost), work)
+        # at least recovery + work + one checkpoint
+        assert est.expected_makespan >= work + 2 * cost - 1e-6
+        assert 0.0 < est.expected_efficiency <= work / (work + 2 * cost) + 1e-9
+
+    @given(st.floats(min_value=100.0, max_value=5e4))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_superadditive_in_work(self, work):
+        # doing 2W takes at least as long as doing W (sanity monotonicity)
+        from repro.core import CheckpointCosts, expected_completion_time
+
+        d = Exponential(1.0 / 8000.0)
+        costs = CheckpointCosts.symmetric(100.0)
+        one = expected_completion_time(d, costs, work).expected_makespan
+        two = expected_completion_time(d, costs, 2 * work).expected_makespan
+        assert two > one

@@ -1,0 +1,63 @@
+"""Tests for simulation result accounting."""
+
+import pytest
+
+from repro.simulation import SimulationConfig, SimulationResult
+
+
+def make_result(**overrides):
+    base = dict(
+        machine_id="m",
+        model_name="weibull",
+        checkpoint_cost=100.0,
+        total_time=1000.0,
+        useful_work=600.0,
+        lost_work=150.0,
+        checkpoint_overhead=150.0,
+        recovery_overhead=100.0,
+        n_intervals=3,
+        n_failures=3,
+        n_checkpoints_completed=5,
+        n_checkpoints_attempted=6,
+        n_recoveries_completed=3,
+        n_recoveries_attempted=3,
+        mb_checkpoint=2500.0,
+        mb_recovery=1500.0,
+        predicted_efficiency=0.65,
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestSimulationResult:
+    def test_efficiency(self):
+        assert make_result().efficiency == pytest.approx(0.6)
+
+    def test_zero_time_efficiency(self):
+        assert make_result(total_time=0.0).efficiency == 0.0
+
+    def test_mb_total_and_rate(self):
+        r = make_result()
+        assert r.mb_total == 4000.0
+        assert r.mb_per_hour == pytest.approx(4000.0 / (1000.0 / 3600.0))
+
+    def test_conservation_residual_zero(self):
+        assert make_result().conservation_residual() == pytest.approx(0.0)
+
+    def test_conservation_residual_detects_leak(self):
+        assert make_result(useful_work=500.0).conservation_residual() == pytest.approx(100.0)
+
+
+class TestSimulationConfig:
+    def test_effective_recovery_defaults_to_checkpoint(self):
+        assert SimulationConfig(checkpoint_cost=123.0).effective_recovery_cost == 123.0
+
+    def test_explicit_recovery(self):
+        cfg = SimulationConfig(checkpoint_cost=123.0, recovery_cost=7.0)
+        assert cfg.effective_recovery_cost == 7.0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(checkpoint_cost=1.0, checkpoint_size_mb=-1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(checkpoint_cost=1.0, recovery_cost=-2.0)

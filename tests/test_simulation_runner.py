@@ -1,0 +1,88 @@
+"""Tests for pool sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import SimulationConfig, SweepSettings, simulate_machine, simulate_pool
+from repro.traces import SyntheticPoolConfig, generate_condor_pool
+
+SMALL_SETTINGS = SweepSettings(
+    checkpoint_costs=(100.0, 500.0),
+    n_train=10,
+    base_config=SimulationConfig(checkpoint_cost=0.0),
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return generate_condor_pool(
+        SyntheticPoolConfig(n_machines=5, n_observations=40), np.random.default_rng(2)
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(pool):
+    return simulate_pool(pool, SMALL_SETTINGS)
+
+
+class TestSweepSettings:
+    def test_replay_mode_validated(self):
+        with pytest.raises(ValueError):
+            SweepSettings(replay="half")
+
+    def test_empty_costs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSettings(checkpoint_costs=())
+
+
+class TestSimulateMachine:
+    def test_one_result_per_model_cost(self, pool):
+        results = simulate_machine(pool[0], SMALL_SETTINGS)
+        assert len(results) == 4 * 2
+        keys = {(r.model_name, r.checkpoint_cost) for r in results}
+        assert len(keys) == 8
+
+    def test_replay_full_covers_whole_trace(self, pool):
+        results = simulate_machine(pool[0], SMALL_SETTINGS)
+        assert results[0].total_time == pytest.approx(pool[0].total_availability)
+
+    def test_replay_experimental_only(self, pool):
+        settings = SweepSettings(
+            checkpoint_costs=(100.0,), n_train=10, replay="experimental"
+        )
+        results = simulate_machine(pool[0], settings)
+        _, test = pool[0].split(10)
+        assert results[0].total_time == pytest.approx(float(test.sum()))
+
+    def test_deterministic(self, pool):
+        a = simulate_machine(pool[1], SMALL_SETTINGS)
+        b = simulate_machine(pool[1], SMALL_SETTINGS)
+        assert [r.efficiency for r in a] == [r.efficiency for r in b]
+
+
+class TestPoolSweep:
+    def test_metric_matrix_shape(self, sweep, pool):
+        mat = sweep.metric_matrix("weibull", "efficiency")
+        assert mat.shape == (len(pool), 2)
+        assert np.all((mat >= 0.0) & (mat <= 1.0))
+
+    def test_metric_matrix_mb(self, sweep, pool):
+        mat = sweep.metric_matrix("exponential", "mb_total")
+        assert mat.shape == (len(pool), 2)
+        assert np.all(mat >= 0.0)
+        # larger C -> fewer checkpoints -> less traffic (columns ordered by cost)
+        assert np.mean(mat[:, 0]) > np.mean(mat[:, 1])
+
+    def test_machines_order(self, sweep, pool):
+        assert sweep.machines() == pool.machine_ids
+
+    def test_unknown_metric_raises(self, sweep):
+        with pytest.raises(AttributeError):
+            sweep.metric_matrix("weibull", "nonexistent")
+
+    def test_parallel_matches_serial(self, pool):
+        serial = simulate_pool(pool, SMALL_SETTINGS, n_workers=1)
+        parallel = simulate_pool(pool, SMALL_SETTINGS, n_workers=2)
+        a = serial.metric_matrix("hyperexp2", "efficiency")
+        b = parallel.metric_matrix("hyperexp2", "efficiency")
+        assert np.allclose(a, b)

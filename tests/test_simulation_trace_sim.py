@@ -1,0 +1,165 @@
+"""Tests for the trace-driven checkpoint simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointCosts, CheckpointSchedule
+from repro.distributions import Exponential, Weibull
+from repro.simulation import SimulationConfig, replay_schedule, simulate_trace
+
+
+def exact_schedule(T):
+    """A degenerate 'schedule' with a fixed work interval, for hand checks."""
+    sched = CheckpointSchedule(Exponential(1e-9), CheckpointCosts.symmetric(0.0))
+
+    class Fixed:
+        costs = sched.costs
+
+        def work_interval(self, i):
+            return T
+
+        def expected_efficiency(self, i=0):
+            return 1.0
+
+    return Fixed()
+
+
+class TestHandComputedIntervals:
+    def test_perfect_interval(self):
+        # A = R + T + C exactly: one recovery, one work unit, one checkpoint
+        cfg = SimulationConfig(checkpoint_cost=100.0, recovery_cost=50.0)
+        sched = exact_schedule(600.0)
+        res = replay_schedule(sched, np.array([750.0]), cfg)
+        assert res.useful_work == pytest.approx(600.0)
+        assert res.recovery_overhead == pytest.approx(50.0)
+        assert res.checkpoint_overhead == pytest.approx(100.0)
+        assert res.lost_work == 0.0
+        assert res.n_checkpoints_completed == 1
+        assert res.efficiency == pytest.approx(600.0 / 750.0)
+
+    def test_eviction_during_work(self):
+        cfg = SimulationConfig(checkpoint_cost=100.0, recovery_cost=50.0)
+        sched = exact_schedule(600.0)
+        # availability ends 200 s into the work phase
+        res = replay_schedule(sched, np.array([250.0]), cfg)
+        assert res.useful_work == 0.0
+        assert res.lost_work == pytest.approx(200.0)
+        assert res.n_checkpoints_attempted == 0
+
+    def test_eviction_during_checkpoint(self):
+        cfg = SimulationConfig(checkpoint_cost=100.0, recovery_cost=50.0)
+        sched = exact_schedule(600.0)
+        # fails 30 s into the checkpoint: work lost, partial bytes counted
+        res = replay_schedule(sched, np.array([680.0]), cfg)
+        assert res.lost_work == pytest.approx(600.0)
+        assert res.checkpoint_overhead == pytest.approx(30.0)
+        assert res.n_checkpoints_attempted == 1
+        assert res.n_checkpoints_completed == 0
+        assert res.mb_checkpoint == pytest.approx(500.0 * 30.0 / 100.0)
+
+    def test_eviction_during_recovery(self):
+        cfg = SimulationConfig(checkpoint_cost=100.0, recovery_cost=50.0)
+        sched = exact_schedule(600.0)
+        res = replay_schedule(sched, np.array([20.0]), cfg)
+        assert res.recovery_overhead == pytest.approx(20.0)
+        assert res.useful_work == 0.0 and res.lost_work == 0.0
+        assert res.n_recoveries_completed == 0
+        assert res.mb_recovery == pytest.approx(500.0 * 20.0 / 50.0)
+
+    def test_multiple_cycles_per_interval(self):
+        cfg = SimulationConfig(checkpoint_cost=100.0, recovery_cost=50.0)
+        sched = exact_schedule(600.0)
+        # 50 + 3*(600+100) = 2150, then 100 s of doomed work
+        res = replay_schedule(sched, np.array([2250.0]), cfg)
+        assert res.n_checkpoints_completed == 3
+        assert res.useful_work == pytest.approx(1800.0)
+        assert res.lost_work == pytest.approx(100.0)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy", ["proportional", "full", "none"])
+    def test_time_conservation(self, policy):
+        rng = np.random.default_rng(31)
+        durations = Weibull(0.5, 3000.0).sample(120, rng)
+        cfg = SimulationConfig(checkpoint_cost=200.0, partial_transfer_policy=policy)
+        res = simulate_trace(Weibull(0.6, 2500.0), durations, cfg)
+        assert abs(res.conservation_residual()) < 1e-6 * res.total_time
+        assert res.total_time == pytest.approx(float(durations.sum()))
+
+    def test_counts_consistent(self):
+        rng = np.random.default_rng(32)
+        durations = Exponential(1.0 / 4000.0).sample(80, rng)
+        cfg = SimulationConfig(checkpoint_cost=150.0)
+        res = simulate_trace(Exponential(1.0 / 3500.0), durations, cfg)
+        assert res.n_checkpoints_completed <= res.n_checkpoints_attempted
+        assert res.n_recoveries_completed <= res.n_recoveries_attempted
+        assert res.n_recoveries_attempted == res.n_intervals
+        assert 0.0 <= res.efficiency <= 1.0
+
+
+class TestBandwidthPolicies:
+    def test_full_counts_more_than_proportional(self):
+        rng = np.random.default_rng(33)
+        durations = Weibull(0.45, 2000.0).sample(100, rng)
+        dist = Weibull(0.5, 2500.0)
+        kwargs = dict(checkpoint_cost=300.0)
+        prop = simulate_trace(dist, durations, SimulationConfig(**kwargs))
+        full = simulate_trace(
+            dist, durations, SimulationConfig(partial_transfer_policy="full", **kwargs)
+        )
+        none = simulate_trace(
+            dist, durations, SimulationConfig(partial_transfer_policy="none", **kwargs)
+        )
+        assert none.mb_total <= prop.mb_total <= full.mb_total
+
+    def test_no_recovery_bandwidth(self):
+        rng = np.random.default_rng(34)
+        durations = Weibull(0.45, 2000.0).sample(50, rng)
+        cfg = SimulationConfig(checkpoint_cost=300.0, count_recovery_bandwidth=False)
+        res = simulate_trace(Weibull(0.5, 2500.0), durations, cfg)
+        assert res.mb_recovery == 0.0
+        assert res.mb_total == res.mb_checkpoint
+
+    def test_completed_transfers_bill_full_size(self):
+        cfg = SimulationConfig(checkpoint_cost=100.0, recovery_cost=50.0)
+        sched = exact_schedule(600.0)
+        res = replay_schedule(sched, np.array([750.0]), cfg)
+        assert res.mb_checkpoint == 500.0
+        assert res.mb_recovery == 500.0
+
+
+class TestModelDifferences:
+    def test_exponential_checkpoints_more_than_hyper(self):
+        # the paper's core finding, on one machine
+        rng = np.random.default_rng(35)
+        data = Weibull(0.43, 3409.0).sample(200, rng)
+        from repro.distributions import fit_exponential, fit_hyperexponential
+
+        train = data[:25]
+        exp_fit = fit_exponential(train)
+        h2_fit = fit_hyperexponential(train, k=2).distribution
+        cfg = SimulationConfig(checkpoint_cost=500.0)
+        res_e = simulate_trace(exp_fit, data, cfg)
+        res_h = simulate_trace(h2_fit, data, cfg)
+        assert res_e.mb_total > res_h.mb_total
+        assert abs(res_e.efficiency - res_h.efficiency) < 0.15
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_trace(Exponential(1e-3), [], SimulationConfig(checkpoint_cost=10.0))
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(checkpoint_cost=10.0, partial_transfer_policy="half")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(checkpoint_cost=-1.0)
+
+    def test_zero_duration_interval_is_all_recovery_overhead(self):
+        cfg = SimulationConfig(checkpoint_cost=100.0)
+        res = simulate_trace(Exponential(1e-3), [0.0, 1000.0], cfg)
+        assert res.n_intervals == 2
+        assert abs(res.conservation_residual()) < 1e-9

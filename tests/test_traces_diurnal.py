@@ -1,0 +1,105 @@
+"""Tests for the diurnal owner-behaviour model."""
+
+import numpy as np
+import pytest
+
+from repro.condor import CondorMachine
+from repro.distributions import Exponential
+from repro.engine import Environment
+from repro.traces import (
+    DiurnalProfile,
+    DiurnalSessionIterator,
+    diurnal_gap,
+    office_hours_profile,
+    offpeak_profile,
+)
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+
+class TestDiurnalProfile:
+    def test_normalised_to_unit_mean(self):
+        p = office_hours_profile()
+        assert p.intensity.mean() == pytest.approx(1.0)
+
+    def test_office_hours_shape(self):
+        p = office_hours_profile()
+        # Monday 10:00 is busier than Monday 03:00 and than Saturday 10:00
+        assert p.at(10 * HOUR) > p.at(3 * HOUR)
+        assert p.at(10 * HOUR) > p.at(5 * DAY + 10 * HOUR)
+
+    def test_wraps_weekly(self):
+        p = office_hours_profile()
+        assert p.at(10 * HOUR) == p.at(WEEK + 10 * HOUR)
+
+    def test_offpeak_is_inverse(self):
+        office = office_hours_profile()
+        off = offpeak_profile()
+        # where the office is busiest, onsets are rarest
+        busiest = int(np.argmax(office.intensity))
+        assert off.intensity[busiest] == np.min(off.intensity)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(np.ones(24))  # needs a full week
+        with pytest.raises(ValueError):
+            DiurnalProfile(np.zeros(168))
+        with pytest.raises(ValueError):
+            DiurnalProfile(np.full(168, -1.0))
+
+
+class TestDiurnalGap:
+    def test_mean_matches_homogeneous_under_flat_profile(self):
+        flat = DiurnalProfile(np.ones(168))
+        rng = np.random.default_rng(0)
+        gaps = [diurnal_gap(0.0, 1800.0, flat, rng) for _ in range(4000)]
+        assert np.mean(gaps) == pytest.approx(1800.0, rel=0.05)
+
+    def test_gaps_shorter_in_high_intensity_hours(self):
+        p = office_hours_profile()
+        rng = np.random.default_rng(1)
+        # start Monday 09:00 (high presence) vs Saturday 03:00 (low)
+        monday = [diurnal_gap(9 * HOUR, 1800.0, p, rng) for _ in range(2000)]
+        weekend = [diurnal_gap(5 * DAY + 3 * HOUR, 1800.0, p, rng) for _ in range(2000)]
+        assert np.mean(monday) < np.mean(weekend)
+
+    def test_invalid_mean_gap(self):
+        with pytest.raises(ValueError):
+            diurnal_gap(0.0, 0.0, office_hours_profile(), np.random.default_rng(0))
+
+
+class TestSessionIterator:
+    def test_stream_shape(self):
+        rng = np.random.default_rng(2)
+        it = DiurnalSessionIterator(Exponential(1.0 / 4000.0), rng)
+        sessions = [next(it) for _ in range(50)]
+        assert all(g >= 0 and d >= 0 for g, d in sessions)
+
+    def test_onsets_cluster_off_hours(self):
+        rng = np.random.default_rng(3)
+        it = DiurnalSessionIterator(
+            Exponential(1.0 / 1000.0), rng, mean_gap=3600.0
+        )
+        onsets = []
+        clock = 0.0
+        for _ in range(3000):
+            gap, dur = next(it)
+            clock += gap
+            onsets.append(clock % WEEK)
+            clock += dur
+        onsets = np.asarray(onsets)
+        hours = (onsets / HOUR).astype(int) % 168
+        office = office_hours_profile()
+        office_mask = office.intensity[hours] > 1.0
+        # availability begins off-hours far more often than in-office
+        assert office_mask.mean() < 0.35
+
+    def test_plugs_into_condor_machine(self):
+        env = Environment()
+        rng = np.random.default_rng(4)
+        sessions = DiurnalSessionIterator(Exponential(1.0 / 5000.0), rng)
+        machine = CondorMachine(env, "diurnal-0", iter(sessions))
+        env.run(until=14 * DAY)
+        assert len(machine.observed_durations) > 5

@@ -1,0 +1,92 @@
+"""Tests for trace persistence (JSON pools, CSV machine logs)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    AvailabilityTrace,
+    MachinePool,
+    SyntheticPoolConfig,
+    generate_condor_pool,
+    load_pool_json,
+    load_trace_csv,
+    save_pool_json,
+    save_trace_csv,
+)
+
+
+@pytest.fixture
+def pool():
+    return generate_condor_pool(
+        SyntheticPoolConfig(n_machines=4, n_observations=12), np.random.default_rng(0)
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_exact(self, pool, tmp_path):
+        path = tmp_path / "pool.json"
+        save_pool_json(pool, path)
+        loaded = load_pool_json(path)
+        assert loaded.name == pool.name
+        assert loaded.machine_ids == pool.machine_ids
+        for a, b in zip(pool, loaded):
+            assert np.array_equal(a.durations, b.durations)
+            assert np.array_equal(a.timestamps, b.timestamps)
+            assert a.meta == b.meta
+
+    def test_none_timestamps_survive(self, tmp_path):
+        trace = AvailabilityTrace(machine_id="x", durations=np.array([1.0, 2.0]))
+        p = MachinePool(traces=(trace,), name="tiny")
+        path = tmp_path / "p.json"
+        save_pool_json(p, path)
+        assert load_pool_json(path)[0].timestamps is None
+
+    def test_censored_mask_round_trip(self, tmp_path):
+        trace = AvailabilityTrace(
+            machine_id="c",
+            durations=np.array([10.0, 20.0, 30.0]),
+            censored=np.array([False, True, False]),
+        )
+        p = MachinePool(traces=(trace,))
+        path = tmp_path / "c.json"
+        save_pool_json(p, path)
+        loaded = load_pool_json(path)[0]
+        assert np.array_equal(loaded.censored, trace.censored)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "machines": []}))
+        with pytest.raises(ValueError):
+            load_pool_json(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, pool, tmp_path):
+        trace = pool[0]
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path, machine_id=trace.machine_id)
+        assert np.allclose(loaded.durations, trace.durations)
+        assert np.allclose(loaded.timestamps, trace.timestamps)
+        assert loaded.machine_id == trace.machine_id
+
+    def test_machine_id_defaults_to_stem(self, pool, tmp_path):
+        path = tmp_path / "condor-0042.csv"
+        save_trace_csv(pool[0], path)
+        assert load_trace_csv(path).machine_id == "condor-0042"
+
+    def test_missing_timestamps(self, tmp_path):
+        trace = AvailabilityTrace(machine_id="x", durations=np.array([5.0, 6.0]))
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.timestamps is None
+        assert np.allclose(loaded.durations, [5.0, 6.0])
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)

@@ -1,0 +1,94 @@
+"""Tests for trace containers and the train/test split."""
+
+import numpy as np
+import pytest
+
+from repro.traces import TRAINING_SET_SIZE, AvailabilityTrace, MachinePool
+
+
+def make_trace(n=30, machine_id="m0"):
+    rng = np.random.default_rng(1)
+    durations = rng.exponential(1000.0, size=n)
+    ts = np.cumsum(durations + 100.0) - durations[0]
+    ts -= ts[0]
+    return AvailabilityTrace(machine_id=machine_id, durations=durations, timestamps=np.sort(ts))
+
+
+class TestAvailabilityTrace:
+    def test_basic_properties(self):
+        t = make_trace(40)
+        assert len(t) == 40
+        assert t.total_availability == pytest.approx(float(t.durations.sum()))
+
+    def test_durations_readonly(self):
+        t = make_trace()
+        with pytest.raises(ValueError):
+            t.durations[0] = 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(machine_id="x", durations=np.array([]))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(machine_id="x", durations=np.array([1.0, -1.0]))
+
+    def test_timestamp_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(
+                machine_id="x", durations=np.array([1.0, 2.0]), timestamps=np.array([0.0])
+            )
+
+    def test_unsorted_timestamps_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(
+                machine_id="x",
+                durations=np.array([1.0, 2.0]),
+                timestamps=np.array([10.0, 5.0]),
+            )
+
+    def test_split_default_25(self):
+        t = make_trace(100)
+        train, test = t.split()
+        assert len(train) == TRAINING_SET_SIZE == 25
+        assert len(test) == 75
+        assert np.allclose(np.concatenate([train, test]), t.durations)
+
+    def test_split_too_short(self):
+        t = make_trace(25)
+        with pytest.raises(ValueError):
+            t.split(25)
+
+    def test_split_invalid_n(self):
+        with pytest.raises(ValueError):
+            make_trace(30).split(0)
+
+    def test_head(self):
+        t = make_trace(30)
+        h = t.head(5)
+        assert len(h) == 5
+        assert np.allclose(h.durations, t.durations[:5])
+        assert len(h.timestamps) == 5
+
+
+class TestMachinePool:
+    def test_iteration_and_lookup(self):
+        pool = MachinePool(traces=(make_trace(30, "a"), make_trace(40, "b")))
+        assert len(pool) == 2
+        assert pool["b"].machine_id == "b"
+        assert pool[0].machine_id == "a"
+        assert pool.machine_ids == ("a", "b")
+
+    def test_missing_machine(self):
+        pool = MachinePool(traces=(make_trace(30, "a"),))
+        with pytest.raises(KeyError):
+            pool["zzz"]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            MachinePool(traces=(make_trace(30, "a"), make_trace(30, "a")))
+
+    def test_with_min_observations(self):
+        pool = MachinePool(traces=(make_trace(10, "short"), make_trace(50, "long")))
+        filtered = pool.with_min_observations(26)
+        assert filtered.machine_ids == ("long",)

@@ -1,0 +1,113 @@
+"""Tests for synthetic trace/pool generation."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    PAPER_REFERENCE_SCALE,
+    PAPER_REFERENCE_SHAPE,
+    SyntheticPoolConfig,
+    generate_condor_pool,
+    paper_reference_distribution,
+    paper_reference_trace,
+    synthetic_trace,
+)
+from repro.distributions import Exponential, Weibull
+
+
+class TestReference:
+    def test_paper_parameters(self):
+        d = paper_reference_distribution()
+        assert d.shape == PAPER_REFERENCE_SHAPE == 0.43
+        assert d.scale == PAPER_REFERENCE_SCALE == 3409.0
+
+    def test_reference_trace_length_and_moments(self):
+        t = paper_reference_trace(5000, np.random.default_rng(0))
+        assert len(t) == 5000
+        d = paper_reference_distribution()
+        assert t.durations.mean() == pytest.approx(d.mean(), rel=0.1)
+
+    def test_deterministic_default(self):
+        a = paper_reference_trace(100)
+        b = paper_reference_trace(100)
+        assert np.allclose(a.durations, b.durations)
+
+
+class TestSyntheticTrace:
+    def test_metadata_and_timestamps(self):
+        t = synthetic_trace(Exponential(1e-3), 50, np.random.default_rng(1), machine_id="x")
+        assert t.meta["ground_truth"] == "exponential"
+        assert t.meta["gt_lam"] == pytest.approx(1e-3)
+        assert t.timestamps is not None and len(t.timestamps) == 50
+        assert np.all(np.diff(t.timestamps) > 0)
+
+    def test_timestamps_respect_durations_and_gaps(self):
+        t = synthetic_trace(Exponential(1e-2), 20, np.random.default_rng(2))
+        # each start is after the previous interval's end
+        ends = t.timestamps[:-1] + t.durations[:-1]
+        assert np.all(t.timestamps[1:] >= ends)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(Exponential(1e-3), 0, np.random.default_rng(0))
+
+
+class TestPoolConfig:
+    def test_defaults_valid(self):
+        cfg = SyntheticPoolConfig()
+        assert cfg.n_machines > 0
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SyntheticPoolConfig(family_weights={"weibull": 0.5})
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPoolConfig(family_weights={"weibull": 0.5, "gamma": 0.5})
+
+    def test_sizes_validated(self):
+        with pytest.raises(ValueError):
+            SyntheticPoolConfig(n_machines=0)
+
+
+class TestGeneratePool:
+    def test_shape_and_determinism(self):
+        cfg = SyntheticPoolConfig(n_machines=10, n_observations=30)
+        a = generate_condor_pool(cfg, np.random.default_rng(5))
+        b = generate_condor_pool(cfg, np.random.default_rng(5))
+        assert len(a) == 10
+        assert all(len(t) == 30 for t in a)
+        assert np.allclose(a[0].durations, b[0].durations)
+
+    def test_family_mix_recorded(self):
+        cfg = SyntheticPoolConfig(n_machines=60, n_observations=5)
+        pool = generate_condor_pool(cfg, np.random.default_rng(6))
+        families = {t.meta["ground_truth"] for t in pool}
+        assert "weibull" in families
+        assert families <= {"weibull", "hyperexponential", "lognormal"}
+
+    def test_pure_weibull_pool(self):
+        cfg = SyntheticPoolConfig(
+            n_machines=8, n_observations=10, family_weights={"weibull": 1.0}
+        )
+        pool = generate_condor_pool(cfg, np.random.default_rng(7))
+        assert all(t.meta["ground_truth"] == "weibull" for t in pool)
+        shapes = [t.meta["gt_shape"] for t in pool]
+        lo, hi = cfg.shape_range
+        assert all(lo <= s <= hi for s in shapes)
+
+    def test_hyperexp_ground_truth_mean_matches_weibull_target(self):
+        # the mixture construction preserves the drawn mean availability
+        cfg = SyntheticPoolConfig(
+            n_machines=20, n_observations=5, family_weights={"hyperexponential": 1.0}
+        )
+        pool = generate_condor_pool(cfg, np.random.default_rng(8))
+        from repro.distributions import Hyperexponential
+        import math
+
+        for t in pool:
+            probs = [t.meta["gt_probs_0"], t.meta["gt_probs_1"]]
+            rates = [t.meta["gt_rates_0"], t.meta["gt_rates_1"]]
+            h = Hyperexponential(probs, rates)
+            assert h.mean() > 0.0
+            assert np.isfinite(h.mean())
