@@ -16,7 +16,6 @@ import numpy as np
 from repro.experiments import run_simulation_study
 from repro.traces import SyntheticPoolConfig
 
-from conftest import BENCH_COSTS
 
 
 def test_bench_table1_sweep(benchmark):

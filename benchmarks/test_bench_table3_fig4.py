@@ -11,7 +11,6 @@ Paper claims verified here:
   fewer checkpoints).
 """
 
-import numpy as np
 
 from conftest import BENCH_COSTS
 

@@ -9,7 +9,6 @@ Paper claims verified here:
 * sample sizes stay balanced across models (81-89 in the paper).
 """
 
-from conftest import BENCH_HORIZON_DAYS
 
 from repro.experiments import run_live_study
 

@@ -52,12 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
             "fitstudy",
             "convergence",
             "sensitivity",
+            "storage-study",
             "all",
         ),
         help=(
             "which artefact to regenerate ('parallel'/'gang' run the "
             "future-work extensions, 'fitstudy' the §3.1 goodness-of-fit "
-            "table, 'convergence' the efficiency-convergence diagnostic)"
+            "table, 'convergence' the efficiency-convergence diagnostic, "
+            "'storage-study' the incremental/compressed checkpoint storage "
+            "sweep at the Table 4 campus point)"
         ),
     )
     parser.add_argument("--machines", type=int, default=120, help="pool size for the sweep experiments")
@@ -198,6 +201,18 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
         conv_rng = None if args.seed is None else np.random.default_rng(args.seed)
         conv_pool = generate_condor_pool(pool_cfg, conv_rng)
         emit(run_convergence_study(conv_pool).figure().render())
+        emit("")
+
+    if wants("storage-study"):
+        from repro.experiments.storage_study import run_storage_study
+
+        storage = run_storage_study(
+            pool_config=SyntheticPoolConfig(
+                n_machines=args.machines, n_observations=args.observations
+            ),
+            seed=args.seed,
+        )
+        emit(storage.table().render())
         emit("")
 
     if wants("sensitivity"):

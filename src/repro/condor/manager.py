@@ -127,13 +127,13 @@ class CheckpointManager:
         analysis computes the overhead ratio.
         """
         logs = [
-            l
-            for l in self.logs
-            if l.model_name == model_name and l.ended_at is not None and not l.censored
+            lg
+            for lg in self.logs
+            if lg.model_name == model_name and lg.ended_at is not None and not lg.censored
         ]
-        total_time = sum(l.occupied_time for l in logs)
-        committed = sum(l.committed_work for l in logs)
-        mb = sum(l.mb_transferred for l in logs)
+        total_time = sum(lg.occupied_time for lg in logs)
+        committed = sum(lg.committed_work for lg in logs)
+        mb = sum(lg.mb_transferred for lg in logs)
         return ModelAggregate(
             model_name=model_name,
             avg_efficiency=committed / total_time if total_time > 0 else 0.0,
@@ -146,10 +146,10 @@ class CheckpointManager:
     def per_placement_efficiencies(self, model_name: str) -> list[float]:
         """Per-placement efficiency samples (for significance testing)."""
         return [
-            l.efficiency
-            for l in self.logs
-            if l.model_name == model_name
-            and l.ended_at is not None
-            and not l.censored
-            and l.occupied_time > 0
+            lg.efficiency
+            for lg in self.logs
+            if lg.model_name == model_name
+            and lg.ended_at is not None
+            and not lg.censored
+            and lg.occupied_time > 0
         ]

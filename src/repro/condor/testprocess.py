@@ -35,6 +35,8 @@ from repro.condor.manager import CheckpointManager
 from repro.core.planner import CheckpointPlanner
 from repro.engine.core import Environment, Interrupt
 from repro.network.forecaster import Forecaster, LastValue
+from repro.storage.policy import StoragePolicy
+from repro.storage.store import CheckpointStore
 from repro.workload.sizes import CheckpointSizeModel, ConstantSize
 
 __all__ = ["HEARTBEAT_PERIOD", "make_test_process"]
@@ -49,6 +51,7 @@ def make_test_process(
     *,
     checkpoint_size_mb: float = 500.0,
     size_model: "CheckpointSizeModel | None" = None,
+    storage: StoragePolicy | None = None,
     forecaster: Forecaster | None = None,
     min_cost_estimate: float = 1.0,
 ):
@@ -60,16 +63,34 @@ def make_test_process(
     from each *measured* transfer, growing state automatically lengthens
     the planned intervals -- the cost estimate tracks the state size with
     one-transfer lag, exactly like the real protocol.
+
+    ``storage`` optionally routes the transfers through a
+    :class:`~repro.storage.CheckpointStore` kept at the manager:
+    checkpoints become full/delta snapshots (optionally compressed, the
+    compression CPU spent on the machine before bytes flow), recoveries
+    fetch the store's restore chain, and the store -- like the manager
+    it lives on -- survives evictions, so retention spans placements.
+    The re-measured transfer costs then automatically feed the
+    storage-adjusted ``C``/``R`` to the optimizer.
     """
     if size_model is None:
         size_model = ConstantSize(checkpoint_size_mb)
+    # one store per job factory: server-side state shared across placements
+    store = CheckpointStore(storage, checkpoint_size_mb) if storage is not None else None
 
     def body(env: Environment, machine: CondorMachine) -> Generator:
         fc = forecaster if forecaster is not None else LastValue()
         log = manager.open_log(planner.model_name, machine.machine_id)
         try:
             # ---- step 1: initial recovery transfer --------------------
-            transfer = manager.start_transfer(size_model.recovery_size_mb(0.0))
+            # with a store, recovery fetches the restore chain built in
+            # earlier placements (full image on the very first one)
+            recovery_mb = (
+                store.restore_chain_mb(size_model.recovery_size_mb(0.0))
+                if store is not None
+                else size_model.recovery_size_mb(0.0)
+            )
+            transfer = manager.start_transfer(recovery_mb)
             try:
                 yield transfer.done
             except Interrupt as evt:
@@ -104,9 +125,28 @@ def make_test_process(
                 log.n_heartbeats += int(T // HEARTBEAT_PERIOD)
 
                 log.n_checkpoints_attempted += 1
-                transfer = manager.start_transfer(
-                    size_model.size_mb(log.committed_work + T, log.n_checkpoints_attempted)
+                full_now = size_model.size_mb(
+                    log.committed_work + T, log.n_checkpoints_attempted
                 )
+                plan = None
+                if store is not None:
+                    plan = store.plan_checkpoint(T, full_mb=full_now)
+                    if plan.cpu_seconds > 0.0:
+                        # compression happens on the machine before any
+                        # bytes flow; eviction here loses the interval
+                        cpu_started = env.now
+                        try:
+                            yield env.timeout(plan.cpu_seconds)
+                        except Interrupt as evt:
+                            log.lost_work += T
+                            log.checkpoint_overhead += env.now - cpu_started
+                            log.eviction_uptime = getattr(
+                                evt.cause, "available_for", None
+                            )
+                            return "evicted-during-checkpoint"
+                    transfer = manager.start_transfer(plan.wire_mb)
+                else:
+                    transfer = manager.start_transfer(full_now)
                 try:
                     yield transfer.done
                 except Interrupt as evt:
@@ -120,7 +160,10 @@ def make_test_process(
                 log.checkpoint_overhead += transfer.elapsed
                 log.mb_transferred += transfer.sent_mb
                 log.n_checkpoints_completed += 1
-                fc.update(max(transfer.elapsed, min_cost_estimate))
+                if store is not None:
+                    store.commit(plan)
+                cpu_cost = plan.cpu_seconds if plan is not None else 0.0
+                fc.update(max(transfer.elapsed + cpu_cost, min_cost_estimate))
         finally:
             manager.close_log(log)
 

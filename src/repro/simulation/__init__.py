@@ -2,7 +2,11 @@
 
 from repro.simulation.accounting import SimulationConfig, SimulationResult
 from repro.simulation.runner import PoolSweep, SweepSettings, simulate_machine, simulate_pool
-from repro.simulation.trace_sim import replay_schedule, simulate_trace
+from repro.simulation.trace_sim import (
+    replay_schedule,
+    simulate_trace,
+    storage_schedule_costs,
+)
 
 __all__ = [
     "PoolSweep",
@@ -13,4 +17,5 @@ __all__ = [
     "simulate_machine",
     "simulate_pool",
     "simulate_trace",
+    "storage_schedule_costs",
 ]

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.storage.policy import StoragePolicy
+
 __all__ = ["SimulationConfig", "SimulationResult"]
+
+_PARTIAL_TRANSFER_POLICIES = ("proportional", "full", "none")
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,14 @@ class SimulationConfig:
     schedule_converge_rel_tol:
         Passed through to :class:`~repro.core.schedule.CheckpointSchedule`;
         bounds the number of golden-section solves per schedule.
+    storage:
+        Optional :class:`~repro.storage.StoragePolicy` routing every
+        checkpoint through the storage subsystem: deltas between
+        periodic fulls, compression, retention, and restore-chain
+        recovery costs.  ``None`` reproduces the paper's flat
+        ``checkpoint_size_mb`` transfers.  ``checkpoint_cost`` keeps
+        its meaning as the transfer time of one *full, uncompressed*
+        image, which fixes the implied link bandwidth.
     """
 
     checkpoint_cost: float
@@ -60,18 +72,29 @@ class SimulationConfig:
     count_recovery_bandwidth: bool = True
     recover_on_start: bool = True
     schedule_converge_rel_tol: float | None = 1e-3
+    storage: StoragePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_cost < 0:
             raise ValueError(f"checkpoint cost must be >= 0, got {self.checkpoint_cost}")
         if self.recovery_cost is not None and self.recovery_cost < 0:
             raise ValueError(f"recovery cost must be >= 0, got {self.recovery_cost}")
-        if self.partial_transfer_policy not in ("proportional", "full", "none"):
+        # reject unknown policies here, at construction, rather than
+        # letting them fall through the simulator's string dispatch
+        if (
+            not isinstance(self.partial_transfer_policy, str)
+            or self.partial_transfer_policy not in _PARTIAL_TRANSFER_POLICIES
+        ):
             raise ValueError(
-                f"unknown partial transfer policy: {self.partial_transfer_policy!r}"
+                f"unknown partial transfer policy: {self.partial_transfer_policy!r} "
+                f"(use one of {_PARTIAL_TRANSFER_POLICIES})"
             )
         if self.checkpoint_size_mb < 0:
             raise ValueError(f"checkpoint size must be >= 0, got {self.checkpoint_size_mb}")
+        if self.storage is not None and not isinstance(self.storage, StoragePolicy):
+            raise TypeError(
+                f"storage must be a StoragePolicy or None, got {type(self.storage).__name__}"
+            )
 
     @property
     def effective_recovery_cost(self) -> float:
@@ -105,6 +128,13 @@ class SimulationResult:
 
     #: the Markov model's own prediction ``T/Gamma`` for the first interval
     predicted_efficiency: float
+
+    # storage-subsystem counters (zero when ``config.storage`` is None)
+    n_full_checkpoints: int = 0
+    n_delta_checkpoints: int = 0
+    max_restore_chain_len: int = 0
+    mb_stored_final: float = 0.0
+    mb_gc_freed: float = 0.0
 
     @property
     def efficiency(self) -> float:

@@ -15,9 +15,19 @@ Because each occupancy starts at uptime zero, the schedule for a given
 exploits this by reusing one lazily-extended
 :class:`~repro.core.schedule.CheckpointSchedule` for the whole trace,
 which is what makes full pool sweeps laptop-tractable.
+
+With ``config.storage`` set, checkpoints flow through the storage
+subsystem instead of being flat ``checkpoint_size_mb`` transfers: the
+per-checkpoint wire bytes come from the :class:`CheckpointStore`'s
+full/delta/compression decisions, each recovery fetches the store's
+*restore chain* at the link bandwidth implied by ``checkpoint_cost``,
+and the schedule is built from the storage-adjusted effective costs so
+the optimizer plans with the true ``C`` and ``R``.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -25,8 +35,41 @@ from repro.core.markov import CheckpointCosts
 from repro.core.schedule import CheckpointSchedule
 from repro.distributions.base import AvailabilityDistribution
 from repro.simulation.accounting import SimulationConfig, SimulationResult
+from repro.storage.costs import effective_costs
+from repro.storage.store import CheckpointStore
 
-__all__ = ["simulate_trace", "replay_schedule"]
+__all__ = ["simulate_trace", "replay_schedule", "storage_schedule_costs"]
+
+
+def storage_schedule_costs(
+    distribution: AvailabilityDistribution, config: SimulationConfig
+) -> CheckpointCosts:
+    """The ``C``/``R`` the schedule should be built from.
+
+    Without a storage policy these are the configured scalars.  With
+    one, the expected steady-state storage costs are computed via one
+    fixed-point step: solve ``T_opt(0)`` at the base costs, use it as
+    the typical work interval sizing the deltas, and re-price.
+    """
+    base = CheckpointCosts(
+        checkpoint=config.checkpoint_cost,
+        recovery=config.effective_recovery_cost,
+        latency=config.latency,
+    )
+    if config.storage is None or config.checkpoint_size_mb <= 0 or config.checkpoint_cost <= 0:
+        return base
+    probe = CheckpointSchedule(
+        distribution,
+        base,
+        t_elapsed=0.0,
+        converge_rel_tol=config.schedule_converge_rel_tol,
+    )
+    return effective_costs(
+        config.storage,
+        base,
+        config.checkpoint_size_mb,
+        typical_work=probe.work_interval(0),
+    )
 
 
 def simulate_trace(
@@ -56,14 +99,9 @@ def simulate_trace(
     if np.any(avail < 0) or not np.all(np.isfinite(avail)):
         raise ValueError("availability durations must be non-negative and finite")
 
-    costs = CheckpointCosts(
-        checkpoint=config.checkpoint_cost,
-        recovery=config.effective_recovery_cost,
-        latency=config.latency,
-    )
     schedule = CheckpointSchedule(
         distribution,
-        costs,
+        storage_schedule_costs(distribution, config),
         t_elapsed=0.0,
         converge_rel_tol=config.schedule_converge_rel_tol,
     )
@@ -74,6 +112,19 @@ def simulate_trace(
         machine_id=machine_id,
         model_name=model_name or distribution.name,
     )
+
+
+def _partial_mb(size_mb: float, elapsed: float, full_time: float, policy: str) -> float:
+    """Bytes billed for a transfer of ``size_mb`` evicted after ``elapsed``
+    of its ``full_time`` seconds (storage-agnostic partial accounting)."""
+    if size_mb == 0.0:
+        return 0.0
+    if policy == "full":
+        return size_mb
+    if policy == "none":
+        return 0.0
+    # proportional: bytes actually on the wire before eviction
+    return size_mb * (elapsed / full_time) if full_time > 0 else 0.0
 
 
 def replay_schedule(
@@ -89,6 +140,10 @@ def replay_schedule(
     Exposed separately so the validation experiment can replay the exact
     schedules observed in the live (DES) system.
     """
+    if config.storage is not None and config.checkpoint_size_mb > 0:
+        return _replay_with_storage(
+            schedule, durations, config, machine_id=machine_id, model_name=model_name
+        )
     C = config.checkpoint_cost
     R = config.effective_recovery_cost
     size = config.checkpoint_size_mb
@@ -106,14 +161,9 @@ def replay_schedule(
     n_rec_try = 0
 
     def _transfer_mb(elapsed: float, full_cost: float, completed: bool) -> float:
-        if size == 0.0:
-            return 0.0
-        if completed or policy == "full":
+        if completed:
             return size
-        if policy == "none":
-            return 0.0
-        # proportional: bytes actually on the wire before eviction
-        return size * (elapsed / full_cost) if full_cost > 0 else 0.0
+        return _partial_mb(size, elapsed, full_cost, policy)
 
     for a in durations:
         t = 0.0
@@ -176,4 +226,118 @@ def replay_schedule(
         mb_checkpoint=mb_ckpt,
         mb_recovery=mb_rec,
         predicted_efficiency=schedule.expected_efficiency(0),
+    )
+
+
+def _replay_with_storage(
+    schedule: CheckpointSchedule,
+    durations: np.ndarray,
+    config: SimulationConfig,
+    *,
+    machine_id: str,
+    model_name: str,
+) -> SimulationResult:
+    """The storage-aware replay loop.
+
+    The store persists across occupancies (it lives at the checkpoint
+    manager, which does not fail when the harvested machine is
+    reclaimed), so restore chains built in one occupancy price the next
+    occupancy's recovery.  The link bandwidth is the one implied by
+    "``checkpoint_cost`` seconds per full uncompressed image"; with
+    ``checkpoint_cost == 0`` transfers are instantaneous and only
+    compression CPU (if any) takes time.
+    """
+    C = config.checkpoint_cost
+    size = config.checkpoint_size_mb
+    policy = config.partial_transfer_policy
+    store = CheckpointStore(config.storage, size)
+    bw = size / C if C > 0 else math.inf
+
+    useful = 0.0
+    lost = 0.0
+    ckpt_overhead = 0.0
+    rec_overhead = 0.0
+    mb_ckpt = 0.0
+    mb_rec = 0.0
+    n_ckpt_done = 0
+    n_ckpt_try = 0
+    n_rec_done = 0
+    n_rec_try = 0
+
+    for a in durations:
+        t = 0.0
+        # ---- recovery phase: fetch the restore chain ----------------
+        if config.recover_on_start:
+            chain_mb = store.restore_chain_mb()
+            R_i = chain_mb / bw if math.isfinite(bw) else 0.0
+            n_rec_try += 1
+            if t + R_i <= a:
+                t += R_i
+                rec_overhead += R_i
+                n_rec_done += 1
+                if config.count_recovery_bandwidth:
+                    mb_rec += chain_mb
+            else:
+                elapsed = a - t
+                rec_overhead += elapsed
+                if config.count_recovery_bandwidth:
+                    mb_rec += _partial_mb(chain_mb, elapsed, R_i, policy)
+                continue  # eviction during recovery: interval exhausted
+        # ---- work / checkpoint cycles -------------------------------
+        i = 0
+        while t < a:
+            T = schedule.work_interval(i)
+            if t + T > a:
+                lost += a - t  # eviction mid-work
+                t = a
+                break
+            plan = store.plan_checkpoint(T)
+            wire_time = plan.wire_mb / bw if math.isfinite(bw) else 0.0
+            ckpt_time = plan.cpu_seconds + wire_time
+            if t + T + ckpt_time <= a:
+                useful += T
+                ckpt_overhead += ckpt_time
+                n_ckpt_try += 1
+                n_ckpt_done += 1
+                mb_ckpt += plan.wire_mb
+                store.commit(plan)
+                t += T + ckpt_time
+                i += 1
+            else:
+                # eviction mid-checkpoint: the interval's work is lost
+                # and the snapshot is never committed to the store
+                elapsed = a - (t + T)
+                lost += T
+                ckpt_overhead += elapsed
+                n_ckpt_try += 1
+                # compression runs before bytes flow: only time past the
+                # CPU phase moved data
+                wire_elapsed = max(0.0, elapsed - plan.cpu_seconds)
+                mb_ckpt += _partial_mb(plan.wire_mb, wire_elapsed, wire_time, policy)
+                t = a
+                break
+
+    return SimulationResult(
+        machine_id=machine_id,
+        model_name=model_name,
+        checkpoint_cost=C,
+        total_time=float(durations.sum()),
+        useful_work=useful,
+        lost_work=lost,
+        checkpoint_overhead=ckpt_overhead,
+        recovery_overhead=rec_overhead,
+        n_intervals=int(durations.size),
+        n_failures=int(durations.size),
+        n_checkpoints_completed=n_ckpt_done,
+        n_checkpoints_attempted=n_ckpt_try,
+        n_recoveries_completed=n_rec_done,
+        n_recoveries_attempted=n_rec_try,
+        mb_checkpoint=mb_ckpt,
+        mb_recovery=mb_rec,
+        predicted_efficiency=schedule.expected_efficiency(0),
+        n_full_checkpoints=store.n_full,
+        n_delta_checkpoints=store.n_delta,
+        max_restore_chain_len=store.max_chain_len,
+        mb_stored_final=store.stored_mb(),
+        mb_gc_freed=store.gc_freed_mb,
     )

@@ -1,0 +1,59 @@
+"""Checkpoint storage subsystem: deltas, compression, retention.
+
+The paper models every checkpoint as one flat ``checkpoint_size_mb``
+transfer, so the only lever on network load is the schedule.  This
+package attacks the byte count directly, the way production checkpoint
+pipelines do:
+
+* :mod:`repro.storage.delta` -- incremental snapshot sizes as a
+  function of work done since the last snapshot;
+* :mod:`repro.storage.compression` -- constant-ratio compression with a
+  CPU-time cost that inflates the effective ``C``;
+* :mod:`repro.storage.policy` -- the frozen :class:`StoragePolicy`
+  value object that ``SimulationConfig.storage`` carries;
+* :mod:`repro.storage.store` -- the server-side
+  :class:`CheckpointStore`: committed snapshots, restore chains,
+  keep-last-k / periodic-full retention and GC;
+* :mod:`repro.storage.costs` -- the expected steady-state ``C``/``R``
+  fed back into the Markov/golden-section optimizer.
+
+For convenience the *sizes* of the state being checkpointed (the
+:mod:`repro.workload` models) are re-exported here, so storage-aware
+code has one import for "how big is the state" and "how is it stored".
+"""
+
+from repro.storage.compression import CompressedTransfer, Compressor
+from repro.storage.costs import effective_costs, implied_bandwidth
+from repro.storage.delta import (
+    DeltaSizeModel,
+    DirtyPageDelta,
+    FixedFractionDelta,
+    FullDelta,
+)
+from repro.storage.policy import StoragePolicy
+from repro.storage.store import CheckpointStore, PlannedCheckpoint, Snapshot
+from repro.workload.sizes import (
+    CheckpointSizeModel,
+    ConstantSize,
+    JitteredSize,
+    LinearGrowthSize,
+)
+
+__all__ = [
+    "CheckpointSizeModel",
+    "CheckpointStore",
+    "CompressedTransfer",
+    "Compressor",
+    "ConstantSize",
+    "DeltaSizeModel",
+    "DirtyPageDelta",
+    "FixedFractionDelta",
+    "FullDelta",
+    "JitteredSize",
+    "LinearGrowthSize",
+    "PlannedCheckpoint",
+    "Snapshot",
+    "StoragePolicy",
+    "effective_costs",
+    "implied_bandwidth",
+]

@@ -1,0 +1,64 @@
+"""Checkpoint compression: fewer bytes on the wire, CPU time in exchange.
+
+Compressing a snapshot before it leaves the machine divides the wire
+bytes by the achieved ratio but spends CPU seconds the job could have
+used for work -- time that belongs in the effective checkpoint cost
+``C`` the optimizer sees (Vaidya's model makes no distinction between
+transfer seconds and compression seconds; both delay the commit).
+
+The model is deliberately coarse: a constant achieved ratio and a
+constant compressor throughput.  Decompression on restore is assumed
+free (LZ4/zstd decompression runs an order of magnitude faster than
+compression and overlaps the transfer), so recovery pays only for the
+compressed bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CompressedTransfer", "Compressor"]
+
+
+@dataclass(frozen=True)
+class CompressedTransfer:
+    """What one snapshot costs after compression."""
+
+    raw_mb: float
+    wire_mb: float
+    cpu_seconds: float
+
+
+class Compressor:
+    """Constant-ratio, constant-throughput compression model.
+
+    Parameters
+    ----------
+    ratio:
+        Achieved compression ratio (``wire = raw / ratio``); ``1`` means
+        no compression.
+    throughput_mb_per_s:
+        Compressor speed on the raw bytes; ``0`` models free/instant
+        compression (or a ratio of 1 with no compressor in the path).
+    """
+
+    def __init__(self, ratio: float = 1.0, throughput_mb_per_s: float = 0.0) -> None:
+        if ratio < 1.0:
+            raise ValueError(f"compression ratio must be >= 1, got {ratio}")
+        if throughput_mb_per_s < 0.0:
+            raise ValueError(
+                f"compressor throughput must be >= 0, got {throughput_mb_per_s}"
+            )
+        self.ratio = float(ratio)
+        self.throughput_mb_per_s = float(throughput_mb_per_s)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.ratio == 1.0 and self.throughput_mb_per_s == 0.0
+
+    def compress(self, raw_mb: float) -> CompressedTransfer:
+        if raw_mb < 0:
+            raise ValueError(f"snapshot size must be >= 0, got {raw_mb}")
+        wire = raw_mb / self.ratio
+        cpu = raw_mb / self.throughput_mb_per_s if self.throughput_mb_per_s > 0 else 0.0
+        return CompressedTransfer(raw_mb=float(raw_mb), wire_mb=wire, cpu_seconds=cpu)

@@ -1,0 +1,77 @@
+"""Effective checkpoint/recovery costs under a storage policy.
+
+The Markov model (Section 3.5) takes scalar costs ``C`` and ``R``; the
+paper identifies them with one flat 500 MB transfer.  Under a storage
+policy the per-checkpoint cost varies with the full/delta cadence and
+the recovery cost varies with the restore-chain length, so the
+optimizer should see the *expected steady-state* costs:
+
+* the configured ``C`` prices a full, uncompressed image, implying a
+  link bandwidth ``bw = full_mb / C``;
+* one full-to-full cycle holds 1 full + ``k-1`` deltas
+  (``k = policy.cycle_length()``), so
+
+      C_eff = E[wire MB per snapshot] / bw + E[compression CPU],
+
+* a failure lands uniformly within the cycle, so the expected restore
+  chain is the base full plus ``(k-1)/2`` deltas:
+
+      R_eff = (full_wire + (k-1)/2 * delta_wire) / bw.
+
+Delta sizes depend on the work interval, which itself depends on the
+costs -- :func:`effective_costs` therefore takes a ``typical_work``
+estimate (the caller seeds it with the base-cost ``T_opt(0)``, one
+fixed-point step; the dependence is mild because deltas only modulate
+an already-small cost).
+"""
+
+from __future__ import annotations
+
+from repro.core.markov import CheckpointCosts
+from repro.storage.policy import StoragePolicy
+
+__all__ = ["effective_costs", "implied_bandwidth"]
+
+
+def implied_bandwidth(full_mb: float, checkpoint_cost: float) -> float:
+    """Link bandwidth (MB/s) implied by "``C`` seconds per full image"."""
+    if full_mb <= 0 or checkpoint_cost <= 0:
+        raise ValueError(
+            "implied bandwidth needs a positive image size and checkpoint cost, "
+            f"got {full_mb} MB / {checkpoint_cost} s"
+        )
+    return full_mb / checkpoint_cost
+
+
+def effective_costs(
+    policy: StoragePolicy,
+    base: CheckpointCosts,
+    full_mb: float,
+    *,
+    typical_work: float,
+) -> CheckpointCosts:
+    """Steady-state ``C``/``R`` the optimizer should plan with.
+
+    Degenerates to ``base`` when the policy cannot change anything
+    (zero-size images or zero base cost leave no bandwidth to scale).
+    """
+    if typical_work < 0:
+        raise ValueError(f"typical work must be >= 0, got {typical_work}")
+    if full_mb <= 0 or base.checkpoint <= 0:
+        return base
+    bw = implied_bandwidth(full_mb, base.checkpoint)
+    compressor = policy.make_compressor()
+    delta_model = policy.make_delta_model()
+    k = policy.cycle_length()
+
+    full_tr = compressor.compress(full_mb)
+    delta_raw = min(delta_model.delta_mb(full_mb, typical_work), full_mb)
+    delta_tr = compressor.compress(delta_raw)
+
+    mean_wire = (full_tr.wire_mb + (k - 1) * delta_tr.wire_mb) / k
+    mean_cpu = (full_tr.cpu_seconds + (k - 1) * delta_tr.cpu_seconds) / k
+    c_eff = mean_wire / bw + mean_cpu
+
+    chain_wire = full_tr.wire_mb + 0.5 * (k - 1) * delta_tr.wire_mb
+    r_eff = chain_wire / bw
+    return CheckpointCosts(checkpoint=c_eff, recovery=r_eff, latency=base.latency)

@@ -1,0 +1,70 @@
+"""Incremental/delta checkpoint size models.
+
+The paper transfers the full 500 MB memory image at every checkpoint.
+Real checkpoint pipelines write *incremental* snapshots: only the pages
+dirtied since the previous snapshot travel over the network, and the
+full image is re-sent periodically to bound the restore chain.  These
+models answer one question -- given ``work_since_last`` seconds of
+computation since the previous snapshot, how many megabytes is the
+delta?
+
+* :class:`FullDelta` -- the degenerate case: every "delta" is the full
+  image (reproduces the paper's flat transfers);
+* :class:`FixedFractionDelta` -- a constant working-set fraction of the
+  image is dirty regardless of interval length (e.g. an in-place solver
+  touching the same arrays every sweep);
+* :class:`DirtyPageDelta` -- pages are touched as a Poisson process, so
+  the dirty fraction after ``w`` seconds is ``1 - exp(-w / tau)``:
+  short intervals produce small deltas, long intervals saturate at the
+  full image.  ``tau`` is the time constant at which ~63 % of the image
+  has been dirtied.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+__all__ = ["DeltaSizeModel", "DirtyPageDelta", "FixedFractionDelta", "FullDelta"]
+
+
+class DeltaSizeModel(abc.ABC):
+    """Megabytes of an incremental snapshot, before compression."""
+
+    @abc.abstractmethod
+    def delta_mb(self, full_mb: float, work_since_last: float) -> float:
+        """Size of the delta written after ``work_since_last`` seconds of
+        computation since the previous snapshot of a ``full_mb`` image."""
+
+
+class FullDelta(DeltaSizeModel):
+    """Every snapshot is the full image (the paper's behaviour)."""
+
+    def delta_mb(self, full_mb: float, work_since_last: float) -> float:
+        return full_mb
+
+
+class FixedFractionDelta(DeltaSizeModel):
+    """A constant fraction of the image is dirty per interval."""
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"delta fraction must be in [0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def delta_mb(self, full_mb: float, work_since_last: float) -> float:
+        return self.fraction * full_mb
+
+
+class DirtyPageDelta(DeltaSizeModel):
+    """Poisson page-touch model: dirty fraction ``1 - exp(-w / tau)``."""
+
+    def __init__(self, tau: float) -> None:
+        if tau <= 0:
+            raise ValueError(f"dirty-page time constant must be > 0, got {tau}")
+        self.tau = float(tau)
+
+    def delta_mb(self, full_mb: float, work_since_last: float) -> float:
+        if work_since_last <= 0.0:
+            return 0.0
+        return full_mb * (1.0 - math.exp(-work_since_last / self.tau))

@@ -8,8 +8,12 @@ varies -- often growing with progress.  This package models that:
 * :class:`LinearGrowthSize` -- state grows with committed work (e.g. a
   simulation accreting results), optionally capped at the machine's
   memory;
-* :class:`JitteredSize` -- lognormal variation around a base size
-  (compression ratios, delta encodings).
+* :class:`JitteredSize` -- lognormal variation around a base size.
+
+These models describe how big the application *state* is; how that
+state is encoded on the wire -- compression ratios, delta encodings,
+restore chains, retention -- lives in :mod:`repro.storage`, which
+re-exports the size models so storage-aware code needs one import.
 
 The live test process consumes these through its ``size_model`` hook:
 bigger checkpoints take longer on the link, the re-measured cost feeds

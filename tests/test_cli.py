@@ -16,7 +16,7 @@ def run_cli(*argv):
 class TestParser:
     def test_commands_accepted(self):
         parser = build_parser()
-        for cmd in ("table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "validate", "all"):
+        for cmd in ("table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "validate", "storage-study", "all"):
             assert parser.parse_args([cmd]).command == cmd
 
     def test_unknown_command_rejected(self):

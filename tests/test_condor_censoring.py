@@ -32,7 +32,7 @@ def result():
 
 class TestHorizonCensoring:
     def test_open_placements_flagged(self, result):
-        censored = [l for l in result.logs if l.censored]
+        censored = [lg for lg in result.logs if lg.censored]
         # with 5 always-resubmitted jobs, some placements span the horizon
         assert len(censored) >= 1
         assert len(censored) <= CONFIG.n_concurrent_jobs
@@ -40,16 +40,16 @@ class TestHorizonCensoring:
     def test_censored_logs_excluded_from_aggregates(self, result):
         for model, agg in result.aggregates.items():
             eligible = [
-                l
-                for l in result.logs
-                if l.model_name == model and not l.censored and l.ended_at is not None
+                lg
+                for lg in result.logs
+                if lg.model_name == model and not lg.censored and lg.ended_at is not None
             ]
             assert agg.sample_size == len(eligible)
 
     def test_validation_consistent_after_gc(self, result):
         validation = validate_simulation(result)
         assert validation.n_censored_placements == sum(
-            1 for l in result.logs if l.censored
+            1 for lg in result.logs if lg.censored
         )
         for model, v in validation.per_model.items():
             assert v.n_placements <= result.aggregates[model].sample_size

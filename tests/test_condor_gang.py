@@ -1,6 +1,5 @@
 """Tests for gang-scheduled parallel jobs with coordinated checkpointing."""
 
-import numpy as np
 import pytest
 
 from repro.condor import (

@@ -1,6 +1,5 @@
 """Tests for the live-experiment driver (Tables 4/5 protocol)."""
 
-import numpy as np
 import pytest
 
 from repro.condor import LiveExperimentConfig, run_live_experiment

@@ -1,6 +1,5 @@
 """Tests for ClassAd-lite requirements and rank matchmaking."""
 
-import pytest
 
 from repro.condor import CondorMachine, CondorScheduler
 from repro.engine import Environment, Interrupt

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import CheckpointCosts, MarkovIntervalModel, optimize_interval
 from repro.distributions import Exponential, Hyperexponential, Weibull
-from repro.distributions.base import AvailabilityDistribution
 
 
 class _SloppyCDF(Exponential):

@@ -4,7 +4,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
@@ -54,3 +53,9 @@ class TestExamples:
     def test_model_selection(self):
         out = run_example("model_selection.py")
         assert "model-selection winners" in out
+
+    def test_storage_model(self):
+        out = run_example("storage_model.py", "60")
+        assert "full (paper)" in out
+        assert "keep-last-5" in out
+        assert "MB moved" in out

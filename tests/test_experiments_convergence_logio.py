@@ -84,11 +84,11 @@ class TestLogPersistence:
         loaded = load_placement_logs(path)
         for model, agg in experiment.aggregates.items():
             done = [
-                l for l in loaded
-                if l.model_name == model and l.ended_at is not None and not l.censored
+                lg for lg in loaded
+                if lg.model_name == model and lg.ended_at is not None and not lg.censored
             ]
-            total = sum(l.occupied_time for l in done)
-            committed = sum(l.committed_work for l in done)
+            total = sum(lg.occupied_time for lg in done)
+            committed = sum(lg.committed_work for lg in done)
             eff = committed / total if total else 0.0
             assert eff == pytest.approx(agg.avg_efficiency, rel=1e-9)
 

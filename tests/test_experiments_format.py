@@ -71,6 +71,6 @@ class TestAsciiFigure:
         fig = AsciiFigure("F", xlabel="x", ylabel="y", width=40, height=10)
         fig.add_series("s", [0, 1], [0.0, 1.0])
         lines = fig.render().splitlines()[1:11]
-        first_col = min(i for i, l in enumerate(lines) if "e" in l.split("|", 1)[1])
-        last_col = max(i for i, l in enumerate(lines) if "e" in l.split("|", 1)[1])
+        first_col = min(i for i, ln in enumerate(lines) if "e" in ln.split("|", 1)[1])
+        last_col = max(i for i, ln in enumerate(lines) if "e" in ln.split("|", 1)[1])
         assert first_col < last_col  # y=1 near the top, y=0 near the bottom

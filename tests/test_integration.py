@@ -87,8 +87,8 @@ class TestDESCrossValidation:
 
         sched.submit(body, on_complete=resubmit)
         env.run(until=sum(durations) + 100.0)
-        live_committed = sum(l.committed_work for l in manager.logs)
-        live_mb = sum(l.mb_transferred for l in manager.logs)
+        live_committed = sum(lg.committed_work for lg in manager.logs)
+        live_mb = sum(lg.mb_transferred for lg in manager.logs)
 
         # --- trace-simulator run with the same constants ----------------
         res = simulate_trace(

@@ -132,6 +132,133 @@ class TestAbort:
         assert results["survivor"][0] == pytest.approx(12.5)
 
 
+class TestAbortEdgeCases:
+    def test_abort_after_completion_is_a_noop(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        results = {}
+        env.process(sender(env, link, results, "a", 50.0))
+        env.run()
+        tr_time, sent, _ = results["a"]
+        # find the finished transfer through a fresh handle: abort must
+        # not un-complete it or disturb the byte ledger
+        done_tr = link.start_transfer(0.0)
+        assert done_tr.complete
+        link.abort(done_tr)
+        assert link.total_mb_sent == pytest.approx(50.0)
+        assert link.n_active == 0
+
+    def test_abort_completed_transfer_keeps_complete_flag(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        tr = link.start_transfer(30.0)
+        env.run()
+        assert tr.complete
+        end_time = tr.end_time
+        link.abort(tr)  # already off the wire: nothing to cancel
+        assert tr.complete
+        assert not tr.aborted
+        assert tr.sent_mb == 30.0
+        assert tr.end_time == end_time
+
+    def test_abort_exactly_at_epoch_boundary(self):
+        # 10 MB/s for 10 s, then 2 MB/s; abort at the boundary instant
+        env = Environment()
+        bw = PiecewiseConstantBandwidth([0.0, 10.0], [10.0, 2.0])
+        link = SharedLink(env, bw)
+        out = {}
+
+        def victim(env):
+            tr = link.start_transfer(500.0)
+            yield env.timeout(10.0)
+            link.abort(tr)
+            out["sent"] = tr.sent_mb
+
+        env.process(victim(env))
+        env.run()
+        # the whole first epoch's bytes, none of the second's
+        assert out["sent"] == pytest.approx(100.0)
+        assert link.total_mb_sent == pytest.approx(100.0)
+
+    def test_abort_mid_epoch_after_boundary(self):
+        env = Environment()
+        bw = PiecewiseConstantBandwidth([0.0, 10.0], [10.0, 2.0])
+        link = SharedLink(env, bw)
+        out = {}
+
+        def victim(env):
+            tr = link.start_transfer(500.0)
+            yield env.timeout(15.0)
+            link.abort(tr)
+            out["sent"] = tr.sent_mb
+
+        env.process(victim(env))
+        env.run()
+        assert out["sent"] == pytest.approx(100.0 + 5.0 * 2.0)
+
+    def test_sent_mb_conservation_under_churn(self):
+        # transfers join and abort at staggered times across an epoch
+        # change; whatever each handle reports as sent must sum exactly
+        # to the link's lifetime byte counter
+        env = Environment()
+        bw = PiecewiseConstantBandwidth([0.0, 12.0], [10.0, 4.0])
+        link = SharedLink(env, bw)
+        handles = []
+        results = {}
+
+        def joiner(env, name, size, start):
+            yield env.timeout(start)
+            tr = link.start_transfer(size)
+            handles.append(tr)
+            try:
+                yield tr.done
+            except Interrupt:
+                link.abort(tr)
+            results[name] = tr.sent_mb
+
+        def aborter(env, name, size, start, abort_after):
+            yield env.timeout(start)
+            tr = link.start_transfer(size)
+            handles.append(tr)
+            yield env.timeout(abort_after)
+            link.abort(tr)
+            results[name] = tr.sent_mb
+
+        env.process(joiner(env, "a", 60.0, 0.0))
+        env.process(aborter(env, "b", 300.0, 2.0, 6.0))
+        env.process(joiner(env, "c", 40.0, 5.0))
+        env.process(aborter(env, "d", 200.0, 9.0, 8.0))
+        env.run()
+        assert len(handles) == 4
+        total_reported = sum(tr.sent_mb for tr in handles)
+        assert total_reported == pytest.approx(link.total_mb_sent)
+        # aborted transfers hold partial bytes, completed ones their size
+        assert results["a"] == pytest.approx(60.0)
+        assert results["c"] == pytest.approx(40.0)
+        assert 0.0 < results["b"] < 300.0
+        assert 0.0 < results["d"] < 200.0
+
+    def test_abort_all_leaves_link_reusable(self):
+        env = Environment()
+        link = SharedLink(env, 10.0)
+        trs = [link.start_transfer(100.0) for _ in range(3)]
+
+        def killer(env):
+            yield env.timeout(3.0)
+            for tr in trs:
+                link.abort(tr)
+
+        env.process(killer(env))
+        env.run()
+        assert link.n_active == 0
+        assert link.total_mb_sent == pytest.approx(30.0)  # 3 s at 10 MB/s shared
+        # the link keeps serving new transfers afterwards
+        results = {}
+        env.process(sender(env, link, results, "late", 20.0))
+        env.run()
+        assert results["late"][1] == 20.0
+
+
 class TestRequestLatency:
     def test_latency_delays_completion(self):
         env = Environment()

@@ -1,8 +1,7 @@
 """Property-based tests for the Markov model, optimizer and simulator."""
 
-import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CheckpointCosts, MarkovIntervalModel, optimize_interval

@@ -1,8 +1,6 @@
 """Property-based tests for the extended families and gang distribution."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,148 @@
+"""Tests for the storage subsystem's size/compression/cost models."""
+
+import pytest
+
+from repro.core import CheckpointCosts
+from repro.storage import (
+    Compressor,
+    DirtyPageDelta,
+    FixedFractionDelta,
+    FullDelta,
+    StoragePolicy,
+    effective_costs,
+    implied_bandwidth,
+)
+
+
+class TestDeltaModels:
+    def test_full_delta_is_identity(self):
+        assert FullDelta().delta_mb(500.0, 1e9) == 500.0
+
+    def test_fixed_fraction(self):
+        m = FixedFractionDelta(0.2)
+        assert m.delta_mb(500.0, 60.0) == pytest.approx(100.0)
+        assert m.delta_mb(500.0, 1e9) == pytest.approx(100.0)  # work-independent
+
+    def test_fixed_fraction_bounds(self):
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                FixedFractionDelta(bad)
+
+    def test_dirty_page_monotone_and_saturating(self):
+        m = DirtyPageDelta(tau=1000.0)
+        small = m.delta_mb(500.0, 10.0)
+        mid = m.delta_mb(500.0, 1000.0)
+        large = m.delta_mb(500.0, 1e7)
+        import math
+
+        assert 0.0 < small < mid < large <= 500.0
+        assert mid == pytest.approx(500.0 * (1.0 - math.exp(-1.0)))
+        assert large == pytest.approx(500.0, rel=1e-6)
+
+    def test_dirty_page_zero_work_zero_delta(self):
+        assert DirtyPageDelta(tau=100.0).delta_mb(500.0, 0.0) == 0.0
+
+    def test_dirty_page_tau_validated(self):
+        with pytest.raises(ValueError):
+            DirtyPageDelta(tau=0.0)
+
+
+class TestCompressor:
+    def test_identity_default(self):
+        c = Compressor()
+        assert c.is_identity
+        tr = c.compress(500.0)
+        assert tr.wire_mb == 500.0 and tr.cpu_seconds == 0.0
+
+    def test_ratio_divides_wire_bytes(self):
+        tr = Compressor(ratio=2.5).compress(500.0)
+        assert tr.wire_mb == pytest.approx(200.0)
+        assert tr.cpu_seconds == 0.0
+
+    def test_throughput_sets_cpu_cost(self):
+        tr = Compressor(ratio=2.0, throughput_mb_per_s=100.0).compress(500.0)
+        assert tr.cpu_seconds == pytest.approx(5.0)  # raw bytes through the compressor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Compressor(ratio=0.5)
+        with pytest.raises(ValueError):
+            Compressor(throughput_mb_per_s=-1.0)
+        with pytest.raises(ValueError):
+            Compressor().compress(-1.0)
+
+
+class TestStoragePolicy:
+    def test_defaults_valid(self):
+        p = StoragePolicy()
+        assert p.mode == "incremental"
+        assert p.cycle_length() == p.full_every_k
+
+    def test_full_classmethod(self):
+        p = StoragePolicy.full()
+        assert p.mode == "full"
+        assert p.cycle_length() == 1
+
+    def test_keep_last_k_caps_cycle(self):
+        p = StoragePolicy(full_every_k=50, keep_last_k=5)
+        assert p.cycle_length() == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mode="differential"),
+            dict(delta_model="xor"),
+            dict(delta_fraction=1.5),
+            dict(dirty_tau=0.0),
+            dict(full_every_k=0),
+            dict(keep_last_k=0),
+            dict(compression_ratio=0.9),
+            dict(compression_mb_per_s=-1.0),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StoragePolicy(**kwargs)
+
+    def test_policy_is_hashable_and_picklable(self):
+        import pickle
+
+        p = StoragePolicy(delta_fraction=0.1, keep_last_k=4)
+        assert hash(p) == hash(StoragePolicy(delta_fraction=0.1, keep_last_k=4))
+        assert pickle.loads(pickle.dumps(p)) == p
+
+
+class TestEffectiveCosts:
+    BASE = CheckpointCosts(checkpoint=100.0, recovery=100.0)
+
+    def test_full_policy_preserves_base(self):
+        out = effective_costs(StoragePolicy.full(), self.BASE, 500.0, typical_work=600.0)
+        assert out.checkpoint == pytest.approx(100.0)
+        assert out.recovery == pytest.approx(100.0)
+
+    def test_incremental_hand_computed(self):
+        # bw = 5 MB/s; cycle = 1 full (500) + 9 deltas (50 each)
+        policy = StoragePolicy(delta_fraction=0.1, full_every_k=10)
+        out = effective_costs(policy, self.BASE, 500.0, typical_work=600.0)
+        assert out.checkpoint == pytest.approx((500.0 + 9 * 50.0) / 10 / 5.0)  # 19 s
+        assert out.recovery == pytest.approx((500.0 + 4.5 * 50.0) / 5.0)  # 145 s
+
+    def test_compression_adds_cpu_and_shrinks_wire(self):
+        policy = StoragePolicy.full(compression_ratio=2.0, compression_mb_per_s=100.0)
+        out = effective_costs(policy, self.BASE, 500.0, typical_work=600.0)
+        # wire halves (50 s) and compression adds 5 s of CPU
+        assert out.checkpoint == pytest.approx(55.0)
+        assert out.recovery == pytest.approx(50.0)  # decompression free
+
+    def test_degenerate_inputs_return_base(self):
+        policy = StoragePolicy(delta_fraction=0.1)
+        assert effective_costs(policy, self.BASE, 0.0, typical_work=1.0) is self.BASE
+        zero = CheckpointCosts(checkpoint=0.0, recovery=0.0)
+        assert effective_costs(policy, zero, 500.0, typical_work=1.0) is zero
+
+    def test_implied_bandwidth(self):
+        assert implied_bandwidth(500.0, 100.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            implied_bandwidth(0.0, 100.0)
+        with pytest.raises(ValueError):
+            implied_bandwidth(500.0, 0.0)

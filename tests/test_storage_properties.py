@@ -1,0 +1,105 @@
+"""Property-based tests: accounting laws survive the storage subsystem.
+
+The simulator's conservation law (``useful + lost + checkpoint +
+recovery == total``) was proved by construction for flat transfers;
+these properties assert it still holds when checkpoints become
+full/delta chains with compression and retention, across random
+policies, models and traces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, Hyperexponential, Weibull
+from repro.simulation import SimulationConfig, simulate_trace
+from repro.storage import CheckpointStore, StoragePolicy
+
+dists = st.sampled_from(
+    [
+        Exponential(1.0 / 500.0),
+        Exponential(1.0 / 8000.0),
+        Weibull(0.43, 3409.0),
+        Weibull(1.6, 4000.0),
+        Hyperexponential([0.6, 0.4], [1.0 / 200.0, 1.0 / 9000.0]),
+    ]
+)
+costs = st.floats(min_value=10.0, max_value=2000.0)
+durations_lists = st.lists(
+    st.floats(min_value=0.0, max_value=3e4), min_size=1, max_size=20
+)
+policies = st.builds(
+    StoragePolicy,
+    mode=st.sampled_from(["full", "incremental"]),
+    delta_model=st.sampled_from(["fixed", "dirty-page"]),
+    delta_fraction=st.floats(min_value=0.0, max_value=1.0),
+    dirty_tau=st.floats(min_value=60.0, max_value=7200.0),
+    full_every_k=st.integers(min_value=1, max_value=12),
+    keep_last_k=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    compression_ratio=st.floats(min_value=1.0, max_value=4.0),
+    compression_mb_per_s=st.sampled_from([0.0, 50.0, 400.0]),
+)
+
+
+class TestStorageConservation:
+    @given(dists, costs, durations_lists, policies)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_under_restore_chains(self, dist, c, durations, policy):
+        cfg = SimulationConfig(checkpoint_cost=c, storage=policy)
+        res = simulate_trace(dist, durations, cfg)
+        total = res.total_time
+        assert abs(res.conservation_residual()) <= max(1e-6 * max(total, 1.0), 1e-6)
+        assert 0.0 <= res.efficiency <= 1.0
+        assert res.useful_work <= total + 1e-9
+        assert res.mb_total >= 0.0
+
+    @given(dists, costs, durations_lists, policies)
+    @settings(max_examples=40, deadline=None)
+    def test_storage_counters_consistent(self, dist, c, durations, policy):
+        cfg = SimulationConfig(checkpoint_cost=c, storage=policy)
+        res = simulate_trace(dist, durations, cfg)
+        assert res.n_full_checkpoints + res.n_delta_checkpoints == res.n_checkpoints_completed
+        assert res.n_checkpoints_completed <= res.n_checkpoints_attempted
+        if policy.keep_last_k is not None:
+            assert res.max_restore_chain_len <= policy.keep_last_k
+        if policy.mode == "full":
+            assert res.n_delta_checkpoints == 0
+
+    @given(dists, costs, durations_lists, policies)
+    @settings(max_examples=40, deadline=None)
+    def test_wire_bytes_never_exceed_flat_transfers(self, dist, c, durations, policy):
+        # per completed checkpoint the wire bytes are at most one full
+        # compressed image, so checkpoint traffic is bounded by the flat
+        # pipeline that moved the same number of snapshots
+        cfg = SimulationConfig(checkpoint_cost=c, storage=policy)
+        res = simulate_trace(dist, durations, cfg)
+        full_wire = cfg.checkpoint_size_mb / policy.compression_ratio
+        assert res.mb_checkpoint <= res.n_checkpoints_attempted * full_wire + 1e-6
+
+
+class TestStoreInvariants:
+    @given(
+        policies,
+        st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_store_byte_ledger_balances(self, policy, works):
+        store = CheckpointStore(policy, 500.0)
+        committed_wire = 0.0
+        for w in works:
+            plan = store.plan_checkpoint(w)
+            store.commit(plan)
+            committed_wire += plan.wire_mb
+        assert store.stored_mb() + store.gc_freed_mb == pytest.approx(committed_wire)
+        assert store.chain_length() >= 1
+        assert store.snapshots[0].kind == "full" or store.chain_length() == len(
+            store.snapshots
+        )
+        if policy.keep_last_k is not None:
+            assert store.max_chain_len <= policy.keep_last_k
+        # the restore chain is always fetchable: base full + deltas
+        chain = store.chain()
+        assert chain[0].kind == "full"
+        assert all(s.kind == "delta" for s in chain[1:])
+        assert np.isfinite(store.restore_chain_mb())

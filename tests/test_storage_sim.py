@@ -1,0 +1,294 @@
+"""Tests for the storage subsystem wired through the simulators.
+
+The hand-computed cases pin the acceptance criterion: with a storage
+policy, the simulator's recovery cost is exactly the restore-chain size
+divided by the link bandwidth implied by ``checkpoint_cost``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointCosts, CheckpointSchedule
+from repro.distributions import Exponential, Weibull
+from repro.simulation import (
+    SimulationConfig,
+    replay_schedule,
+    simulate_trace,
+    storage_schedule_costs,
+)
+from repro.storage import StoragePolicy
+
+
+def exact_schedule(T):
+    """A degenerate 'schedule' with a fixed work interval, for hand checks."""
+    sched = CheckpointSchedule(Exponential(1e-9), CheckpointCosts.symmetric(0.0))
+
+    class Fixed:
+        costs = sched.costs
+
+        def work_interval(self, i):
+            return T
+
+        def expected_efficiency(self, i=0):
+            return 1.0
+
+    return Fixed()
+
+
+# C = 100 s per 500 MB image -> implied link bandwidth 5 MB/s
+BW_CFG = dict(checkpoint_cost=100.0, checkpoint_size_mb=500.0)
+
+
+class TestRestoreChainRecovery:
+    """recovery seconds == restore-chain MB / implied link MB/s."""
+
+    def test_bootstrap_recovery_prices_full_image(self):
+        cfg = SimulationConfig(
+            **BW_CFG, storage=StoragePolicy(delta_fraction=0.2, full_every_k=3)
+        )
+        sched = exact_schedule(600.0)
+        # recovery only: 500 MB chain at 5 MB/s = 100 s exactly
+        res = replay_schedule(sched, np.array([100.0]), cfg)
+        assert res.recovery_overhead == pytest.approx(500.0 / 5.0)
+        assert res.n_recoveries_completed == 1
+        assert res.mb_recovery == pytest.approx(500.0)
+
+    def test_recovery_equals_chain_over_bandwidth(self):
+        cfg = SimulationConfig(
+            **BW_CFG, storage=StoragePolicy(delta_fraction=0.2, full_every_k=3)
+        )
+        sched = exact_schedule(600.0)
+        # occupancy 1: bootstrap recovery (100 s) + [600 work + full ckpt
+        # 100 s] + [600 work + delta ckpt 20 s] -> store chain is
+        # full(500) + delta(100) = 600 MB
+        # occupancy 2: exactly the chain transfer: 600 MB / 5 MB/s = 120 s
+        res = replay_schedule(sched, np.array([1420.0, 120.0]), cfg)
+        assert res.n_full_checkpoints == 1
+        assert res.n_delta_checkpoints == 1
+        assert res.useful_work == pytest.approx(1200.0)
+        assert res.checkpoint_overhead == pytest.approx(100.0 + 20.0)
+        # 100 s bootstrap + 120 s chain restore
+        assert res.recovery_overhead == pytest.approx(100.0 + (500.0 + 100.0) / 5.0)
+        assert res.n_recoveries_completed == 2
+        assert res.mb_checkpoint == pytest.approx(500.0 + 100.0)
+        assert res.mb_recovery == pytest.approx(500.0 + 600.0)
+        assert res.max_restore_chain_len == 2
+        assert abs(res.conservation_residual()) < 1e-9
+
+    def test_chain_resets_after_periodic_full(self):
+        cfg = SimulationConfig(
+            **BW_CFG, storage=StoragePolicy(delta_fraction=0.2, full_every_k=2)
+        )
+        sched = exact_schedule(600.0)
+        # full(100 s) + delta(20 s) + full(100 s): chain is one full again
+        a1 = 100.0 + (600.0 + 100.0) + (600.0 + 20.0) + (600.0 + 100.0)
+        res = replay_schedule(sched, np.array([a1, 100.0]), cfg)
+        # second occupancy's recovery is exactly one full image
+        assert res.recovery_overhead == pytest.approx(100.0 + 100.0)
+        assert res.mb_gc_freed == pytest.approx(500.0 + 100.0)
+
+    def test_keep_last_k_bounds_chain_in_simulation(self):
+        rng = np.random.default_rng(7)
+        durations = Weibull(0.6, 5000.0).sample(200, rng)
+        cfg = SimulationConfig(
+            **BW_CFG,
+            storage=StoragePolicy(delta_fraction=0.1, full_every_k=1000, keep_last_k=3),
+        )
+        res = simulate_trace(Weibull(0.6, 5000.0), durations, cfg)
+        assert res.n_checkpoints_completed > 10
+        assert res.max_restore_chain_len <= 3
+
+
+class TestStorageAccounting:
+    def test_aborted_checkpoint_not_committed(self):
+        cfg = SimulationConfig(
+            **BW_CFG, storage=StoragePolicy(delta_fraction=0.2, full_every_k=3)
+        )
+        sched = exact_schedule(600.0)
+        # eviction 30 s into the first (full, 100 s) checkpoint
+        res = replay_schedule(sched, np.array([100.0 + 600.0 + 30.0]), cfg)
+        assert res.n_checkpoints_attempted == 1
+        assert res.n_checkpoints_completed == 0
+        assert res.n_full_checkpoints == 0  # never committed
+        assert res.lost_work == pytest.approx(600.0)
+        # proportional partial bytes: 30/100 of the 500 MB wire size
+        assert res.mb_checkpoint == pytest.approx(500.0 * 30.0 / 100.0)
+
+    def test_partial_policies_ordering_with_storage(self):
+        rng = np.random.default_rng(11)
+        durations = Weibull(0.5, 2500.0).sample(120, rng)
+        dist = Weibull(0.5, 2500.0)
+
+        def mb(policy):
+            cfg = SimulationConfig(
+                **BW_CFG,
+                partial_transfer_policy=policy,
+                storage=StoragePolicy(delta_fraction=0.2, full_every_k=5),
+            )
+            return simulate_trace(dist, durations, cfg).mb_total
+
+        assert mb("none") <= mb("proportional") + 1e-9 <= mb("full") + 1e-9
+
+    def test_compression_cpu_phase_moves_no_bytes(self):
+        # ratio 2, 100 MB/s compressor: full image -> 5 s CPU + 50 s wire
+        cfg = SimulationConfig(
+            **BW_CFG,
+            storage=StoragePolicy.full(
+                compression_ratio=2.0, compression_mb_per_s=100.0
+            ),
+        )
+        sched = exact_schedule(600.0)
+        # bootstrap recovery of the compressed image: 250 MB -> 50 s;
+        # eviction 3 s into the checkpoint's 5 s compression phase
+        res = replay_schedule(sched, np.array([50.0 + 600.0 + 3.0]), cfg)
+        assert res.recovery_overhead == pytest.approx(50.0)
+        assert res.checkpoint_overhead == pytest.approx(3.0)
+        assert res.mb_checkpoint == 0.0  # still compressing: nothing on the wire
+
+    def test_compression_wire_phase_partial_bytes(self):
+        cfg = SimulationConfig(
+            **BW_CFG,
+            storage=StoragePolicy.full(
+                compression_ratio=2.0, compression_mb_per_s=100.0
+            ),
+        )
+        sched = exact_schedule(600.0)
+        # eviction 10 s into the checkpoint: 5 s CPU then 5 s of wire
+        res = replay_schedule(sched, np.array([50.0 + 600.0 + 10.0]), cfg)
+        assert res.mb_checkpoint == pytest.approx(250.0 * 5.0 / 50.0)
+
+    def test_conservation_with_storage(self):
+        rng = np.random.default_rng(13)
+        durations = Weibull(0.5, 3000.0).sample(150, rng)
+        cfg = SimulationConfig(
+            **BW_CFG,
+            storage=StoragePolicy(
+                delta_model="dirty-page",
+                dirty_tau=1800.0,
+                full_every_k=8,
+                compression_ratio=1.5,
+                compression_mb_per_s=150.0,
+            ),
+        )
+        res = simulate_trace(Weibull(0.55, 2800.0), durations, cfg)
+        assert abs(res.conservation_residual()) < 1e-6 * res.total_time
+        assert res.n_full_checkpoints + res.n_delta_checkpoints == res.n_checkpoints_completed
+
+    def test_incremental_reduces_network_load(self):
+        rng = np.random.default_rng(17)
+        durations = Weibull(0.5, 3000.0).sample(150, rng)
+        dist = Weibull(0.55, 2800.0)
+        full = simulate_trace(dist, durations, SimulationConfig(**BW_CFG))
+        inc = simulate_trace(
+            dist,
+            durations,
+            SimulationConfig(
+                **BW_CFG, storage=StoragePolicy(delta_fraction=0.1, full_every_k=10)
+            ),
+        )
+        assert inc.mb_total < full.mb_total
+        assert inc.efficiency >= full.efficiency - 0.01
+
+
+class TestScheduleCosts:
+    def test_no_storage_returns_configured_costs(self):
+        cfg = SimulationConfig(checkpoint_cost=110.0, recovery_cost=90.0)
+        costs = storage_schedule_costs(Exponential(1.0 / 4000.0), cfg)
+        assert costs.checkpoint == 110.0 and costs.recovery == 90.0
+
+    def test_storage_shrinks_planned_costs(self):
+        cfg = SimulationConfig(
+            **BW_CFG, storage=StoragePolicy(delta_fraction=0.1, full_every_k=10)
+        )
+        costs = storage_schedule_costs(Exponential(1.0 / 4000.0), cfg)
+        # fixed-fraction deltas need no fixed point: exact expectations
+        assert costs.checkpoint == pytest.approx(19.0)
+        assert costs.recovery == pytest.approx(145.0)
+
+    def test_optimizer_sees_effective_costs(self):
+        # cheaper effective checkpoints => shorter planned intervals
+        dist = Exponential(1.0 / 4000.0)
+        flat = simulate_trace(
+            dist, [50000.0], SimulationConfig(**BW_CFG)
+        )
+        inc = simulate_trace(
+            dist,
+            [50000.0],
+            SimulationConfig(
+                **BW_CFG, storage=StoragePolicy(delta_fraction=0.1, full_every_k=10)
+            ),
+        )
+        assert inc.n_checkpoints_completed > flat.n_checkpoints_completed
+
+    def test_storage_none_identical_to_full_policy(self):
+        # the degenerate policy must reproduce the paper's simulator
+        rng = np.random.default_rng(23)
+        durations = Weibull(0.5, 3000.0).sample(100, rng)
+        dist = Weibull(0.5, 3000.0)
+        flat = simulate_trace(dist, durations, SimulationConfig(**BW_CFG))
+        degenerate = simulate_trace(
+            dist, durations, SimulationConfig(**BW_CFG, storage=StoragePolicy.full())
+        )
+        assert degenerate.useful_work == pytest.approx(flat.useful_work)
+        assert degenerate.mb_total == pytest.approx(flat.mb_total)
+        assert degenerate.recovery_overhead == pytest.approx(flat.recovery_overhead)
+
+
+class TestLiveStorage:
+    def make_env(self, availabilities, policy, *, bandwidth=10.0):
+        from repro.condor import (
+            CheckpointManager,
+            CondorMachine,
+            CondorScheduler,
+            make_test_process,
+        )
+        from repro.core import CheckpointPlanner
+        from repro.engine import Environment
+        from repro.network import SharedLink
+
+        env = Environment()
+        link = SharedLink(env, bandwidth)
+        manager = CheckpointManager(env, link)
+        sched = CondorScheduler(env)
+        CondorMachine.from_trace(
+            env,
+            "m0",
+            durations=availabilities,
+            gaps=[0.0] * len(availabilities),
+            scheduler=sched,
+        )
+        planner = CheckpointPlanner.from_distribution(Exponential(1.0 / 5000.0))
+        body = make_test_process(
+            manager, planner, checkpoint_size_mb=500.0, storage=policy
+        )
+        n_left = len(availabilities)
+
+        def resubmit(placement):
+            nonlocal n_left
+            n_left -= 1
+            if n_left > 0:
+                sched.submit(body, on_complete=resubmit)
+
+        sched.submit(body, on_complete=resubmit)
+        env.run()
+        return manager, link
+
+    def test_live_storage_reduces_bytes(self):
+        policy = StoragePolicy(delta_fraction=0.1, full_every_k=10)
+        _, link_inc = self.make_env([60000.0], policy)
+        _, link_flat = self.make_env([60000.0], None)
+        assert link_inc.total_mb_sent < link_flat.total_mb_sent
+
+    def test_live_store_persists_across_placements(self):
+        # second placement's recovery fetches the chain, not a flat image
+        policy = StoragePolicy(delta_fraction=0.1, full_every_k=100)
+        manager, _ = self.make_env([20000.0, 20000.0], policy)
+        logs = manager.logs
+        assert len(logs) == 2
+        first_ckpts = logs[0].n_checkpoints_completed
+        assert first_ckpts >= 2
+        # chain after placement 1: 500 + (n-1) deltas of 50 MB, at 10 MB/s
+        expected_chain_mb = 500.0 + (first_ckpts - 1) * 50.0
+        assert logs[1].recovery_overhead == pytest.approx(
+            expected_chain_mb / 10.0, rel=1e-6
+        )

@@ -1,0 +1,134 @@
+"""Tests for the server-side checkpoint store: chains, retention, GC."""
+
+import pytest
+
+from repro.storage import CheckpointStore, StoragePolicy
+
+
+def drive(store, n, work=600.0):
+    """Commit ``n`` checkpoints, returning their kinds."""
+    kinds = []
+    for _ in range(n):
+        plan = store.plan_checkpoint(work)
+        kinds.append(plan.kind)
+        store.commit(plan)
+    return kinds
+
+
+class TestCadence:
+    def test_first_checkpoint_is_always_full(self):
+        store = CheckpointStore(StoragePolicy(delta_fraction=0.1), 500.0)
+        assert store.next_kind() == "full"
+
+    def test_periodic_full_cadence(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_fraction=0.2, full_every_k=3), 500.0
+        )
+        kinds = drive(store, 7)
+        assert kinds == ["full", "delta", "delta", "full", "delta", "delta", "full"]
+        assert store.n_full == 3 and store.n_delta == 4
+
+    def test_full_mode_never_writes_deltas(self):
+        store = CheckpointStore(StoragePolicy.full(), 500.0)
+        assert drive(store, 5) == ["full"] * 5
+
+    def test_delta_sizes_follow_model(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_fraction=0.2, full_every_k=10), 500.0
+        )
+        drive(store, 1)
+        plan = store.plan_checkpoint(600.0)
+        assert plan.kind == "delta"
+        assert plan.raw_mb == pytest.approx(100.0)
+        assert plan.wire_mb == pytest.approx(100.0)  # no compression
+
+    def test_delta_never_exceeds_full(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_model="dirty-page", dirty_tau=1.0), 500.0
+        )
+        drive(store, 1)
+        plan = store.plan_checkpoint(1e12)  # fully saturated
+        assert plan.raw_mb <= 500.0
+
+
+class TestRestoreChain:
+    def test_bootstrap_prices_full_image(self):
+        store = CheckpointStore(StoragePolicy(delta_fraction=0.1), 500.0)
+        assert store.restore_chain_mb() == pytest.approx(500.0)
+
+    def test_bootstrap_respects_compression(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_fraction=0.1, compression_ratio=2.0), 500.0
+        )
+        assert store.restore_chain_mb() == pytest.approx(250.0)
+
+    def test_chain_accumulates_deltas(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_fraction=0.1, full_every_k=10), 500.0
+        )
+        drive(store, 4)  # full + 3 deltas of 50 MB
+        assert store.chain_length() == 4
+        assert store.restore_chain_mb() == pytest.approx(500.0 + 3 * 50.0)
+
+    def test_new_full_resets_chain(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_fraction=0.1, full_every_k=3), 500.0
+        )
+        drive(store, 4)  # full, d, d, full
+        assert store.chain_length() == 1
+        assert store.restore_chain_mb() == pytest.approx(500.0)
+
+
+class TestRetention:
+    def test_gc_drops_stale_snapshots(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_fraction=0.1, full_every_k=3), 500.0
+        )
+        drive(store, 6)  # kinds: full d d full d d
+        # only the live chain survives on disk
+        assert store.stored_mb() == pytest.approx(500.0 + 2 * 50.0)
+        # the second full retired the first cycle (full + 2 deltas)
+        assert store.gc_freed_mb == pytest.approx(500.0 + 2 * 50.0)
+
+    def test_keep_last_k_bounds_chain_length(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_fraction=0.1, full_every_k=1000, keep_last_k=4), 500.0
+        )
+        kinds = drive(store, 20)
+        assert store.max_chain_len <= 4
+        # the forced fulls arrive exactly when the chain is at its cap
+        assert kinds[0] == "full"
+        assert kinds[4] == "full" and kinds[8] == "full"
+        # snapshots on disk never exceed the retention cap either
+        assert len(store.snapshots) <= 4
+
+    def test_gc_audit_trail_conserves_bytes(self):
+        store = CheckpointStore(
+            StoragePolicy(delta_fraction=0.25, full_every_k=4), 500.0
+        )
+        drive(store, 13)
+        committed = 500.0 * store.n_full + 125.0 * store.n_delta
+        assert store.stored_mb() + store.gc_freed_mb == pytest.approx(committed)
+
+
+class TestPlanCommitSeparation:
+    def test_plan_does_not_mutate(self):
+        store = CheckpointStore(StoragePolicy(delta_fraction=0.1), 500.0)
+        before = (store.n_committed, store.chain_length())
+        store.plan_checkpoint(600.0)
+        store.plan_checkpoint(600.0)
+        assert (store.n_committed, store.chain_length()) == before
+
+    def test_full_mb_override(self):
+        store = CheckpointStore(StoragePolicy(delta_fraction=0.1), 500.0)
+        plan = store.plan_checkpoint(600.0, full_mb=800.0)
+        assert plan.raw_mb == pytest.approx(800.0)  # first snapshot: full
+
+    def test_negative_work_rejected(self):
+        store = CheckpointStore(StoragePolicy(), 500.0)
+        with pytest.raises(ValueError):
+            store.plan_checkpoint(-1.0)
+
+    def test_negative_image_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(StoragePolicy(), -500.0)

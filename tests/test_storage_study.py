@@ -1,0 +1,85 @@
+"""Tests for the storage-policy study (and its CLI entry point)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.storage_study import (
+    DEFAULT_STORAGE_POLICIES,
+    run_storage_study,
+)
+from repro.storage import StoragePolicy
+from repro.traces.synthetic import SyntheticPoolConfig
+
+SMALL_POOL = SyntheticPoolConfig(n_machines=5, n_observations=60)
+
+STUDY_POLICIES = (
+    ("full (paper)", None),
+    ("inc d=0.10 full@10", StoragePolicy(delta_fraction=0.10, full_every_k=10)),
+    ("inc d=0.10 keep5", StoragePolicy(delta_fraction=0.10, full_every_k=50, keep_last_k=5)),
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_storage_study(
+        pool_config=SMALL_POOL,
+        seed=2005,
+        model_names=("exponential", "weibull"),
+        policies=STUDY_POLICIES,
+    )
+
+
+class TestAcceptance:
+    """The issue's bar: at the Table 4 campus point, incremental storage
+    strictly reduces megabytes while efficiency stays within one point
+    of the full-checkpoint baseline, for every availability model."""
+
+    def test_incremental_strictly_reduces_network_load(self, study):
+        for model in study.model_names:
+            base = study.aggregate(model, "full (paper)")
+            for policy in study.policy_names[1:]:
+                agg = study.aggregate(model, policy)
+                assert agg.mb_total < base.mb_total, (model, policy)
+
+    def test_efficiency_within_one_point_of_baseline(self, study):
+        for model in study.model_names:
+            base = study.aggregate(model, "full (paper)")
+            for policy in study.policy_names[1:]:
+                agg = study.aggregate(model, policy)
+                assert agg.efficiency >= base.efficiency - 0.01, (model, policy)
+
+    def test_keep_last_k_bounds_chains(self, study):
+        agg = study.aggregate("weibull", "inc d=0.10 keep5")
+        assert 1 <= agg.max_chain <= 5
+
+
+class TestRendering:
+    def test_table_renders(self, study):
+        text = study.table().render()
+        assert "Storage study" in text
+        assert "full (paper)" in text
+        assert "vs full" in text
+        # baseline rows are 0 % by construction
+        assert "+0.0%" in text or "-0.0%" in text
+
+    def test_default_policies_well_formed(self):
+        names = [name for name, _ in DEFAULT_STORAGE_POLICIES]
+        assert names[0] == "full (paper)"
+        assert len(names) == len(set(names))
+        for _name, policy in DEFAULT_STORAGE_POLICIES[1:]:
+            assert isinstance(policy, StoragePolicy)
+
+
+class TestCli:
+    def test_storage_study_command(self):
+        buf = io.StringIO()
+        code = main(
+            ["storage-study", "--machines", "3", "--observations", "40"],
+            stdout=buf,
+        )
+        assert code == 0
+        out = buf.getvalue()
+        assert "Storage study" in out
+        assert "inc d=0.10 full@10" in out

@@ -12,7 +12,7 @@ from repro.traces import (
     paper_reference_trace,
     synthetic_trace,
 )
-from repro.distributions import Exponential, Weibull
+from repro.distributions import Exponential
 
 
 class TestReference:
@@ -103,7 +103,6 @@ class TestGeneratePool:
         )
         pool = generate_condor_pool(cfg, np.random.default_rng(8))
         from repro.distributions import Hyperexponential
-        import math
 
         for t in pool:
             probs = [t.meta["gt_probs_0"], t.meta["gt_probs_1"]]

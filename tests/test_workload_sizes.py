@@ -1,6 +1,5 @@
 """Tests for checkpoint-size models and their test-process integration."""
 
-import math
 
 import pytest
 
