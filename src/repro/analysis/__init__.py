@@ -1,0 +1,39 @@
+"""reprolint: domain-aware static analysis for the checkpoint stack.
+
+The paper's headline comparison (efficiency vs. network load) is only as
+good as the numerics behind it: a seedless RNG in a trace replay, a
+float ``==`` in a hazard guard, or seconds added to megabytes corrupts
+Table 4 without any test failing loudly.  This package machine-checks
+those domain invariants with small AST visitors, one per rule:
+
+========  ==============================================================
+``RL001``  RNG discipline (no global/seedless NumPy randomness)
+``RL002``  float equality in the numerical packages
+``RL003``  unit mixing (``*_seconds`` arithmetic with ``*_mb`` etc.)
+``RL004``  ``*Config`` dataclasses must validate numeric fields
+``RL005``  distribution subclasses must implement a consistent surface
+``RL006``  broad / silent exception handling in library code
+========  ==============================================================
+
+Run it as ``repro lint [paths ...]`` (or ``python -m repro.analysis``);
+findings can be suppressed per line with ``# reprolint: ignore[RLxxx]``
+and rules enabled/disabled via ``[tool.reprolint]`` in pyproject.toml.
+See ``docs/ANALYSIS.md`` for the full rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import lint_file, lint_paths
+from repro.analysis.findings import Finding
+from repro.analysis.rules import REGISTRY, Rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "REGISTRY",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+]

@@ -1,0 +1,115 @@
+"""``repro lint`` — the command-line front end of reprolint.
+
+Exit codes follow the usual linter convention: ``0`` clean, ``1`` when
+findings were emitted, ``2`` on usage errors (unknown rule code,
+malformed ``[tool.reprolint]`` table, no files matched).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import TextIO
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import iter_python_files, lint_paths
+from repro.analysis.rules import REGISTRY
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Domain-aware static analysis for the checkpoint-scheduling stack: "
+            "RNG discipline, float equality, unit mixing, config validation, "
+            "distribution contracts and exception hygiene.  See docs/ANALYSIS.md."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (overrides pyproject select)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to skip (overrides pyproject disable)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the known rules and exit",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.reprolint] in pyproject.toml",
+    )
+    return parser
+
+
+def _parse_codes(raw: str | None, known: frozenset[str], flag: str) -> frozenset[str]:
+    if raw is None:
+        return frozenset()
+    codes = frozenset(code.strip() for code in raw.split(",") if code.strip())
+    unknown = codes - known
+    if unknown:
+        raise ValueError(f"{flag} names unknown rule codes {sorted(unknown)}; known: {sorted(known)}")
+    return codes
+
+
+def _print_rules(sink: TextIO) -> None:
+    for rule in REGISTRY:
+        print(f"{rule.code}  {rule.summary}", file=sink)
+        doc = (type(rule).__doc__ or "").strip().splitlines()[0]
+        print(f"       {doc}", file=sink)
+
+
+def main(argv: list[str] | None = None, *, stdout: TextIO | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    sink = stdout if stdout is not None else sys.stdout
+    if args.rules:
+        _print_rules(sink)
+        return 0
+    known = frozenset(rule.code for rule in REGISTRY)
+    try:
+        if args.no_config:
+            config = LintConfig()
+        else:
+            config = load_config(Path(args.paths[0]) if args.paths else None, known)
+        select = _parse_codes(args.select, known, "--select")
+        disable = _parse_codes(args.disable, known, "--disable")
+    except ValueError as exc:
+        print(f"repro lint: error: {exc}", file=sink)
+        return 2
+    if select:
+        config = LintConfig(select=select, disable=config.disable | disable, exclude=config.exclude)
+    elif disable:
+        config = LintConfig(select=config.select, disable=config.disable | disable, exclude=config.exclude)
+    files = iter_python_files(args.paths)
+    if not files:
+        print(f"repro lint: error: no Python files under {args.paths}", file=sink)
+        return 2
+    findings = lint_paths(args.paths, config=config)
+    for finding in findings:
+        print(finding.render(), file=sink)
+    if findings:
+        print(f"repro lint: {len(findings)} finding(s) in {len(files)} file(s)", file=sink)
+        return 1
+    print(f"repro lint: clean ({len(files)} file(s))", file=sink)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Configuration for reprolint: ``[tool.reprolint]`` in pyproject.toml.
+
+Supported keys::
+
+    [tool.reprolint]
+    select  = ["RL001", "RL002"]   # run only these rules
+    disable = ["RL003"]            # run everything except these
+    exclude = ["experiments/"]     # path fragments skipped entirely
+
+``select`` and ``disable`` compose: a rule runs when it is in ``select``
+(or ``select`` is empty) and not in ``disable``.  Unknown rule codes are
+rejected so a typo cannot silently disable a gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+try:  # pragma: no cover - tomllib ships with >= 3.11; config is optional below it
+    import tomllib
+except ImportError:  # pragma: no cover
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["LintConfig", "load_config"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, and which paths are skipped."""
+
+    select: frozenset[str] = frozenset()
+    disable: frozenset[str] = frozenset()
+    exclude: tuple[str, ...] = ()
+
+    def rule_enabled(self, code: str) -> bool:
+        if self.select and code not in self.select:
+            return False
+        return code not in self.disable
+
+    def path_excluded(self, posix_path: str) -> bool:
+        return any(fragment in posix_path for fragment in self.exclude)
+
+
+def _validate_codes(codes: list[str], known: frozenset[str], key: str) -> frozenset[str]:
+    unknown = [c for c in codes if c not in known]
+    if unknown:
+        raise ValueError(
+            f"[tool.reprolint] {key} names unknown rule codes {unknown}; known: {sorted(known)}"
+        )
+    return frozenset(codes)
+
+
+def _string_list(raw: Any, key: str) -> list[str]:
+    if not isinstance(raw, list) or not all(isinstance(item, str) for item in raw):
+        raise ValueError(f"[tool.reprolint] {key} must be a list of strings, got {raw!r}")
+    return list(raw)
+
+
+def load_config(start: Path | None = None, known_codes: frozenset[str] | None = None) -> LintConfig:
+    """Load ``[tool.reprolint]`` from the nearest pyproject.toml.
+
+    Searches ``start`` (a file or directory; default: cwd) and its
+    parents.  Missing file, missing table, or a pre-3.11 interpreter
+    (no ``tomllib``) all fall back to the defaults: every rule enabled.
+    """
+    if known_codes is None:
+        from repro.analysis.rules import REGISTRY
+
+        known_codes = frozenset(rule.code for rule in REGISTRY)
+    if tomllib is None:  # pragma: no cover
+        return LintConfig()
+    base = (start or Path.cwd()).resolve()
+    if base.is_file():
+        base = base.parent
+    for directory in (base, *base.parents):
+        pyproject = directory / "pyproject.toml"
+        if pyproject.is_file():
+            with pyproject.open("rb") as fh:
+                data = tomllib.load(fh)
+            table = data.get("tool", {}).get("reprolint", {})
+            if not isinstance(table, dict):
+                raise ValueError("[tool.reprolint] must be a table")
+            unknown_keys = set(table) - {"select", "disable", "exclude"}
+            if unknown_keys:
+                raise ValueError(f"unknown [tool.reprolint] keys: {sorted(unknown_keys)}")
+            return LintConfig(
+                select=_validate_codes(
+                    _string_list(table.get("select", []), "select"), known_codes, "select"
+                ),
+                disable=_validate_codes(
+                    _string_list(table.get("disable", []), "disable"), known_codes, "disable"
+                ),
+                exclude=tuple(_string_list(table.get("exclude", []), "exclude")),
+            )
+    return LintConfig()

@@ -1,0 +1,145 @@
+"""The reprolint engine: walk files, run rules, honour suppressions.
+
+A finding on line *N* is suppressed by a comment on that same line::
+
+    if flo == 0.0:  # reprolint: ignore[RL002] - exact zero is the root itself
+
+or by a standalone comment on the line directly above it::
+
+    # reprolint: ignore[RL002] - exact zero is the root itself
+    if flo == 0.0:
+
+``ignore`` with no bracket suppresses every rule on the line; the
+bracketed form takes a comma-separated list of codes.  For multi-line
+statements the comment belongs on (or above) the line the statement
+*starts* on (the line reported in the finding).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import REGISTRY, Rule
+from repro.analysis.rules.base import ModuleContext
+
+__all__ = ["iter_python_files", "lint_file", "lint_paths"]
+
+#: finding code used for files that fail to parse
+PARSE_ERROR_CODE = "RL000"
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated file list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen.setdefault(candidate, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+    return sorted(seen)
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed codes (``None`` = all codes).
+
+    Comments are located with :mod:`tokenize` so that a ``reprolint:``
+    inside a string literal is never mistaken for a directive.  An
+    inline directive suppresses its own line; a standalone comment
+    suppresses the line below it (where the guarded statement starts).
+    """
+    lines = source.splitlines()
+    out: dict[int, frozenset[str] | None] = {}
+
+    def record(line: int, codes: str | None) -> None:
+        if codes is None:
+            out[line] = None
+        else:
+            parsed = frozenset(c.strip() for c in codes.split(",") if c.strip())
+            existing = out.get(line, frozenset())
+            out[line] = None if existing is None else existing | parsed
+
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(keepends=True)).__next__)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            line, col = token.start
+            before = lines[line - 1][:col] if line - 1 < len(lines) else ""
+            standalone = not before.strip()
+            record(line + 1 if standalone else line, match.group("codes"))
+    except tokenize.TokenizeError:  # parse errors are reported separately
+        pass
+    return out
+
+
+def _suppressed(finding: Finding, suppressions: dict[int, frozenset[str] | None]) -> bool:
+    codes = suppressions.get(finding.line, frozenset())
+    return codes is None or finding.code in codes
+
+
+def lint_file(
+    path: Path,
+    rules: Iterable[Rule] | None = None,
+    *,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Run all applicable rules over one file."""
+    config = config or LintConfig()
+    posix = path.as_posix()
+    if config.path_excluded(posix):
+        return []
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = ModuleContext(
+        path=str(path),
+        posix_path=posix,
+        tree=tree,
+        source_lines=tuple(source.splitlines()),
+    )
+    suppressions = _suppressions(source)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else REGISTRY:
+        if not config.rule_enabled(rule.code) or not rule.applies_to(posix):
+            continue
+        for finding in rule.check(module):
+            if not _suppressed(finding, suppressions):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; findings in path order."""
+    rule_list = tuple(rules) if rules is not None else REGISTRY
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rule_list, config=config))
+    return findings

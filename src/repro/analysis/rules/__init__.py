@@ -1,0 +1,32 @@
+"""The reprolint rule registry.
+
+Adding a rule: subclass :class:`~repro.analysis.rules.base.Rule` in a
+module here, give it the next free ``RLxxx`` code, a ``summary`` and a
+docstring (the docstring is the rule's documentation, surfaced by
+``repro lint --rules``), implement ``check``, and append an instance to
+``REGISTRY``.  Then add a positive and a negative fixture to
+``tests/test_analysis_rules.py`` and a row to ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import ModuleContext, Rule
+from repro.analysis.rules.configs import ConfigValidationRule
+from repro.analysis.rules.distributions import DistributionContractRule
+from repro.analysis.rules.exceptions import ExceptionHygieneRule
+from repro.analysis.rules.floats import FloatEqualityRule
+from repro.analysis.rules.rng import RngDisciplineRule
+from repro.analysis.rules.units import UnitMixingRule
+
+__all__ = ["ModuleContext", "REGISTRY", "Rule"]
+
+#: every known rule, in code order; the engine consults the config for
+#: which of these actually run
+REGISTRY: tuple[Rule, ...] = (
+    RngDisciplineRule(),
+    FloatEqualityRule(),
+    UnitMixingRule(),
+    ConfigValidationRule(),
+    DistributionContractRule(),
+    ExceptionHygieneRule(),
+)

@@ -1,0 +1,82 @@
+"""Rule base class and the per-module context rules inspect."""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+
+__all__ = ["ModuleContext", "Rule", "dotted_name", "in_directory", "is_test_path"]
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """One parsed module as presented to every rule."""
+
+    #: path as given on the command line (used in finding output)
+    path: str
+    #: POSIX-style path used for scope matching ("src/repro/core/markov.py")
+    posix_path: str
+    tree: ast.Module
+    source_lines: tuple[str, ...]
+
+
+class Rule(abc.ABC):
+    """One named check over a module's AST.
+
+    Subclasses set ``code`` (``RLxxx``), a one-line ``summary`` used in
+    ``repro lint --rules`` output, and optional path scoping:
+    ``include_dirs`` restricts the rule to files under those package
+    directories, ``exclude_basenames`` skips specific file names.  The
+    class docstring is the rule's long-form documentation.
+    """
+
+    code: ClassVar[str]
+    summary: ClassVar[str]
+    include_dirs: ClassVar[tuple[str, ...]] = ()
+    exclude_basenames: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, posix_path: str) -> bool:
+        parts = posix_path.split("/")
+        if parts and parts[-1] in self.exclude_basenames:
+            return False
+        if self.include_dirs:
+            return any(d in parts[:-1] for d in self.include_dirs)
+        return True
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``module`` (already scope-filtered)."""
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.expr) -> str:
+    """Best-effort dotted name of an expression (``np.random.seed``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = dotted_name(node.value)
+        return f"{prefix}.{node.attr}" if prefix else node.attr
+    return ""
+
+
+def in_directory(posix_path: str, directory: str) -> bool:
+    return directory in posix_path.split("/")[:-1]
+
+
+def is_test_path(posix_path: str) -> bool:
+    parts = posix_path.split("/")
+    name = parts[-1]
+    return "tests" in parts or name.startswith("test_") or name == "conftest.py"

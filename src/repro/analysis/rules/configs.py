@@ -1,0 +1,83 @@
+"""RL004 — ``*Config`` dataclasses must validate their numeric fields."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule, dotted_name
+
+__all__ = ["ConfigValidationRule"]
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        name = dotted_name(decorator.func) if isinstance(decorator, ast.Call) else dotted_name(decorator)
+        if name.split(".")[-1] != "dataclass":
+            continue
+        if not isinstance(decorator, ast.Call):
+            return False  # bare @dataclass is mutable
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen" and isinstance(keyword.value, ast.Constant):
+                return bool(keyword.value.value)
+        return False
+    return False
+
+
+def _numeric_annotation(annotation: ast.expr) -> bool:
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("int", "float")
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _numeric_annotation(annotation.left) or _numeric_annotation(annotation.right)
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        tokens = annotation.value.replace("|", " ").split()
+        return "int" in tokens or "float" in tokens
+    return False
+
+
+class ConfigValidationRule(Rule):
+    """Frozen ``*Config`` dataclasses must validate numeric fields.
+
+    Every experiment in this repo is steered by a frozen ``*Config``
+    dataclass, and a negative horizon or zero-machine pool does not fail
+    at construction — it fails hours later inside a sweep, or worse,
+    silently skews an average.  A config class that declares numeric
+    fields must therefore define ``__post_init__`` (the idiomatic
+    frozen-dataclass validation hook) or a ``validate`` method, so bad
+    parameters die at the constructor with a message naming the field.
+    """
+
+    code: ClassVar[str] = "RL004"
+    summary: ClassVar[str] = "frozen *Config dataclasses with numeric fields need __post_init__/validate"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config") or not _is_frozen_dataclass(node):
+                continue
+            numeric_fields = [
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+                and _numeric_annotation(stmt.annotation)
+            ]
+            if not numeric_fields:
+                continue
+            methods = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "__post_init__" not in methods and "validate" not in methods:
+                listed = ", ".join(numeric_fields[:4]) + (", ..." if len(numeric_fields) > 4 else "")
+                yield self.finding(
+                    module,
+                    node,
+                    f"frozen dataclass {node.name} has numeric fields ({listed}) but no "
+                    "__post_init__ or validate() to range-check them",
+                )

@@ -1,0 +1,89 @@
+"""RL005 — availability-distribution subclasses must keep a consistent surface."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule, dotted_name
+
+__all__ = ["DistributionContractRule"]
+
+#: the primitives AvailabilityDistribution declares abstract
+_REQUIRED = ("_pdf", "_cdf", "mean", "variance", "n_params", "params")
+
+#: method -> methods it must travel with.  Overriding ``sf`` without
+#: ``_cdf`` lets ``cdf()`` (derived from ``_cdf``) drift away from
+#: ``1 - sf()``; overriding ``hazard`` without its ingredients lets the
+#: closed form disagree with ``pdf/sf``.
+_CONSISTENT_PAIRS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("sf", ("_cdf",)),
+    ("hazard", ("_pdf", "sf")),
+    ("partial_expectation_one", ("partial_expectation",)),
+)
+
+
+def _has_abstract_method(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in stmt.decorator_list:
+                if dotted_name(decorator).split(".")[-1] in ("abstractmethod", "abstractproperty"):
+                    return True
+    return False
+
+
+class DistributionContractRule(Rule):
+    """Distribution subclasses implement the full, consistent surface.
+
+    The Markov cost terms evaluate ``pdf``, ``cdf``, ``sf``, ``hazard``
+    and the partial expectation of the *same* family, and the base class
+    derives each from the others when not overridden.  A subclass that
+    overrides ``sf`` with a fast closed form but forgets ``_cdf`` leaves
+    ``cdf()`` computed from a different formula than ``1 - sf()`` — the
+    optimizer then mixes two inconsistent curves with no test failing
+    loudly.  Concrete subclasses of ``AvailabilityDistribution`` must
+    define all six primitives, and every fast-path override must travel
+    with the overrides it is derived against (``sf`` with ``_cdf``,
+    ``hazard`` with ``_pdf``+``sf``, ``partial_expectation_one`` with
+    ``partial_expectation``).  Abstract intermediate layers (any class
+    declaring ``@abstractmethod``) are exempt.
+    """
+
+    code: ClassVar[str] = "RL005"
+    summary: ClassVar[str] = "AvailabilityDistribution subclasses must define a consistent pdf/cdf/sf/hazard surface"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {dotted_name(base).split(".")[-1] for base in node.bases}
+            if "AvailabilityDistribution" not in bases:
+                continue
+            if _has_abstract_method(node):
+                continue
+            methods = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            missing = [name for name in _REQUIRED if name not in methods]
+            if missing:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.name} subclasses AvailabilityDistribution but does not define "
+                    f"{', '.join(missing)}; silently inheriting the generic fallbacks mixes "
+                    "inconsistent formulas into the cost model",
+                )
+            for override, companions in _CONSISTENT_PAIRS:
+                if override in methods:
+                    lacking = [c for c in companions if c not in methods]
+                    if lacking:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{node.name} overrides {override} without {', '.join(lacking)}; "
+                            "the derived and overridden forms can drift apart",
+                        )

@@ -1,0 +1,61 @@
+"""RL006 — broad or silent exception handling in library code."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule, dotted_name
+
+__all__ = ["ExceptionHygieneRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_types(handler: ast.ExceptHandler) -> list[str]:
+    if handler.type is None:
+        return ["<bare except>"]
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    return [
+        dotted_name(t).split(".")[-1]
+        for t in types
+        if dotted_name(t).split(".")[-1] in _BROAD
+    ]
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+class ExceptionHygieneRule(Rule):
+    """No broad exception handlers in library code unless they re-raise.
+
+    ``except Exception`` around a quadrature or a trace replay converts
+    a numerical bug into a quietly wrong table row.  Library code must
+    catch the specific exceptions it can actually handle
+    (``BracketError``, ``ValueError``, ...); a broad handler is allowed
+    only when it re-raises (e.g. to attach context).  Entry points
+    (``cli.py``) are exempt — a top-level catch-all that formats the
+    error for the user is their job.
+    """
+
+    code: ClassVar[str] = "RL006"
+    summary: ClassVar[str] = "broad/silent except handlers in library code"
+    exclude_basenames: ClassVar[tuple[str, ...]] = ("cli.py",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_types(node)
+            if broad and not _reraises(node):
+                swallowed = all(isinstance(stmt, ast.Pass) for stmt in node.body)
+                detail = "and silently swallows the error" if swallowed else "without re-raising"
+                yield self.finding(
+                    module,
+                    node,
+                    f"broad handler ({', '.join(broad)}) {detail}; catch the specific "
+                    "exceptions this code can recover from",
+                )

@@ -1,0 +1,128 @@
+"""RL002 — float equality comparisons in the numerical packages."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule, dotted_name
+
+__all__ = ["FloatEqualityRule"]
+
+#: ``math`` members that do NOT return a float (safe to compare with ==)
+_MATH_NON_FLOAT = frozenset({"isfinite", "isnan", "isinf", "isclose", "floor", "ceil", "trunc", "gcd", "lcm", "comb", "perm", "factorial"})
+
+
+def _annotation_is_float(annotation: ast.expr | None) -> bool:
+    """Whether an annotation names ``float`` (including ``float | None``)."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "float"
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return "float" in annotation.value.split("|")[0]
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _annotation_is_float(annotation.left) or _annotation_is_float(annotation.right)
+    return False
+
+
+class _FloatNames(ast.NodeVisitor):
+    """Collect names annotated ``float`` anywhere in the module.
+
+    A flat namespace is a deliberate over-approximation: a name that is
+    float-typed in one scope is overwhelmingly likely to hold a float in
+    every other scope of the same numerics module, and the rule only
+    fires on ``==``/``!=`` against such a name — a comparison that is
+    suspect for ints shadowing the name too.
+    """
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._collect_args(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._collect_args(node.args)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and _annotation_is_float(node.annotation):
+            self.names.add(node.target.id)
+        self.generic_visit(node)
+
+    def _collect_args(self, args: ast.arguments) -> None:
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if _annotation_is_float(arg.annotation):
+                self.names.add(arg.arg)
+
+
+class FloatEqualityRule(Rule):
+    """No ``==`` / ``!=`` between float-typed expressions.
+
+    The optimizer's guards (``p02 == 0.0``-style) silently change
+    behaviour when a quadrature or root-finding tweak turns an exact
+    zero into ``1e-17``.  Inside the numerically critical packages
+    (``core``, ``numerics``, ``simulation``, ``storage``) equality on
+    floats must be an explicit tolerance test (``math.isclose``,
+    ``<= eps``) or carry a suppression explaining why exactness is
+    guaranteed (e.g. a sentinel value assigned verbatim, never
+    computed).
+
+    An expression counts as float-typed when it contains a float
+    literal, a ``float(...)`` or float-returning ``math.*`` call, or a
+    name annotated ``float`` in this module.
+    """
+
+    code: ClassVar[str] = "RL002"
+    summary: ClassVar[str] = "float == / != in core, numerics, simulation, storage"
+    include_dirs: ClassVar[tuple[str, ...]] = ("core", "numerics", "simulation", "storage")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        collector = _FloatNames()
+        collector.visit(module.tree)
+        float_names = collector.names
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparators = (node.left, *node.comparators)
+            for op, left, right in zip(node.ops, comparators, comparators[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floaty(left, float_names) or _is_floaty(right, float_names):
+                    op_text = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        module,
+                        node,
+                        f"float {op_text} comparison; use math.isclose or an explicit tolerance "
+                        "(or suppress with a comment explaining why exact equality holds)",
+                    )
+                    break
+
+
+def _is_floaty(node: ast.expr, float_names: set[str], depth: int = 0) -> bool:
+    """Whether ``node`` is plausibly float-typed (shallow structural check)."""
+    if depth > 4:
+        return False
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return node.id in float_names
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand, float_names, depth + 1)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division always yields a float
+        return _is_floaty(node.left, float_names, depth + 1) or _is_floaty(
+            node.right, float_names, depth + 1
+        )
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name == "float":
+            return True
+        if name.startswith("math.") and name.split(".")[-1] not in _MATH_NON_FLOAT:
+            return True
+    return False

@@ -1,0 +1,81 @@
+"""RL001 — RNG discipline for reproducible trace replays."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule, dotted_name, is_test_path
+
+__all__ = ["RngDisciplineRule"]
+
+#: members of ``numpy.random`` that are NOT draws from the legacy global
+#: state (constructing a Generator explicitly is the sanctioned path)
+_NON_GLOBAL_MEMBERS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState"}
+)
+
+
+class RngDisciplineRule(Rule):
+    """No global or seedless NumPy randomness in library code.
+
+    Every table in the paper is the average of a *seeded* trace replay;
+    an experiment that draws from the legacy global state
+    (``np.random.rand()`` and friends), reseeds it globally
+    (``np.random.seed``), or constructs a seedless generator
+    (``np.random.default_rng()`` with no argument) produces numbers that
+    cannot be reproduced from the command line.  Library code must
+    thread an explicit ``np.random.Generator`` (or a seed) through its
+    API instead.  Entry points (``cli.py``) and tests are exempt from
+    the seedless-generator clause: that is where a run's seed policy is
+    legitimately decided.
+    """
+
+    code: ClassVar[str] = "RL001"
+    summary: ClassVar[str] = "no global np.random state; default_rng() needs a seed outside cli/tests"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        entry_point = is_test_path(module.posix_path) or module.posix_path.split("/")[-1] == "cli.py"
+        seedless_default_rng_names = _seedless_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            tail = name.rsplit(".", maxsplit=1)[-1]
+            if name in ("np.random.seed", "numpy.random.seed"):
+                yield self.finding(
+                    module, node, "np.random.seed mutates the global RNG state; pass a seeded Generator instead"
+                )
+                continue
+            is_np_random_member = (
+                name.startswith(("np.random.", "numpy.random."))
+                and "." not in tail
+            )
+            if is_np_random_member and tail not in _NON_GLOBAL_MEMBERS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"np.random.{tail}() draws from the global RNG state; use a seeded np.random.Generator",
+                )
+                continue
+            is_default_rng = tail == "default_rng" or name in seedless_default_rng_names
+            if is_default_rng and not node.args and not node.keywords and not entry_point:
+                yield self.finding(
+                    module,
+                    node,
+                    "seedless default_rng() makes trace replays unreproducible; pass an explicit seed "
+                    "(or accept a Generator from the caller)",
+                )
+
+
+def _seedless_aliases(tree: ast.Module) -> frozenset[str]:
+    """Names ``default_rng`` was imported under (``from numpy.random import default_rng as rng_new``)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in ("numpy.random", "numpy"):
+            for alias in node.names:
+                if alias.name == "default_rng":
+                    aliases.add(alias.asname or alias.name)
+    return frozenset(aliases)

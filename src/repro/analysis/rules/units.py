@@ -1,0 +1,115 @@
+"""RL003 — unit mixing: seconds-suffixed names combined with MB/rate names."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule
+
+__all__ = ["UnitMixingRule", "unit_family"]
+
+#: suffix -> unit family, matched longest-first so ``_mb_per_s`` is a
+#: rate, not a time.  The families mirror the quantities the paper
+#: juggles: transfer times (seconds), checkpoint images (megabytes /
+#: bytes) and link speeds (rates).
+_SUFFIX_FAMILIES: tuple[tuple[str, str], ...] = (
+    ("_mb_per_s", "rate"),
+    ("_mbps", "rate"),
+    ("_per_second", "rate"),
+    ("_per_sec", "rate"),
+    ("_per_s", "rate"),
+    ("_rate", "rate"),
+    ("_bytes", "size"),
+    ("_mib", "size"),
+    ("_mb", "size"),
+    ("_kb", "size"),
+    ("_gb", "size"),
+    ("_seconds", "time"),
+    ("_secs", "time"),
+    ("_sec", "time"),
+    ("_s", "time"),
+    ("_minutes", "time"),
+    ("_hours", "time"),
+    ("_days", "time"),
+)
+
+
+def unit_family(identifier: str) -> str | None:
+    """The unit family an identifier's suffix implies, if any."""
+    lowered = identifier.lower()
+    for suffix, family in _SUFFIX_FAMILIES:
+        if lowered.endswith(suffix):
+            return family
+    return None
+
+
+def _terminal_identifier(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class UnitMixingRule(Rule):
+    """No additive arithmetic across unit families.
+
+    ``checkpoint_cost_seconds + checkpoint_size_mb`` type-checks, runs,
+    and quietly destroys the Table 4 comparison.  This rule classifies
+    identifiers by suffix (``*_seconds``/``*_s`` are times,
+    ``*_mb``/``*_bytes`` are sizes, ``*_rate``/``*_mb_per_s`` are rates)
+    and flags ``+``, ``-`` and order comparisons between different
+    families.  Multiplication and division are exempt — they are how
+    units convert (``size_mb / bandwidth_mb_per_s`` is a time) — and so
+    is anything routed through an explicit conversion call, because a
+    call expression no longer carries a suffix.
+    """
+
+    code: ClassVar[str] = "RL003"
+    summary: ClassVar[str] = "additive arithmetic mixing *_seconds with *_mb / *_rate identifiers"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                mismatch = self._mismatch(node.left, node.right)
+                if mismatch:
+                    yield self._render(module, node, *mismatch, context="added/subtracted")
+            elif isinstance(node, ast.Compare):
+                comparators = (node.left, *node.comparators)
+                for op, left, right in zip(node.ops, comparators, comparators[1:]):
+                    if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)):
+                        mismatch = self._mismatch(left, right)
+                        if mismatch:
+                            yield self._render(module, node, *mismatch, context="compared")
+
+    def _mismatch(self, left: ast.expr, right: ast.expr) -> tuple[str, str, str, str] | None:
+        left_name = _terminal_identifier(left)
+        right_name = _terminal_identifier(right)
+        if left_name is None or right_name is None:
+            return None
+        left_family = unit_family(left_name)
+        right_family = unit_family(right_name)
+        if left_family and right_family and left_family != right_family:
+            return left_name, left_family, right_name, right_family
+        return None
+
+    def _render(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        left_name: str,
+        left_family: str,
+        right_name: str,
+        right_family: str,
+        *,
+        context: str,
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"'{left_name}' ({left_family}) {context} with '{right_name}' ({right_family}); "
+            "convert explicitly (divide by a rate, or wrap in a conversion function)",
+        )

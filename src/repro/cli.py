@@ -60,7 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
             "future-work extensions, 'fitstudy' the §3.1 goodness-of-fit "
             "table, 'convergence' the efficiency-convergence diagnostic, "
             "'storage-study' the incremental/compressed checkpoint storage "
-            "sweep at the Table 4 campus point)"
+            "sweep at the Table 4 campus point); 'repro lint [paths]' runs "
+            "the reprolint static-analysis pass (see docs/ANALYSIS.md)"
         ),
     )
     parser.add_argument("--machines", type=int, default=120, help="pool size for the sweep experiments")
@@ -82,6 +83,14 @@ def _emit(text: str, out_path: str | None, sink) -> None:
 
 
 def main(argv: list[str] | None = None, *, stdout=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["lint"]:
+        # the static-analysis front end has its own option surface;
+        # dispatch before the experiment parser sees the arguments
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:], stdout=stdout)
     args = build_parser().parse_args(argv)
     sink = stdout if stdout is not None else sys.stdout
     if args.out:
@@ -91,7 +100,8 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
     def emit(text: str) -> None:
         _emit(text, args.out, sink)
 
-    wants = lambda *names: args.command in names or args.command == "all"
+    def wants(*names: str) -> bool:
+        return args.command in names or args.command == "all"
 
     study = None
     if wants(*_SWEEP_COMMANDS):

@@ -13,7 +13,8 @@ Machines can be driven by a ground-truth availability distribution
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Optional
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -59,8 +60,8 @@ class CondorMachine:
         self._sessions = sessions
         self.scheduler = scheduler
         self.attributes: dict = dict(attributes or {})
-        self.available_since: Optional[float] = None
-        self.current_job: Optional[Process] = None
+        self.available_since: float | None = None
+        self.current_job: Process | None = None
         self.observed_durations: list[float] = []  # ground truth, for validation
         self.process = env.process(self._run(), name=f"machine:{machine_id}")
 

@@ -17,7 +17,7 @@ on-restart semantics), and returns the recorded
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator
+from collections.abc import Generator
 
 import numpy as np
 

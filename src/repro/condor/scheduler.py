@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.condor.machine import CondorMachine
 from repro.engine.core import Environment, Process
@@ -41,10 +42,10 @@ class JobSubmission:
 
     body: JobBody
     tag: Any = None
-    on_complete: Optional[Callable[["Placement"], None]] = None
+    on_complete: Callable[["Placement"], None] | None = None
     submitted_at: float = 0.0
     requirements: Any = None
-    rank: Optional[Callable[[CondorMachine], float]] = None
+    rank: Callable[[CondorMachine], float] | None = None
 
     def matches(self, machine: CondorMachine) -> bool:
         """Whether ``machine`` satisfies this job's requirements."""
@@ -67,7 +68,7 @@ class Placement:
     machine_id: str
     started_at: float
     process: Process = field(repr=False, default=None)
-    ended_at: Optional[float] = None
+    ended_at: float | None = None
 
     @property
     def occupied_time(self) -> float:
@@ -98,9 +99,9 @@ class CondorScheduler:
         body: JobBody,
         *,
         tag: Any = None,
-        on_complete: Optional[Callable[[Placement], None]] = None,
+        on_complete: Callable[[Placement], None] | None = None,
         requirements: Any = None,
-        rank: Optional[Callable[[CondorMachine], float]] = None,
+        rank: Callable[[CondorMachine], float] | None = None,
     ) -> JobSubmission:
         """Queue a job; it will run when a matching machine frees up."""
         sub = JobSubmission(
@@ -155,7 +156,7 @@ class CondorScheduler:
             for sub in reversed(skipped):
                 self.queue.appendleft(sub)
 
-    def _pick_machine(self, sub: JobSubmission) -> Optional[CondorMachine]:
+    def _pick_machine(self, sub: JobSubmission) -> CondorMachine | None:
         eligible = [
             m for m in self._idle.values() if m.is_idle and sub.matches(m)
         ]

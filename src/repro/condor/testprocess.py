@@ -28,7 +28,7 @@ the default reproduces the paper's last-measurement behaviour.
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 from repro.condor.machine import CondorMachine
 from repro.condor.manager import CheckpointManager

@@ -165,7 +165,7 @@ class MarkovIntervalModel:
     def gamma(self, T: float) -> float:
         """Expected time from state 0 to state 1 (eq. 11)."""
         tr = self.transitions(T)
-        if tr.p02 == 0.0:
+        if tr.p02 <= 0.0:
             return tr.k01
         if tr.p21 <= 0.0:
             # a failure is certain to recur before any retry completes:

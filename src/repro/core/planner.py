@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.markov import CheckpointCosts
 from repro.core.optimizer import OptimalInterval, optimize_interval
 from repro.core.schedule import CheckpointSchedule
-from repro.distributions.base import AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution
 from repro.distributions.fitting import fit_model
 
 __all__ = ["CheckpointPlanner"]
@@ -42,10 +42,10 @@ class CheckpointPlanner:
     @classmethod
     def fit(
         cls,
-        training_durations,
+        training_durations: ArrayLike,
         *,
         model: str = "weibull",
-        censored=None,
+        censored: ArrayLike | None = None,
         rng: np.random.Generator | None = None,
     ) -> "CheckpointPlanner":
         """Fit the named model to a training set of availability durations.

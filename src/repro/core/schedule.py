@@ -16,7 +16,7 @@ it, since the trace simulator asks for the same prefixes over and over.
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.core.markov import CheckpointCosts
 from repro.core.optimizer import OptimalInterval, optimize_interval

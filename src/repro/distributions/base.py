@@ -21,27 +21,35 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.numerics.quadrature import gauss_legendre
 
 if TYPE_CHECKING:
     from repro.distributions.conditional import ConditionalDistribution
 
-ArrayLike = Union[float, int, np.ndarray, list, tuple]
+#: the concrete array type every vectorised method traffics in
+FloatArray = NDArray[np.float64]
 
-__all__ = ["AvailabilityDistribution", "ArrayLike"]
+ArrayLike = float | int | FloatArray | list[float] | tuple[float, ...]
+
+#: return type of the array-facing methods: scalar in, float out;
+#: array in, array out
+ScalarOrArray = float | FloatArray
+
+__all__ = ["AvailabilityDistribution", "ArrayLike", "FloatArray", "ScalarOrArray"]
 
 
-def _prepare(x: ArrayLike) -> tuple[np.ndarray, bool]:
+def _prepare(x: ArrayLike) -> tuple[FloatArray, bool]:
     """Coerce input to a float array, reporting whether it was scalar."""
     arr = np.asarray(x, dtype=np.float64)
     return arr, arr.ndim == 0
 
 
-def _finish(arr: np.ndarray, scalar: bool) -> Union[float, np.ndarray]:
+def _finish(arr: FloatArray, scalar: bool) -> ScalarOrArray:
     return float(arr) if scalar else arr
 
 
@@ -55,11 +63,11 @@ class AvailabilityDistribution(abc.ABC):
     # primitives each family must provide (array-in / array-out)
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         """Density, assuming ``x >= 0`` elementwise."""
 
     @abc.abstractmethod
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         """Distribution function, assuming ``x >= 0`` elementwise."""
 
     @abc.abstractmethod
@@ -82,19 +90,19 @@ class AvailabilityDistribution(abc.ABC):
     # ------------------------------------------------------------------
     # derived quantities with sensible defaults
     # ------------------------------------------------------------------
-    def pdf(self, x: ArrayLike) -> Union[float, np.ndarray]:
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         """Probability density ``f(x)``; zero for negative ``x``."""
         arr, scalar = _prepare(x)
         out = np.where(arr >= 0.0, self._pdf(np.maximum(arr, 0.0)), 0.0)
         return _finish(out, scalar)
 
-    def cdf(self, x: ArrayLike) -> Union[float, np.ndarray]:
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         """Distribution function ``F(x) = P(X <= x)``; zero for ``x < 0``."""
         arr, scalar = _prepare(x)
         out = np.where(arr >= 0.0, self._cdf(np.maximum(arr, 0.0)), 0.0)
         return _finish(np.clip(out, 0.0, 1.0), scalar)
 
-    def sf(self, x: ArrayLike) -> Union[float, np.ndarray]:
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         """Survival function ``S(x) = 1 - F(x)``.
 
         Subclasses override when a numerically superior form exists
@@ -104,7 +112,7 @@ class AvailabilityDistribution(abc.ABC):
         out = np.where(arr >= 0.0, 1.0 - self._cdf(np.maximum(arr, 0.0)), 1.0)
         return _finish(np.clip(out, 0.0, 1.0), scalar)
 
-    def hazard(self, x: ArrayLike) -> Union[float, np.ndarray]:
+    def hazard(self, x: ArrayLike) -> ScalarOrArray:
         """Hazard rate ``h(x) = f(x) / S(x)``."""
         arr, scalar = _prepare(x)
         dens = np.where(arr >= 0.0, self._pdf(np.maximum(arr, 0.0)), 0.0)
@@ -113,7 +121,7 @@ class AvailabilityDistribution(abc.ABC):
             out = np.where(surv > 0.0, dens / surv, np.inf)
         return _finish(out, scalar)
 
-    def partial_expectation(self, x: ArrayLike) -> Union[float, np.ndarray]:
+    def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         """Truncated first moment ``PE(x) = int_0^x t f(t) dt``.
 
         The generic implementation uses composite Gauss-Legendre
@@ -149,7 +157,7 @@ class AvailabilityDistribution(abc.ABC):
         """Scalar ``PE(x)`` without array overhead."""
         return float(self.partial_expectation(x))
 
-    def truncated_mean(self, x: ArrayLike) -> Union[float, np.ndarray]:
+    def truncated_mean(self, x: ArrayLike) -> ScalarOrArray:
         """``E[X | X <= x] = PE(x) / F(x)`` (the ``K02``/``K22`` cost form)."""
         arr, scalar = _prepare(x)
         pe = np.asarray(self.partial_expectation(arr))
@@ -158,7 +166,7 @@ class AvailabilityDistribution(abc.ABC):
             out = np.where(prob > 0.0, pe / prob, 0.0)
         return _finish(out, scalar)
 
-    def mean_residual_life(self, t: ArrayLike) -> Union[float, np.ndarray]:
+    def mean_residual_life(self, t: ArrayLike) -> ScalarOrArray:
         """``E[X - t | X > t]``: expected remaining availability at age ``t``."""
         arr, scalar = _prepare(t)
         surv = np.asarray(self.sf(arr))
@@ -167,7 +175,7 @@ class AvailabilityDistribution(abc.ABC):
             out = np.where(surv > 0.0, (self.mean() - pe) / surv - arr, 0.0)
         return _finish(np.maximum(out, 0.0), scalar)
 
-    def quantile(self, q: ArrayLike) -> Union[float, np.ndarray]:
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         """Inverse CDF; the generic implementation bisects on ``cdf``."""
         arr, scalar = _prepare(q)
         if np.any((arr < 0.0) | (arr > 1.0)):
@@ -199,7 +207,7 @@ class AvailabilityDistribution(abc.ABC):
         out = out.reshape(np.shape(arr)) if not scalar else np.asarray(out[0])
         return _finish(out, scalar)
 
-    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         """Draw samples by inverse transform (overridden where faster)."""
         u = rng.random(size)
         return np.asarray(self.quantile(u))

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
 
 __all__ = ["ConditionalDistribution"]
 
@@ -45,13 +45,13 @@ class ConditionalDistribution(AvailabilityDistribution):
         self._pe_age = float(base.partial_expectation(age))
 
     # -- primitives ----------------------------------------------------
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         return np.asarray(self.base.pdf(self.age + x)) / self._surv_age
 
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         return (np.asarray(self.base.cdf(self.age + x)) - self._cdf_age) / self._surv_age
 
-    def sf(self, x: ArrayLike):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         xp = np.maximum(arr, 0.0)
         out = np.asarray(self.base.sf(self.age + xp)) / self._surv_age
@@ -84,7 +84,7 @@ class ConditionalDistribution(AvailabilityDistribution):
     def n_params(self) -> int:
         return self.base.n_params
 
-    def params(self) -> dict:
+    def params(self) -> dict[str, float | tuple[float, ...]]:
         return {"age": self.age, **{f"base_{k}": v for k, v in self.base.params().items()}}
 
     # -- scalar fast paths ------------------------------------------------
@@ -106,7 +106,7 @@ class ConditionalDistribution(AvailabilityDistribution):
         return max(out, 0.0)
 
     # -- closed-form reductions -----------------------------------------
-    def partial_expectation(self, x: ArrayLike):
+    def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         """``int_0^x t f_age(t) dt`` in terms of the base's ``PE``:
 
         ``[PE(age + x) - PE(age) - age * (F(age + x) - F(age))] / S(age)``.
@@ -119,7 +119,7 @@ class ConditionalDistribution(AvailabilityDistribution):
         out = np.where(arr <= 0.0, 0.0, np.maximum(out, 0.0))
         return float(out) if arr.ndim == 0 else out
 
-    def quantile(self, q: ArrayLike):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         """Inverse transform through the base quantile function."""
         arr = np.asarray(q, dtype=np.float64)
         if np.any((arr < 0.0) | (arr > 1.0)):
@@ -129,7 +129,7 @@ class ConditionalDistribution(AvailabilityDistribution):
         out = np.maximum(out, 0.0)
         return float(out) if arr.ndim == 0 else out
 
-    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         return np.asarray(self.quantile(rng.random(size)))
 
     def conditional(self, age: float) -> AvailabilityDistribution:

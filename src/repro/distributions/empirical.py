@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
 
 __all__ = ["EmpiricalDistribution"]
 
@@ -21,7 +21,7 @@ class EmpiricalDistribution(AvailabilityDistribution):
 
     __slots__ = ("values",)
 
-    def __init__(self, values) -> None:
+    def __init__(self, values: ArrayLike) -> None:
         arr = np.sort(np.asarray(values, dtype=np.float64).ravel())
         if arr.size == 0:
             raise ValueError("empirical distribution requires at least one observation")
@@ -35,7 +35,7 @@ class EmpiricalDistribution(AvailabilityDistribution):
         return int(self.values.size)
 
     # -- primitives ----------------------------------------------------
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         # The ECDF has no density; return a histogram-style estimate with
         # Freedman-Diaconis-ish binning so log-likelihood comparisons at
         # least remain finite.  This is only used diagnostically.
@@ -43,7 +43,7 @@ class EmpiricalDistribution(AvailabilityDistribution):
         idx = np.clip(np.searchsorted(edges, x, side="right") - 1, 0, counts.size - 1)
         return counts[idx]
 
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         return np.searchsorted(self.values, x, side="right") / self.n
 
     def mean(self) -> float:
@@ -59,7 +59,7 @@ class EmpiricalDistribution(AvailabilityDistribution):
     def params(self) -> dict[str, float]:
         return {"n": float(self.n)}
 
-    def partial_expectation(self, x: ArrayLike):
+    def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         csum = np.concatenate(([0.0], np.cumsum(self.values)))
         idx = np.searchsorted(self.values, np.maximum(arr, 0.0), side="right")
@@ -67,13 +67,13 @@ class EmpiricalDistribution(AvailabilityDistribution):
         out = np.where(arr <= 0.0, np.where(np.any(self.values <= 0), out, 0.0), out)
         return float(out) if arr.ndim == 0 else out
 
-    def quantile(self, q: ArrayLike):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(q, dtype=np.float64)
         if np.any((arr < 0.0) | (arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")
         out = np.quantile(self.values, arr, method="inverted_cdf")
         return float(out) if arr.ndim == 0 else np.asarray(out)
 
-    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         """Bootstrap resample of the observed durations."""
         return rng.choice(self.values, size=size, replace=True)

@@ -12,7 +12,7 @@ import math
 
 import numpy as np
 
-from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
 
 __all__ = ["Exponential", "exp_partial_expectation_one"]
 
@@ -36,7 +36,7 @@ def exp_partial_expectation_one(lam: float, x: float) -> float:
     return inv - (x + inv) * math.exp(-u)
 
 
-def _exp_partial_expectation(lam: float, x: np.ndarray) -> np.ndarray:
+def _exp_partial_expectation(lam: float, x: FloatArray) -> FloatArray:
     """Vectorised, series-protected exponential partial expectation."""
     xp = np.maximum(x, 0.0)
     u = lam * xp
@@ -62,13 +62,13 @@ class Exponential(AvailabilityDistribution):
         self.lam = float(lam)
 
     # -- primitives ----------------------------------------------------
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         return self.lam * np.exp(-self.lam * x)
 
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         return -np.expm1(-self.lam * x)
 
-    def sf(self, x: ArrayLike):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         out = np.where(arr >= 0.0, np.exp(-self.lam * np.maximum(arr, 0.0)), 1.0)
         return float(out) if arr.ndim == 0 else out
@@ -96,14 +96,14 @@ class Exponential(AvailabilityDistribution):
         return exp_partial_expectation_one(self.lam, x)
 
     # -- closed forms ---------------------------------------------------
-    def partial_expectation(self, x: ArrayLike):
+    def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         """``int_0^x t lam e^{-lam t} dt = 1/lam - (x + 1/lam) e^{-lam x}``
         (series-protected for ``lam * x`` near zero)."""
         arr = np.asarray(x, dtype=np.float64)
         out = _exp_partial_expectation(self.lam, arr)
         return float(out) if arr.ndim == 0 else out
 
-    def quantile(self, q: ArrayLike):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(q, dtype=np.float64)
         if np.any((arr < 0.0) | (arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")
@@ -111,7 +111,7 @@ class Exponential(AvailabilityDistribution):
             out = -np.log1p(-arr) / self.lam
         return float(out) if arr.ndim == 0 else out
 
-    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         return rng.exponential(scale=1.0 / self.lam, size=size)
 
     def conditional(self, age: float) -> "Exponential":
@@ -120,7 +120,7 @@ class Exponential(AvailabilityDistribution):
             raise ValueError(f"age must be non-negative, got {age}")
         return self
 
-    def mean_residual_life(self, t: ArrayLike):
+    def mean_residual_life(self, t: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(t, dtype=np.float64)
         out = np.full_like(arr, 1.0 / self.lam)
         return float(out) if arr.ndim == 0 else out

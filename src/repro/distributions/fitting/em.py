@@ -31,6 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
+
+from repro.distributions.base import ArrayLike, FloatArray
 
 from repro.distributions.hyperexponential import Hyperexponential
 
@@ -52,7 +55,7 @@ class EMResult:
     restarts_used: int
 
 
-def _log_likelihood(probs, rates, x, cens) -> float:
+def _log_likelihood(probs: FloatArray, rates: FloatArray, x: FloatArray, cens: npt.NDArray[np.bool_]) -> float:
     # stable mixture log-likelihood via log-sum-exp
     with np.errstate(divide="ignore"):
         log_p = np.log(probs)
@@ -132,7 +135,9 @@ def _em_iterate(
     return probs, rates, ll_prev, it, converged
 
 
-def _merge_duplicate_rates(probs: np.ndarray, rates: np.ndarray, rel_tol: float = 1e-6):
+def _merge_duplicate_rates(
+    probs: FloatArray, rates: FloatArray, rel_tol: float = 1e-6
+) -> tuple[FloatArray, FloatArray]:
     """Merge phases whose rates coincide (paper requires distinct rates)."""
     order = np.argsort(rates)
     probs, rates = probs[order], rates[order]
@@ -147,9 +152,9 @@ def _merge_duplicate_rates(probs: np.ndarray, rates: np.ndarray, rel_tol: float 
 
 
 def fit_hyperexponential(
-    data,
+    data: ArrayLike,
     k: int = 2,
-    censored=None,
+    censored: ArrayLike | None = None,
     *,
     max_iter: int = 500,
     tol: float = 1e-10,

@@ -24,6 +24,9 @@ as ``beta = (sum_i x_i^alpha / r)^(1/alpha)``.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
+
+from repro.distributions.base import ArrayLike, FloatArray
 
 from repro.distributions.exponential import Exponential
 from repro.distributions.weibull import Weibull
@@ -36,7 +39,7 @@ __all__ = ["fit_exponential", "fit_weibull"]
 _MIN_DURATION = 1e-9
 
 
-def _validate(data, censored):
+def _validate(data: ArrayLike, censored: ArrayLike | None) -> tuple[FloatArray, npt.NDArray[np.bool_]]:
     x = np.asarray(data, dtype=np.float64).ravel()
     if x.size == 0:
         raise ValueError("cannot fit a distribution to an empty trace")
@@ -54,7 +57,7 @@ def _validate(data, censored):
     return x, cens
 
 
-def fit_exponential(data, censored=None) -> Exponential:
+def fit_exponential(data: ArrayLike, censored: ArrayLike | None = None) -> Exponential:
     """MLE exponential fit; censored durations count toward exposure only."""
     x, cens = _validate(data, censored)
     n_events = int(np.sum(~cens))
@@ -63,8 +66,8 @@ def fit_exponential(data, censored=None) -> Exponential:
 
 
 def fit_weibull(
-    data,
-    censored=None,
+    data: ArrayLike,
+    censored: ArrayLike | None = None,
     *,
     shape_bounds: tuple[float, float] = (1e-3, 1e3),
     tol: float = 1e-12,

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
-from repro.distributions.base import AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution
 from repro.distributions.fitting.em import fit_hyperexponential
 from repro.distributions.fitting.mle import fit_exponential, fit_weibull
 
@@ -45,8 +45,8 @@ MODEL_LABELS: dict[str, str] = {
 
 def fit_model(
     name: str,
-    data,
-    censored=None,
+    data: ArrayLike,
+    censored: ArrayLike | None = None,
     *,
     rng: np.random.Generator | None = None,
 ) -> AvailabilityDistribution:
@@ -98,8 +98,8 @@ class ModelSuite:
 
 
 def fit_all_models(
-    data,
-    censored=None,
+    data: ArrayLike,
+    censored: ArrayLike | None = None,
     *,
     rng: np.random.Generator | None = None,
     em_restarts: int = 2,
@@ -119,7 +119,7 @@ def fit_all_models(
 
 def select_best_model(
     suite: ModelSuite,
-    data,
+    data: ArrayLike,
     *,
     criterion: str = "bic",
 ) -> tuple[str, AvailabilityDistribution]:

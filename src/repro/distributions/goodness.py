@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distributions.base import AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution
 
 __all__ = [
     "GoodnessOfFit",
@@ -43,7 +43,7 @@ class GoodnessOfFit:
     anderson_darling: float
 
 
-def ks_statistic(dist: AvailabilityDistribution, data) -> float:
+def ks_statistic(dist: AvailabilityDistribution, data: ArrayLike) -> float:
     """Kolmogorov-Smirnov distance ``sup_x |F_n(x) - F(x)|``."""
     x = np.sort(np.asarray(data, dtype=np.float64).ravel())
     n = x.size
@@ -76,7 +76,7 @@ def ks_pvalue(d: float, n: int, *, terms: int = 101) -> float:
     return float(min(max(total, 0.0), 1.0))
 
 
-def anderson_darling_statistic(dist: AvailabilityDistribution, data) -> float:
+def anderson_darling_statistic(dist: AvailabilityDistribution, data: ArrayLike) -> float:
     """Anderson-Darling ``A^2`` statistic of ``data`` against ``dist``."""
     x = np.sort(np.asarray(data, dtype=np.float64).ravel())
     n = x.size
@@ -88,7 +88,7 @@ def anderson_darling_statistic(dist: AvailabilityDistribution, data) -> float:
     return float(-n - s / n)
 
 
-def evaluate_fit(dist: AvailabilityDistribution, data) -> GoodnessOfFit:
+def evaluate_fit(dist: AvailabilityDistribution, data: ArrayLike) -> GoodnessOfFit:
     """Compute the full goodness-of-fit bundle for ``dist`` on ``data``."""
     x = np.asarray(data, dtype=np.float64).ravel()
     n = x.size

@@ -20,7 +20,7 @@ import math
 
 import numpy as np
 
-from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
 from repro.distributions.exponential import (
     _exp_partial_expectation,
     exp_partial_expectation_one,
@@ -36,7 +36,7 @@ class Hyperexponential(AvailabilityDistribution):
 
     __slots__ = ("probs", "rates")
 
-    def __init__(self, probs, rates) -> None:
+    def __init__(self, probs: ArrayLike, rates: ArrayLike) -> None:
         p = np.asarray(probs, dtype=np.float64).ravel()
         lam = np.asarray(rates, dtype=np.float64).ravel()
         if p.shape != lam.shape or p.size == 0:
@@ -60,16 +60,16 @@ class Hyperexponential(AvailabilityDistribution):
         return int(self.rates.size)
 
     # -- primitives ----------------------------------------------------
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         # broadcast: (..., k)
         e = np.exp(-np.multiply.outer(x, self.rates))
         return e @ (self.probs * self.rates)
 
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         e = np.exp(-np.multiply.outer(x, self.rates))
         return 1.0 - e @ self.probs
 
-    def sf(self, x: ArrayLike):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         xp = np.maximum(arr, 0.0)
         e = np.exp(-np.multiply.outer(xp, self.rates))
@@ -112,7 +112,7 @@ class Hyperexponential(AvailabilityDistribution):
         return total
 
     # -- closed forms ---------------------------------------------------
-    def partial_expectation(self, x: ArrayLike):
+    def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         """Weighted sum of the exponential partial expectations."""
         arr = np.asarray(x, dtype=np.float64)
         out = np.zeros(arr.shape, dtype=np.float64)
@@ -138,7 +138,7 @@ class Hyperexponential(AvailabilityDistribution):
             total = 1.0
         return Hyperexponential(w / total, self.rates)
 
-    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         idx = rng.choice(self.k, size=size, p=self.probs)
         scales = 1.0 / self.rates
         return rng.exponential(scale=scales[idx])

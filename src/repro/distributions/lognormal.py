@@ -20,14 +20,14 @@ import numpy as np
 from scipy import optimize as spo
 from scipy import special
 
-from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
 
 __all__ = ["LogNormal", "fit_lognormal"]
 
 _SQRT2 = math.sqrt(2.0)
 
 
-def _phi(z):
+def _phi(z: FloatArray) -> FloatArray:
     """Standard normal CDF (vectorised)."""
     return 0.5 * (1.0 + special.erf(np.asarray(z) / _SQRT2))
 
@@ -48,13 +48,13 @@ class LogNormal(AvailabilityDistribution):
         self.sigma = float(sigma)
 
     # -- primitives ----------------------------------------------------
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         with np.errstate(divide="ignore", invalid="ignore"):
             z = (np.log(x) - self.mu) / self.sigma
             out = np.exp(-0.5 * z * z) / (x * self.sigma * math.sqrt(2.0 * math.pi))
         return np.where(x > 0.0, out, 0.0)
 
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         with np.errstate(divide="ignore"):
             z = (np.log(x) - self.mu) / self.sigma
         return np.where(x > 0.0, _phi(z), 0.0)
@@ -89,7 +89,7 @@ class LogNormal(AvailabilityDistribution):
         return self.mean() * 0.5 * (1.0 + math.erf(z / _SQRT2))
 
     # -- closed forms ---------------------------------------------------
-    def partial_expectation(self, x: ArrayLike):
+    def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         xp = np.maximum(arr, 1e-300)
         with np.errstate(divide="ignore"):
@@ -99,7 +99,7 @@ class LogNormal(AvailabilityDistribution):
         out = np.where(np.isfinite(arr), out, self.mean())
         return float(out) if arr.ndim == 0 else out
 
-    def quantile(self, q: ArrayLike):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(q, dtype=np.float64)
         if np.any((arr < 0.0) | (arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")
@@ -107,11 +107,11 @@ class LogNormal(AvailabilityDistribution):
             out = np.exp(self.mu + self.sigma * _SQRT2 * special.erfinv(2.0 * arr - 1.0))
         return float(out) if arr.ndim == 0 else out
 
-    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         return rng.lognormal(self.mu, self.sigma, size=size)
 
 
-def fit_lognormal(data, censored=None) -> LogNormal:
+def fit_lognormal(data: ArrayLike, censored: ArrayLike | None = None) -> LogNormal:
     """MLE lognormal fit, with optional right censoring.
 
     Uncensored data has the closed form ``mu = mean(ln x)``,
@@ -142,7 +142,7 @@ def fit_lognormal(data, censored=None) -> LogNormal:
 
     log_all = np.log(x)
 
-    def neg_ll(theta):
+    def neg_ll(theta: FloatArray) -> float:
         mu, log_sigma = theta
         sigma = math.exp(log_sigma)
         z = (log_all - mu) / sigma

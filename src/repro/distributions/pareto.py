@@ -22,7 +22,7 @@ import math
 import numpy as np
 from scipy import optimize as spo
 
-from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
 
 __all__ = ["Pareto", "fit_pareto"]
 
@@ -48,14 +48,14 @@ class Pareto(AvailabilityDistribution):
         self.scale = float(scale)
 
     # -- primitives ----------------------------------------------------
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         a, lam = self.shape, self.scale
         return (a / lam) * (1.0 + x / lam) ** (-(a + 1.0))
 
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         return 1.0 - (1.0 + x / self.scale) ** (-self.shape)
 
-    def sf(self, x: ArrayLike):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         xp = np.maximum(arr, 0.0)
         out = (1.0 + xp / self.scale) ** (-self.shape)
@@ -94,7 +94,7 @@ class Pareto(AvailabilityDistribution):
         return lam * a * (1.0 - U ** (1.0 - a)) / (a - 1.0) - lam * (1.0 - U**-a)
 
     # -- closed forms ---------------------------------------------------
-    def partial_expectation(self, x: ArrayLike):
+    def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         a, lam = self.shape, self.scale
         U = 1.0 + np.maximum(arr, 0.0) / lam
@@ -104,7 +104,7 @@ class Pareto(AvailabilityDistribution):
         out = np.where(np.isfinite(arr), out, self.mean())
         return float(out) if arr.ndim == 0 else out
 
-    def quantile(self, q: ArrayLike):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(q, dtype=np.float64)
         if np.any((arr < 0.0) | (arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")
@@ -120,18 +120,20 @@ class Pareto(AvailabilityDistribution):
             return self
         return Pareto(shape=self.shape, scale=self.scale + age)
 
-    def mean_residual_life(self, t: ArrayLike):
+    def mean_residual_life(self, t: ArrayLike) -> ScalarOrArray:
         """Linear MRL: ``(scale + t) / (shape - 1)``."""
         arr = np.asarray(t, dtype=np.float64)
         out = (self.scale + np.maximum(arr, 0.0)) / (self.shape - 1.0)
         return float(out) if arr.ndim == 0 else out
 
-    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         u = rng.random(size)
         return self.scale * ((1.0 - u) ** (-1.0 / self.shape) - 1.0)
 
 
-def fit_pareto(data, censored=None, *, min_shape: float = MIN_SHAPE) -> Pareto:
+def fit_pareto(
+    data: ArrayLike, censored: ArrayLike | None = None, *, min_shape: float = MIN_SHAPE
+) -> Pareto:
     """MLE Lomax fit (numerical, censoring-aware).
 
     The likelihood is maximised over ``(log shape, log scale)`` with
@@ -157,7 +159,7 @@ def fit_pareto(data, censored=None, *, min_shape: float = MIN_SHAPE) -> Pareto:
     # moment-matched start: for Lomax, mean = lam/(a-1); take a = 2.5
     a0, lam0 = 2.5, 1.5 * mean
 
-    def neg_ll(theta):
+    def neg_ll(theta: FloatArray) -> float:
         log_a, log_lam = theta
         a = math.exp(log_a)
         lam = math.exp(log_lam)

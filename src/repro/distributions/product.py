@@ -19,10 +19,11 @@ claims.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 
 import numpy as np
 
-from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
 from repro.numerics.quadrature import gauss_legendre
 
 __all__ = ["ProductAvailability"]
@@ -35,7 +36,7 @@ class ProductAvailability(AvailabilityDistribution):
 
     __slots__ = ("members",)
 
-    def __init__(self, members) -> None:
+    def __init__(self, members: Iterable[AvailabilityDistribution]) -> None:
         members = tuple(members)
         if not members:
             raise ValueError("a gang needs at least one member")
@@ -49,17 +50,17 @@ class ProductAvailability(AvailabilityDistribution):
         return len(self.members)
 
     # -- primitives ----------------------------------------------------
-    def sf(self, x: ArrayLike):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         out = np.ones(arr.shape, dtype=np.float64)
         for m in self.members:
             out = out * np.asarray(m.sf(arr))
         return float(out) if arr.ndim == 0 else out
 
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         return 1.0 - np.asarray(self.sf(x))
 
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         # f = S * sum_i h_i; guard the vanished-survival region
         surv = np.asarray(self.sf(x))
         hazard = np.zeros(np.shape(x), dtype=np.float64)
@@ -100,7 +101,7 @@ class ProductAvailability(AvailabilityDistribution):
     def n_params(self) -> int:
         return sum(m.n_params for m in self.members)
 
-    def params(self) -> dict:
+    def params(self) -> dict[str, float | tuple[float, ...]]:
         return {
             f"member{i}_{k}": v
             for i, m in enumerate(self.members)
@@ -116,7 +117,7 @@ class ProductAvailability(AvailabilityDistribution):
             return self
         return ProductAvailability(tuple(m.conditional(age) for m in self.members))
 
-    def at_ages(self, ages) -> "ProductAvailability":
+    def at_ages(self, ages: Iterable[float]) -> "ProductAvailability":
         """Condition each member at its *own* uptime (ranks placed at
         different times)."""
         ages = tuple(ages)
@@ -126,6 +127,6 @@ class ProductAvailability(AvailabilityDistribution):
             tuple(m.conditional(a) if a > 0 else m for m, a in zip(self.members, ages))
         )
 
-    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         draws = np.stack([np.asarray(m.sample(size, rng)) for m in self.members])
         return draws.min(axis=0)

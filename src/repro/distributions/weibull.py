@@ -15,7 +15,7 @@ import math
 import numpy as np
 from scipy import special
 
-from repro.distributions.base import ArrayLike, AvailabilityDistribution
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
 
 __all__ = ["Weibull"]
 
@@ -36,7 +36,7 @@ class Weibull(AvailabilityDistribution):
         self.scale = float(scale)
 
     # -- primitives ----------------------------------------------------
-    def _pdf(self, x: np.ndarray) -> np.ndarray:
+    def _pdf(self, x: FloatArray) -> FloatArray:
         a, b = self.shape, self.scale
         z = x / b
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -46,16 +46,16 @@ class Weibull(AvailabilityDistribution):
             out = (a / b) * z ** (a - 1.0) * np.exp(-(z**a))
         return np.where(x > 0.0, out, np.inf if a < 1.0 else (0.0 if a > 1.0 else 1.0 / b))
 
-    def _cdf(self, x: np.ndarray) -> np.ndarray:
+    def _cdf(self, x: FloatArray) -> FloatArray:
         return -np.expm1(-((x / self.scale) ** self.shape))
 
-    def sf(self, x: ArrayLike):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)
         xp = np.maximum(arr, 0.0)
         out = np.where(arr >= 0.0, np.exp(-((xp / self.scale) ** self.shape)), 1.0)
         return float(out) if arr.ndim == 0 else out
 
-    def hazard(self, x: ArrayLike):
+    def hazard(self, x: ArrayLike) -> ScalarOrArray:
         """``h(x) = (alpha/beta) (x/beta)^(alpha-1)`` -- monotone in ``x``."""
         arr = np.asarray(x, dtype=np.float64)
         a, b = self.shape, self.scale
@@ -94,7 +94,7 @@ class Weibull(AvailabilityDistribution):
         return self.mean() * float(special.gammainc(1.0 + 1.0 / self.shape, z))
 
     # -- closed forms ---------------------------------------------------
-    def partial_expectation(self, x: ArrayLike):
+    def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         """``int_0^x t f(t) dt = beta * Gamma(1 + 1/alpha) * P(1 + 1/alpha, (x/beta)^alpha)``
 
         where ``P`` is the regularised lower incomplete gamma function
@@ -108,7 +108,7 @@ class Weibull(AvailabilityDistribution):
         out = np.where(np.isfinite(arr), out, self.mean())
         return float(out) if arr.ndim == 0 else out
 
-    def quantile(self, q: ArrayLike):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(q, dtype=np.float64)
         if np.any((arr < 0.0) | (arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")
@@ -116,5 +116,5 @@ class Weibull(AvailabilityDistribution):
             out = self.scale * (-np.log1p(-arr)) ** (1.0 / self.shape)
         return float(out) if arr.ndim == 0 else out
 
-    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> FloatArray:
         return self.scale * rng.weibull(self.shape, size=size)

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 __all__ = [
     "Environment",
@@ -143,7 +144,7 @@ class Process(Event):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process body must be a generator, got {generator!r}")
         self._gen = generator
-        self._target: Optional[Event] = None
+        self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
         bootstrap = Event(env)
         bootstrap.callbacks.append(self._resume)
@@ -248,14 +249,14 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = count()
-        self._active_process: Optional[Process] = None
+        self._active_process: Process | None = None
 
     @property
     def now(self) -> float:
         return self._now
 
     @property
-    def active_process(self) -> Optional[Process]:
+    def active_process(self) -> Process | None:
         return self._active_process
 
     # -- construction helpers -------------------------------------------

@@ -18,7 +18,6 @@ experiments need.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.engine.core import Environment, Event
 from repro.network.bandwidth import BandwidthModel, ConstantBandwidth
@@ -35,7 +34,7 @@ class Transfer:
         self.size_mb = float(size_mb)
         self.sent_mb = 0.0
         self.start_time = env.now
-        self.end_time: Optional[float] = None
+        self.end_time: float | None = None
         self.done: Event = env.event()
         self.aborted = False
 

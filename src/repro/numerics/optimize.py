@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = [
     "Bracket",

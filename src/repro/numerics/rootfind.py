@@ -9,7 +9,7 @@ the Newton step leaves the current bracket or the derivative degenerates.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = ["RootFindError", "bisect", "newton_safeguarded"]
 
@@ -32,15 +32,17 @@ def bisect(
     endpoint is returned immediately).
     """
     flo, fhi = func(lo), func(hi)
+    # reprolint: ignore[RL002] - an exactly-zero residual IS the root; near-zero values just keep bisecting
     if flo == 0.0:
         return lo
-    if fhi == 0.0:
+    if fhi == 0.0:  # reprolint: ignore[RL002] - exact-zero endpoint short-circuit
         return hi
     if flo * fhi > 0.0:
         raise RootFindError(f"no sign change on [{lo}, {hi}]: f(lo)={flo}, f(hi)={fhi}")
     for _ in range(max_iter):
         mid = 0.5 * (lo + hi)
         fmid = func(mid)
+        # reprolint: ignore[RL002] - exact zero terminates; otherwise the width test decides
         if fmid == 0.0 or (hi - lo) < tol * (1.0 + abs(mid)):
             return mid
         if flo * fmid < 0.0:
@@ -68,16 +70,17 @@ def newton_safeguarded(
     shrinks monotonically, so convergence is guaranteed.
     """
     flo, fhi = func(lo), func(hi)
+    # reprolint: ignore[RL002] - an exactly-zero residual IS the root; near-zero values just keep iterating
     if flo == 0.0:
         return lo
-    if fhi == 0.0:
+    if fhi == 0.0:  # reprolint: ignore[RL002] - exact-zero endpoint short-circuit
         return hi
     if flo * fhi > 0.0:
         raise RootFindError(f"no sign change on [{lo}, {hi}]: f(lo)={flo}, f(hi)={fhi}")
     x = min(max(x0, lo), hi)
     for _ in range(max_iter):
         fx = func(x)
-        if fx == 0.0:
+        if fx == 0.0:  # reprolint: ignore[RL002] - exact zero terminates; tolerance test below decides otherwise
             return x
         if flo * fx < 0.0:
             hi = x

@@ -22,7 +22,7 @@ from __future__ import annotations
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

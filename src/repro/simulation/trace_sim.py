@@ -117,7 +117,7 @@ def simulate_trace(
 def _partial_mb(size_mb: float, elapsed: float, full_time: float, policy: str) -> float:
     """Bytes billed for a transfer of ``size_mb`` evicted after ``elapsed``
     of its ``full_time`` seconds (storage-agnostic partial accounting)."""
-    if size_mb == 0.0:
+    if size_mb <= 0.0:
         return 0.0
     if policy == "full":
         return size_mb

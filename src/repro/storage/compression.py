@@ -54,6 +54,7 @@ class Compressor:
 
     @property
     def is_identity(self) -> bool:
+        # reprolint: ignore[RL002] - both fields hold constructor values verbatim (never computed), so the sentinel is exact
         return self.ratio == 1.0 and self.throughput_mb_per_s == 0.0
 
     def compress(self, raw_mb: float) -> CompressedTransfer:

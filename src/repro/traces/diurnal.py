@@ -20,7 +20,7 @@ assumption); only when machines become available follows the clock.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

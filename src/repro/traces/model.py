@@ -11,7 +11,7 @@ trace simulator).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

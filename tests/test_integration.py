@@ -35,7 +35,7 @@ class TestMeasureFitScheduleSimulate:
         for trace in pool:
             train, test = trace.split(25)
             suite = fit_all_models(train)
-            for name, dist in suite.items():
+            for _name, dist in suite.items():
                 res = simulate_trace(
                     dist, test, SimulationConfig(checkpoint_cost=110.0)
                 )

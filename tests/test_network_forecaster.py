@@ -76,7 +76,7 @@ class TestEnsemble:
     def test_median_wins_on_spiky_series(self):
         rng = np.random.default_rng(0)
         ens = ForecasterEnsemble([LastValue(), SlidingMedian(10)])
-        for i in range(300):
+        for _ in range(300):
             v = 10.0 if rng.random() > 0.1 else 500.0  # occasional spike
             ens.update(v)
         assert ens.best_member().name.startswith("median")

@@ -50,7 +50,9 @@ class TestBracketMinimum:
 
 class TestGoldenSection:
     def test_parabola_minimum_location(self):
-        f = lambda x: (x - 1.234) ** 2 + 5.0
+        def f(x):
+            return (x - 1.234) ** 2 + 5.0
+
         b = bracket_minimum(f, 0.0, 0.5)
         res = golden_section_minimize(f, b, rel_tol=1e-10)
         assert res.converged
@@ -58,14 +60,18 @@ class TestGoldenSection:
         assert res.fx == pytest.approx(5.0, abs=1e-10)
 
     def test_asymmetric_function(self):
-        f = lambda x: math.exp(x) + math.exp(-2.0 * x)
+        def f(x):
+            return math.exp(x) + math.exp(-2.0 * x)
+
         # minimum at x = ln(2)/3
         b = bracket_minimum(f, -1.0, 0.0)
         res = golden_section_minimize(f, b)
         assert res.x == pytest.approx(math.log(2.0) / 3.0, abs=1e-6)
 
     def test_iteration_cap_reports_nonconverged(self):
-        f = lambda x: (x - 2.0) ** 2
+        def f(x):
+            return (x - 2.0) ** 2
+
         b = bracket_minimum(f, 0.0, 0.5)
         res = golden_section_minimize(f, b, rel_tol=1e-15, abs_tol=0.0, max_iter=3)
         assert not res.converged
@@ -81,7 +87,9 @@ class TestMinimizePositiveScalar:
     def test_checkpoint_like_objective(self):
         # Gamma/T shape: (C + T)/T * e^(lambda T) style coercive objective
         C, lam = 100.0, 1e-4
-        f = lambda T: (C + T) / T * math.exp(lam * T)
+        def f(T):
+            return (C + T) / T * math.exp(lam * T)
+
         res = minimize_positive_scalar(f, guess=500.0)
         # analytic optimum solves T^2 * lam * (C+T) = C*T => ~ sqrt(C/lam)
         brute = min((f(t), t) for t in [i * 5.0 for i in range(1, 40000)])

@@ -86,8 +86,12 @@ class TestGaussLegendre:
         assert a == pytest.approx(-b, rel=1e-12)
 
     def test_matches_simpson(self):
-        f_arr = lambda x: np.sin(x) * np.exp(-0.1 * x)
-        f_sca = lambda x: math.sin(x) * math.exp(-0.1 * x)
+        def f_arr(x):
+            return np.sin(x) * np.exp(-0.1 * x)
+
+        def f_sca(x):
+            return math.sin(x) * math.exp(-0.1 * x)
+
         gl = gauss_legendre(f_arr, 0.0, 10.0, order=40, panels=4)
         simp = adaptive_simpson(f_sca, 0.0, 10.0, tol=1e-12)
         assert gl == pytest.approx(simp, abs=1e-9)

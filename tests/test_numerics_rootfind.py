@@ -40,8 +40,12 @@ class TestNewtonSafeguarded:
 
     def test_newton_step_escaping_bracket_is_rejected(self):
         # f has an inflection that throws plain Newton far away
-        f = lambda x: math.atan(x - 3.0)
-        df = lambda x: 1.0 / (1.0 + (x - 3.0) ** 2)
+        def f(x):
+            return math.atan(x - 3.0)
+
+        def df(x):
+            return 1.0 / (1.0 + (x - 3.0) ** 2)
+
         root = newton_safeguarded(f, df, 50.0, lo=-100.0, hi=100.0)
         assert root == pytest.approx(3.0, abs=1e-8)
 

@@ -101,11 +101,13 @@ class TestSimulatorProperties:
     @given(dists, durations_lists, costs)
     @settings(max_examples=40, deadline=None)
     def test_bandwidth_policy_ordering(self, dist, durations, c):
-        mk = lambda policy: simulate_trace(
-            dist,
-            durations,
-            SimulationConfig(checkpoint_cost=c, partial_transfer_policy=policy),
-        ).mb_total
+        def mk(policy):
+            return simulate_trace(
+                dist,
+                durations,
+                SimulationConfig(checkpoint_cost=c, partial_transfer_policy=policy),
+            ).mb_total
+
         none, prop, full = mk("none"), mk("proportional"), mk("full")
         assert none <= prop + 1e-9 <= full + 1e-9
 
