@@ -61,7 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
             "table, 'convergence' the efficiency-convergence diagnostic, "
             "'storage-study' the incremental/compressed checkpoint storage "
             "sweep at the Table 4 campus point); 'repro lint [paths]' runs "
-            "the reprolint static-analysis pass (see docs/ANALYSIS.md)"
+            "the reprolint static-analysis pass (see docs/ANALYSIS.md); "
+            "'repro report FILE' pretty-prints a --metrics run report "
+            "(see docs/OBSERVABILITY.md)"
         ),
     )
     parser.add_argument("--machines", type=int, default=120, help="pool size for the sweep experiments")
@@ -72,7 +74,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--live-machines", type=int, default=48, help="fleet size for the live experiments")
     parser.add_argument("--synthetic-points", type=int, default=5000, help="trace length for Table 2")
     parser.add_argument("--out", type=str, default=None, help="also write the rendered output to this file")
+    parser.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable the observability layer and write a structured JSON "
+            "run report (metric catalogue: docs/OBSERVABILITY.md) to PATH; "
+            "inspect it later with 'repro report PATH'"
+        ),
+    )
     return parser
+
+
+def _report_main(argv: list[str], stdout=None) -> int:
+    """``repro report FILE [--json]``: render a --metrics run report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-checkpoint report",
+        description="Pretty-print a JSON run report produced by --metrics.",
+    )
+    parser.add_argument("path", help="report file written by --metrics")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="re-emit the report as canonical JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.report import dumps_report, load_report, render_report
+
+    report = load_report(args.path)
+    sink = stdout if stdout is not None else sys.stdout
+    print(dumps_report(report) if args.json else render_report(report), file=sink)
+    return 0
 
 
 def _emit(text: str, out_path: str | None, sink) -> None:
@@ -91,10 +125,17 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:], stdout=stdout)
+    if argv[:1] == ["report"]:
+        return _report_main(argv[1:], stdout=stdout)
     args = build_parser().parse_args(argv)
     sink = stdout if stdout is not None else sys.stdout
     if args.out:
         open(args.out, "w").close()  # truncate
+    registry = None
+    if args.metrics:
+        from repro.obs.metrics import enable
+
+        registry = enable()
     started = time.time()
 
     def emit(text: str) -> None:
@@ -248,6 +289,21 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
         emit("")
 
     emit(f"[done in {time.time() - started:.1f}s]")
+    if registry is not None:
+        from repro.obs.metrics import disable
+        from repro.obs.report import build_report, write_report
+
+        write_report(
+            args.metrics,
+            build_report(
+                registry,
+                command=args.command,
+                argv=list(argv),
+                duration_seconds=time.time() - started,
+            ),
+        )
+        disable()
+        emit(f"[metrics written to {args.metrics}]")
     return 0
 
 

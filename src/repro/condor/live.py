@@ -35,6 +35,7 @@ from repro.engine.core import Environment
 from repro.network.bandwidth import BandwidthModel, campus_link, wan_link
 from repro.network.forecaster import default_ensemble
 from repro.network.link import SharedLink
+from repro.obs.metrics import active as _metrics
 from repro.traces.synthetic import SyntheticPoolConfig, _draw_ground_truth
 
 __all__ = ["LiveExperimentConfig", "LiveExperimentResult", "run_live_experiment"]
@@ -197,7 +198,15 @@ def run_live_experiment(config: LiveExperimentConfig | None = None) -> LiveExper
     env.run(until=config.horizon)
     # placements still running at the horizon are right-censored; flag
     # them now, before generator finalisation can close their logs
-    manager.censor_open_logs()
+    n_censored = manager.censor_open_logs()
+
+    reg = _metrics()
+    if reg is not None:
+        reg.set_gauge("live.machines", config.n_machines)
+        reg.set_gauge("live.concurrent_jobs", config.n_concurrent_jobs)
+        reg.inc("live.placements", len(manager.logs))
+        reg.inc("live.placements.censored", n_censored)
+        reg.inc("live.link_mb_sent", link.total_mb_sent)
 
     aggregates = {m: manager.aggregate(m) for m in config.models}
     completed_transfers = [

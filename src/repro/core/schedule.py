@@ -22,6 +22,7 @@ from repro.core.markov import CheckpointCosts
 from repro.core.optimizer import OptimalInterval, optimize_interval
 from repro.distributions.base import AvailabilityDistribution
 from repro.distributions.exponential import Exponential
+from repro.obs.metrics import active as _metrics
 
 __all__ = ["CheckpointSchedule"]
 
@@ -102,7 +103,14 @@ class CheckpointSchedule:
         return self.interval(i).T_opt
 
     def intervals(self, n: int) -> list[float]:
-        """The first ``n`` work intervals ``[T_opt(0), ..., T_opt(n-1)]``."""
+        """The first ``n`` work intervals ``[T_opt(0), ..., T_opt(n-1)]``.
+
+        ``n = 0`` is a valid (empty) prefix; negative ``n`` is an error.
+        """
+        if n < 0:
+            raise ValueError(f"interval count must be >= 0, got {n}")
+        if n == 0:
+            return []
         self._extend_to(n - 1)
         return [it.T_opt for it in self._intervals[:n]]
 
@@ -152,21 +160,31 @@ class CheckpointSchedule:
                 if self.include_recovery_age:
                     age += self.costs.recovery
             else:
+                # the machine is up throughout the strictly sequential
+                # work / transfer / commit-latency phases, so interval
+                # i+1 starts T + C + L after interval i did
                 prev_age = self._ages[-1]
                 prev_t = self._intervals[-1].T_opt
-                age = prev_age + prev_t + self.costs.checkpoint
+                age = prev_age + prev_t + self.costs.checkpoint + self.costs.latency
+            reg = _metrics()
             if self._memoryless and self._intervals:
                 # memorylessness: T_opt is age-invariant; reuse interval 0
                 first = self._intervals[0]
                 self._intervals.append(first)
                 self._ages.append(age)
+                if reg is not None:
+                    reg.inc("schedule.reuses.memoryless")
                 continue
             if self._converged_at is not None:
                 self._intervals.append(self._intervals[-1])
                 self._ages.append(age)
+                if reg is not None:
+                    reg.inc("schedule.reuses.converged")
                 continue
             if not math.isfinite(age):  # pragma: no cover - defensive
                 raise OverflowError("schedule age overflowed")
+            if reg is not None:
+                reg.inc("schedule.solves")
             opt = optimize_interval(
                 self.distribution,
                 self.costs,

@@ -22,6 +22,12 @@ from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatA
 
 __all__ = ["ConditionalDistribution"]
 
+#: below this survival mass at ``age`` the difference forms
+#: ``F(age + x) - F(age)`` / ``PE(age + x) - PE(age)`` have fewer
+#: significant digits than the quantities they are meant to resolve, so
+#: the wrapper switches to survival-ratio (integral) formulas instead
+_DEEP_TAIL_SURV = 1e-9
+
 
 class ConditionalDistribution(AvailabilityDistribution):
     """Future-lifetime distribution of ``base`` at elapsed age ``age``."""
@@ -49,6 +55,11 @@ class ConditionalDistribution(AvailabilityDistribution):
         return np.asarray(self.base.pdf(self.age + x)) / self._surv_age
 
     def _cdf(self, x: FloatArray) -> FloatArray:
+        if self._surv_age < 0.5:
+            # deep in the tail F(age + x) - F(age) cancels catastrophically
+            # (both round to 1.0 once S(age) ~ eps); the survival ratio is
+            # exact there because sf works with small magnitudes directly
+            return 1.0 - np.asarray(self.base.sf(self.age + x)) / self._surv_age
         return (np.asarray(self.base.cdf(self.age + x)) - self._cdf_age) / self._surv_age
 
     def sf(self, x: ArrayLike) -> ScalarOrArray:
@@ -61,6 +72,17 @@ class ConditionalDistribution(AvailabilityDistribution):
 
     def mean(self) -> float:
         """``E[X - age | X > age]`` via the base partial expectation."""
+        if self._surv_age < _DEEP_TAIL_SURV:
+            # the difference form below degenerates to noise/S(age) in the
+            # deep tail; integrate the stable conditional survival instead
+            from repro.numerics.quadrature import gauss_legendre
+
+            upper = 1.0
+            while float(self.sf(upper)) > 1e-12 and upper < 1e15:
+                upper *= 2.0
+            return float(
+                gauss_legendre(lambda t: np.asarray(self.sf(t)), 0.0, upper, order=64, panels=16)
+            )
         return max(
             (self.base.mean() - self._pe_age) / self._surv_age - self.age, 0.0
         )
@@ -91,19 +113,42 @@ class ConditionalDistribution(AvailabilityDistribution):
     def cdf_one(self, x: float) -> float:
         if x <= 0.0:
             return 0.0
-        out = (self.base.cdf_one(self.age + x) - self._cdf_age) / self._surv_age
+        if self._surv_age < 0.5:
+            # stable in the deep tail, where the cdf difference cancels
+            out = 1.0 - float(self.base.sf(self.age + x)) / self._surv_age
+        else:
+            out = (self.base.cdf_one(self.age + x) - self._cdf_age) / self._surv_age
         # round-off in the ratio can stray a few ulps outside [0, 1]
         return min(max(out, 0.0), 1.0)
 
     def partial_expectation_one(self, x: float) -> float:
         if x <= 0.0:
             return 0.0
+        if self._surv_age < _DEEP_TAIL_SURV:
+            return self._partial_expectation_tail(x)
         pe_shift = self.base.partial_expectation_one(self.age + x)
         cdf_shift = self.base.cdf_one(self.age + x)
         out = (
             pe_shift - self._pe_age - self.age * (cdf_shift - self._cdf_age)
         ) / self._surv_age
         return max(out, 0.0)
+
+    def _partial_expectation_tail(self, x: float) -> float:
+        """``int_0^x t f_age(t) dt`` via the stable survival ratio.
+
+        The difference form ``PE(age + x) - PE(age)`` loses all its
+        significant digits once ``S(age)`` drops below machine epsilon
+        relative to the mean (both partial expectations saturate at
+        ``E[X]``).  Integration by parts gives the equivalent
+        ``int_0^x S_age(t) dt - x * S_age(x)``, which only touches the
+        well-conditioned conditional survival function.
+        """
+        from repro.numerics.quadrature import gauss_legendre
+
+        integral = gauss_legendre(
+            lambda t: np.asarray(self.sf(t)), 0.0, x, order=64, panels=16
+        )
+        return max(integral - x * float(self.sf(x)), 0.0)
 
     # -- closed-form reductions -----------------------------------------
     def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
@@ -112,6 +157,12 @@ class ConditionalDistribution(AvailabilityDistribution):
         ``[PE(age + x) - PE(age) - age * (F(age + x) - F(age))] / S(age)``.
         """
         arr = np.asarray(x, dtype=np.float64)
+        if self._surv_age < _DEEP_TAIL_SURV:
+            flat = np.atleast_1d(arr).astype(np.float64).ravel()
+            out = np.asarray(
+                [self._partial_expectation_tail(float(v)) if v > 0.0 else 0.0 for v in flat]
+            ).reshape(arr.shape)
+            return float(out) if arr.ndim == 0 else out
         xp = np.maximum(arr, 0.0)
         pe_shift = np.asarray(self.base.partial_expectation(self.age + xp))
         cdf_shift = np.asarray(self.base.cdf(self.age + xp))

@@ -24,6 +24,8 @@ from itertools import count
 from collections.abc import Callable, Generator
 from typing import Any
 
+from repro.obs.metrics import active as _metrics
+
 __all__ = [
     "Environment",
     "Event",
@@ -162,6 +164,9 @@ class Process(Event):
         """
         if self._state != _PENDING:
             return
+        reg = _metrics()
+        if reg is not None:
+            reg.inc("engine.interrupts")
         wake = Event(self.env)
         wake.callbacks.append(self._resume)
         wake.fail(Interrupt(cause))
@@ -283,6 +288,9 @@ class Environment:
         """Process the next event (advancing the clock to it)."""
         if not self._queue:
             raise SimulationError("cannot step an empty event queue")
+        reg = _metrics()
+        if reg is not None:
+            reg.inc("engine.events")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
         had_waiters = bool(event.callbacks)

@@ -8,11 +8,13 @@ intervals and the paper's paired-t significance markers.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.distributions.fitting.select import MODEL_LABELS
+from repro.obs.metrics import active as _metrics
 from repro.experiments.figures import AsciiFigure
 from repro.experiments.format import PaperTable
 from repro.simulation.accounting import SimulationConfig
@@ -179,5 +181,8 @@ def run_simulation_study(
             checkpoint_cost=0.0, checkpoint_size_mb=checkpoint_size_mb
         ),
     )
-    sweep = simulate_pool(pool, settings, n_workers=n_workers)
+    reg = _metrics()
+    timer = reg.timer("experiments.study_seconds") if reg is not None else nullcontext()
+    with timer:
+        sweep = simulate_pool(pool, settings, n_workers=n_workers)
     return SimulationStudy(sweep=sweep, checkpoint_size_mb=checkpoint_size_mb)

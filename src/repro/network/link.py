@@ -21,6 +21,7 @@ import math
 
 from repro.engine.core import Environment, Event
 from repro.network.bandwidth import BandwidthModel, ConstantBandwidth
+from repro.obs.metrics import active as _metrics
 
 __all__ = ["SharedLink", "Transfer"]
 
@@ -121,6 +122,14 @@ class SharedLink:
             tr.end_time = self.env.now
             tr.done.succeed(tr)
             return
+        reg = _metrics()
+        if reg is not None:
+            reg.inc("link.transfers")
+            if self._active:
+                # a collision: this transfer will share the link with
+                # the ones already in flight, slowing all of them down
+                reg.inc("link.collisions")
+            reg.observe("link.concurrency", len(self._active) + 1)
         self._active.append(tr)
         self._reschedule()
 
@@ -156,6 +165,10 @@ class SharedLink:
             # never lets a segment span an epoch boundary, so the rate at
             # the segment start holds throughout
             rate = self.bandwidth.rate(self._last_update) / len(self._active)
+            reg = _metrics()
+            if reg is not None:
+                # the effective per-transfer bandwidth over this segment
+                reg.observe("link.effective_mb_per_s", rate)
             for tr in self._active:
                 credit = min(rate * dt, tr.size_mb - tr.sent_mb)
                 tr.sent_mb += credit

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass
 from collections.abc import Callable
 
+from repro.obs.metrics import active as _metrics
+
 __all__ = [
     "Bracket",
     "BracketError",
@@ -101,9 +103,15 @@ def bracket_minimum(
     c = b + _GOLD * (b - a)
     fc = func(c)
     iterations = 0
+    reg = _metrics()
+    if reg is not None:
+        reg.inc("numerics.bracket.calls")
     while fb >= fc:
         iterations += 1
         if iterations > max_iter:
+            if reg is not None:
+                reg.inc("numerics.bracket.expansions", iterations)
+                reg.inc("numerics.bracket.failures")
             raise BracketError(
                 f"could not bracket a minimum within {max_iter} expansions "
                 f"(last triple: ({a}, {b}, {c}))"
@@ -141,6 +149,8 @@ def bracket_minimum(
     if a > c:
         a, c = c, a
         fa, fc = fc, fa
+    if reg is not None:
+        reg.inc("numerics.bracket.expansions", iterations)
     return Bracket(a=a, b=b, c=c, fa=fa, fb=fb, fc=fc)
 
 
@@ -178,10 +188,15 @@ def golden_section_minimize(
         f2 = bracket.fb
         f1 = func(x1)
     iterations = 0
+    reg = _metrics()
+    if reg is not None:
+        reg.inc("numerics.golden.calls")
     while abs(x3 - x0) > rel_tol * (abs(x1) + abs(x2)) / 2.0 + abs_tol:
         iterations += 1
         if iterations > max_iter:
             x, fx = (x1, f1) if f1 < f2 else (x2, f2)
+            if reg is not None:
+                reg.inc("numerics.golden.iterations", iterations)
             return GoldenSectionResult(x=x, fx=fx, iterations=iterations, converged=False)
         if f2 < f1:
             x0 = x1
@@ -191,6 +206,8 @@ def golden_section_minimize(
             x3 = x2
             x2, x1 = x1, x1 - _CGOLD * (x1 - x0)
             f2, f1 = f1, func(x1)
+    if reg is not None:
+        reg.inc("numerics.golden.iterations", iterations)
     if f1 < f2:
         return GoldenSectionResult(x=x1, fx=f1, iterations=iterations, converged=True)
     return GoldenSectionResult(x=x2, fx=f2, iterations=iterations, converged=True)
@@ -223,16 +240,33 @@ def minimize_positive_scalar(
     if not (lo < hi):
         raise ValueError(f"invalid domain: lo={lo} must be < hi={hi}")
     guess = min(max(guess, lo * 1.01), hi * 0.99)
+    # bracketing may probe outside (lo, hi); the *same* clamped objective
+    # must drive the golden-section refinement, otherwise refinement can
+    # evaluate the raw function outside its domain with values
+    # inconsistent with the bracket's (the bracket was built on the
+    # clamped landscape)
+    clamped = _Clamped(func, lo, hi)
     try:
         second = min(guess * 1.5 + 1e-9, hi * 0.999)
         if second <= guess:
             second = (guess + hi) / 2.0
-        bracket = bracket_minimum(_Clamped(func, lo, hi), guess, second)
-        result = golden_section_minimize(func, bracket, rel_tol=rel_tol)
-        if lo <= result.x <= hi:
-            return result
+        bracket = bracket_minimum(clamped, guess, second)
+        result = golden_section_minimize(clamped, bracket, rel_tol=rel_tol)
+        x = min(max(result.x, lo), hi)
+        # exact comparison is correct: min/max return result.x unchanged
+        # whenever it already lies inside [lo, hi]
+        if x != result.x:  # reprolint: ignore[RL002]
+            # abscissa strayed into the clamped plateau: its objective
+            # value is by construction func(clamp(x)), so only x moves
+            result = GoldenSectionResult(
+                x=x, fx=result.fx, iterations=result.iterations, converged=result.converged
+            )
+        return result
     except (BracketError, ValueError, OverflowError):
         pass
+    reg = _metrics()
+    if reg is not None:
+        reg.inc("numerics.grid_fallbacks")
     return _grid_then_golden(func, lo=lo, hi=hi, rel_tol=rel_tol, grid_points=grid_points)
 
 

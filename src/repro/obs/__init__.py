@@ -1,0 +1,44 @@
+"""Observability: metrics, scoped timers, and JSON run reports.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and the report
+schema.  The package is dependency-free (stdlib only) so every layer of
+the simulator can import it without cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    active,
+    disable,
+    enable,
+    use,
+)
+from repro.obs.report import (
+    SCHEMA,
+    build_report,
+    dumps_report,
+    load_report,
+    render_report,
+    write_report,
+)
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "active",
+    "build_report",
+    "disable",
+    "dumps_report",
+    "enable",
+    "load_report",
+    "render_report",
+    "use",
+    "write_report",
+]

@@ -1,0 +1,273 @@
+"""A dependency-free metrics registry with a no-op fast path.
+
+The observability layer answers the questions the paper's headline
+claims hinge on but the result tables hide: how many golden-section
+solves a sweep performs, how often the schedule cache short-circuits
+them, how hard the shared link collides, what the storage subsystem's
+full/delta cadence actually was.  Design constraints, in order:
+
+1. **Disabled instrumentation costs ~nothing.**  Nothing is recorded
+   unless a registry has been installed with :func:`enable` (or
+   :func:`use`); every instrumentation site guards on
+   ``reg = active()`` / ``if reg is not None``, which is a module
+   attribute read plus a ``None`` test.  Hot loops keep their counts in
+   locals and flush them once per call.
+2. **No dependencies.**  Counters, gauges and summary histograms are
+   plain slotted objects; reports are plain dicts (JSON-ready).
+3. **Mergeable across processes.**  The pool sweep fans machines out
+   over a ``ProcessPoolExecutor``; each worker records into its own
+   registry and ships :meth:`MetricsRegistry.as_dict` back with its
+   results, which the parent folds in with
+   :meth:`MetricsRegistry.merge_dict`.
+
+The registry is *per process* and not thread-safe: the simulators are
+single-threaded per process, and cross-process aggregation is explicit.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from types import TracebackType
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "active",
+    "disable",
+    "enable",
+    "use",
+]
+
+
+class Counter:
+    """A monotonically increasing count (float-valued: MB counters)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement (e.g. configured worker count)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A summary histogram: count, sum, min, max (mean derived).
+
+    Full bucketed distributions are overkill for run reports; the
+    summary quartet is enough to spot regressions and is trivially
+    mergeable across worker processes.
+    """
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def combine(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class Timer:
+    """Scoped wall-clock timer; observes elapsed seconds on exit.
+
+    Usage::
+
+        reg = active()
+        with (reg.timer("sim.replay_seconds") if reg else nullcontext()):
+            ...
+
+    or, when a registry is known to be present, simply
+    ``with registry.timer(name): ...``.
+    """
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Metric names are dotted strings (``"layer.thing"``, e.g.
+    ``"numerics.golden.iterations"``); the catalogue lives in
+    ``docs/OBSERVABILITY.md``.  Instruments are created on first use.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors (get-or-create) ---------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # -- one-shot conveniences (the instrumentation sites use these) ----
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def timer(self, name: str) -> Timer:
+        return Timer(self.histogram(name))
+
+    # -- serialisation / merging ----------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready snapshot (histogram min/max ``None`` when empty)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge_dict(data)
+        return reg
+
+    def merge_dict(self, data: dict[str, Any]) -> None:
+        """Fold a worker snapshot in: counters/histograms add, gauges
+        take the incoming value."""
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).value += float(value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in data.get("histograms", {}).items():
+            h = self.histogram(name)
+            count = int(summary["count"])
+            if count == 0:
+                continue
+            h.count += count
+            h.sum += float(summary["sum"])
+            h.min = min(h.min, float(summary["min"]))
+            h.max = max(h.max, float(summary["max"]))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_dict(other.as_dict())
+
+
+# ----------------------------------------------------------------------
+# the process-global default registry
+# ----------------------------------------------------------------------
+_active: MetricsRegistry | None = None
+
+
+def active() -> MetricsRegistry | None:
+    """The currently installed registry, or ``None`` when disabled.
+
+    This is *the* hot-path guard: instrumentation sites call it once,
+    keep the result in a local, and skip all recording when it is
+    ``None``.
+    """
+    return _active
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the process default."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable() -> None:
+    """Remove the process default; instrumentation reverts to no-op."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def use(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Temporarily install a registry (tests, worker processes)."""
+    global _active
+    previous = _active
+    installed = registry if registry is not None else MetricsRegistry()
+    _active = installed
+    try:
+        yield installed
+    finally:
+        _active = previous

@@ -1,0 +1,151 @@
+"""Structured JSON run reports over a :class:`MetricsRegistry` snapshot.
+
+A *run report* is one JSON document describing one CLI invocation (or
+one programmatic run): what ran, how long it took, and every metric the
+instrumented layers recorded.  The schema is deliberately flat so other
+tooling (CI artifact diffing, the future perf dashboard) can consume it
+without this package::
+
+    {
+      "schema": "repro.obs.report/1",
+      "command": "table1",
+      "argv": ["table1", "--machines", "4"],
+      "duration_seconds": 12.3,
+      "metrics": {
+        "counters":   {"numerics.golden.iterations": 48231.0, ...},
+        "gauges":     {"sim.pool.workers": 4.0, ...},
+        "histograms": {"sim.replay_seconds":
+                       {"count": 160, "sum": 9.1, "min": ..., "max": ...}}
+      }
+    }
+
+``repro report PATH`` pretty-prints a report; ``repro report PATH
+--json`` re-emits it canonically (the round-trip the CLI smoke test
+asserts).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SCHEMA",
+    "build_report",
+    "dumps_report",
+    "load_report",
+    "render_report",
+    "write_report",
+]
+
+SCHEMA = "repro.obs.report/1"
+
+
+def build_report(
+    registry: MetricsRegistry,
+    *,
+    command: str,
+    argv: list[str] | None = None,
+    duration_seconds: float | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the report dict for one run."""
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "command": command,
+        "argv": list(argv) if argv is not None else None,
+        "duration_seconds": duration_seconds,
+        "metrics": registry.as_dict(),
+    }
+    if extra:
+        report["extra"] = dict(extra)
+    return report
+
+
+def dumps_report(report: dict[str, Any]) -> str:
+    """Canonical serialisation (sorted keys, stable indent)."""
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def write_report(path: str, report: dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        fh.write(dumps_report(report))
+        fh.write("\n")
+
+
+def load_report(path_or_file: str | IO[str]) -> dict[str, Any]:
+    """Read and validate a report file (schema and metrics shape)."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as fh:
+            data = json.load(fh)
+    else:
+        data = json.load(path_or_file)
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a repro run report (expected schema {SCHEMA!r}, "
+            f"got {data.get('schema') if isinstance(data, dict) else type(data).__name__!r})"
+        )
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("run report is missing its 'metrics' section")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            raise ValueError(f"run report metrics are missing the {section!r} map")
+    return data
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable rendering of a run report (the ``repro report``
+    pretty-printer)."""
+    lines: list[str] = []
+    command = report.get("command", "?")
+    duration = report.get("duration_seconds")
+    header = f"run report — command: {command}"
+    if duration is not None:
+        header += f" ({duration:.1f}s)"
+    lines.append(header)
+    lines.append("=" * len(header))
+    metrics = report["metrics"]
+
+    counters: dict[str, float] = metrics["counters"]
+    gauges: dict[str, float] = metrics["gauges"]
+    histograms: dict[str, dict[str, Any]] = metrics["histograms"]
+
+    def fmt(v: float) -> str:
+        if float(v).is_integer() and abs(v) < 1e15:
+            return f"{int(v):,}"
+        return f"{v:,.3f}"
+
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        width = max(len(k) for k in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {fmt(counters[name])}")
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        width = max(len(k) for k in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {fmt(gauges[name])}")
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / min / max)")
+        width = max(len(k) for k in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = int(h["count"])
+            if count == 0:
+                lines.append(f"  {name:<{width}}  0 / - / - / -")
+                continue
+            mean = float(h["sum"]) / count
+            lines.append(
+                f"  {name:<{width}}  {count:,} / {mean:.6g} / "
+                f"{float(h['min']):.6g} / {float(h['max']):.6g}"
+            )
+    if not (counters or gauges or histograms):
+        lines.append("")
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -33,7 +33,13 @@ class SimulationConfig:
         convention, both being 500 MB transfers on the same link).
     latency:
         Vaidya's checkpoint latency ``L`` (0 under the paper's strictly
-        sequential phases).
+        sequential phases).  The replay bills it per checkpoint
+        attempt: a cycle commits only if ``T + C + L`` fits in the
+        availability interval, each completed cycle advances time by
+        ``T + C + L`` (the ``L`` window counts as checkpoint overhead),
+        and an eviction inside the latency window loses the interval's
+        work -- the same accounting the Markov optimizer prices via its
+        ``L + R + T`` retry horizon.
     checkpoint_size_mb:
         Megabytes per full checkpoint/recovery transfer (500 in the
         paper, matching the Condor machines' 512 MB memories).

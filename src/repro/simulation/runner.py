@@ -23,10 +23,12 @@ import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.distributions.fitting import MODEL_NAMES, fit_model
+from repro.obs.metrics import MetricsRegistry, active as _metrics, use as _use_metrics
 from repro.simulation.accounting import SimulationConfig, SimulationResult
 from repro.simulation.trace_sim import simulate_trace
 from repro.traces.model import TRAINING_SET_SIZE, AvailabilityTrace, MachinePool
@@ -141,8 +143,22 @@ class PoolSweep:
         return tuple(seen)
 
 
-def _simulate_machine_star(args: tuple[AvailabilityTrace, SweepSettings]):
-    return simulate_machine(*args)
+def _simulate_machine_star(
+    args: tuple[AvailabilityTrace, SweepSettings, bool],
+) -> tuple[list[SimulationResult], dict[str, Any] | None]:
+    """Worker entry point: one machine's sweep, plus (when the parent is
+    collecting metrics) a snapshot of the metrics the work recorded.
+
+    Worker processes do not inherit the parent's registry, so each call
+    records into a private one and ships its ``as_dict()`` back with
+    the results; the parent folds the snapshots into its registry.
+    """
+    trace, settings, collect_metrics = args
+    if not collect_metrics:
+        return simulate_machine(trace, settings), None
+    with _use_metrics() as reg:
+        results = simulate_machine(trace, settings)
+    return results, reg.as_dict()
 
 
 def simulate_pool(
@@ -154,22 +170,34 @@ def simulate_pool(
     """Run the full sweep over a machine pool.
 
     ``n_workers=None`` or ``1`` runs serially; larger values fan machines
-    out across processes.
+    out across processes.  When a metrics registry is active (see
+    :mod:`repro.obs`), per-worker registries are merged back into it so
+    fan-out is invisible in the run report.
     """
     if settings is None:
         settings = SweepSettings()
     traces = list(pool)
     all_results: list[SimulationResult] = []
+    parent_reg: MetricsRegistry | None = _metrics()
+    if parent_reg is not None:
+        parent_reg.inc("sim.pool.sweeps")
+        parent_reg.inc("sim.pool.machines", len(traces))
     if n_workers and n_workers > 1 and len(traces) > 1:
+        if parent_reg is not None:
+            parent_reg.set_gauge("sim.pool.workers", n_workers)
         with ProcessPoolExecutor(max_workers=n_workers) as pool_exec:
             chunks = pool_exec.map(
                 _simulate_machine_star,
-                [(t, settings) for t in traces],
+                [(t, settings, parent_reg is not None) for t in traces],
                 chunksize=max(1, len(traces) // (n_workers * 4)),
             )
-            for chunk in chunks:
+            for chunk, metrics_snapshot in chunks:
                 all_results.extend(chunk)
+                if metrics_snapshot is not None and parent_reg is not None:
+                    parent_reg.merge_dict(metrics_snapshot)
     else:
+        if parent_reg is not None:
+            parent_reg.set_gauge("sim.pool.workers", 1)
         for trace in traces:
             all_results.extend(simulate_machine(trace, settings))
     return PoolSweep(settings=settings, results=tuple(all_results))

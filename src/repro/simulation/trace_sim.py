@@ -28,12 +28,14 @@ the optimizer plans with the true ``C`` and ``R``.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
 from repro.core.markov import CheckpointCosts
 from repro.core.schedule import CheckpointSchedule
 from repro.distributions.base import AvailabilityDistribution
+from repro.obs.metrics import active as _metrics
 from repro.simulation.accounting import SimulationConfig, SimulationResult
 from repro.storage.costs import effective_costs
 from repro.storage.store import CheckpointStore
@@ -139,6 +141,14 @@ def replay_schedule(
 
     Exposed separately so the validation experiment can replay the exact
     schedules observed in the live (DES) system.
+
+    Checkpoint latency ``L`` (``config.latency``) is billed per
+    checkpoint attempt: a checkpoint is only *committed* once its
+    ``C``-second transfer **and** the ``L``-second commit window have
+    both fit inside the availability interval, so each completed cycle
+    advances time by ``T + C + L`` and an eviction during either phase
+    loses the interval's work.  This matches the Markov model, whose
+    retry horizon prices ``L + R + T`` (see ``docs/THEORY.md`` §8).
     """
     if config.storage is not None and config.checkpoint_size_mb > 0:
         return _replay_with_storage(
@@ -146,8 +156,11 @@ def replay_schedule(
         )
     C = config.checkpoint_cost
     R = config.effective_recovery_cost
+    L = config.latency
     size = config.checkpoint_size_mb
     policy = config.partial_transfer_policy
+    reg = _metrics()
+    t_wall = time.perf_counter() if reg is not None else 0.0
 
     useful = 0.0
     lost = 0.0
@@ -190,23 +203,34 @@ def replay_schedule(
                 lost += a - t  # eviction mid-work
                 t = a
                 break
-            if t + T + C <= a:
+            if t + T + C + L <= a:
                 useful += T
-                ckpt_overhead += C
+                ckpt_overhead += C + L
                 n_ckpt_try += 1
                 n_ckpt_done += 1
                 mb_ckpt += _transfer_mb(C, C, completed=True)
-                t += T + C
+                t += T + C + L
                 i += 1
             else:
-                # eviction mid-checkpoint: the interval's work is lost
+                # eviction during the transfer or its commit latency:
+                # the interval's work is never committed, so it is lost.
+                # Bytes flow only during the C-second transfer phase; an
+                # eviction inside the latency window leaves the full
+                # image on the wire but uncommitted.
                 elapsed = a - (t + T)
                 lost += T
                 ckpt_overhead += elapsed
                 n_ckpt_try += 1
-                mb_ckpt += _transfer_mb(elapsed, C, completed=False)
+                mb_ckpt += _transfer_mb(min(elapsed, C), C, completed=elapsed >= C)
                 t = a
                 break
+
+    if reg is not None:
+        reg.inc("sim.replays")
+        reg.inc("sim.machine_seconds", float(durations.sum()))
+        reg.inc("sim.checkpoints.attempted", n_ckpt_try)
+        reg.inc("sim.checkpoints.completed", n_ckpt_done)
+        reg.observe("sim.replay_seconds", time.perf_counter() - t_wall)
 
     return SimulationResult(
         machine_id=machine_id,
@@ -248,10 +272,13 @@ def _replay_with_storage(
     compression CPU (if any) takes time.
     """
     C = config.checkpoint_cost
+    L = config.latency
     size = config.checkpoint_size_mb
     policy = config.partial_transfer_policy
     store = CheckpointStore(config.storage, size)
     bw = size / C if C > 0 else math.inf
+    reg = _metrics()
+    t_wall = time.perf_counter() if reg is not None else 0.0
 
     useful = 0.0
     lost = 0.0
@@ -293,7 +320,9 @@ def _replay_with_storage(
                 break
             plan = store.plan_checkpoint(T)
             wire_time = plan.wire_mb / bw if math.isfinite(bw) else 0.0
-            ckpt_time = plan.cpu_seconds + wire_time
+            # commit latency L is billed after the CPU + wire phases,
+            # mirroring the non-storage path (see replay_schedule)
+            ckpt_time = plan.cpu_seconds + wire_time + L
             if t + T + ckpt_time <= a:
                 useful += T
                 ckpt_overhead += ckpt_time
@@ -311,11 +340,22 @@ def _replay_with_storage(
                 ckpt_overhead += elapsed
                 n_ckpt_try += 1
                 # compression runs before bytes flow: only time past the
-                # CPU phase moved data
-                wire_elapsed = max(0.0, elapsed - plan.cpu_seconds)
-                mb_ckpt += _partial_mb(plan.wire_mb, wire_elapsed, wire_time, policy)
+                # CPU phase moved data; an eviction inside the latency
+                # window leaves the full payload on the wire
+                if elapsed >= plan.cpu_seconds + wire_time:
+                    mb_ckpt += plan.wire_mb
+                else:
+                    wire_elapsed = max(0.0, elapsed - plan.cpu_seconds)
+                    mb_ckpt += _partial_mb(plan.wire_mb, wire_elapsed, wire_time, policy)
                 t = a
                 break
+
+    if reg is not None:
+        reg.inc("sim.replays")
+        reg.inc("sim.machine_seconds", float(durations.sum()))
+        reg.inc("sim.checkpoints.attempted", n_ckpt_try)
+        reg.inc("sim.checkpoints.completed", n_ckpt_done)
+        reg.observe("sim.replay_seconds", time.perf_counter() - t_wall)
 
     return SimulationResult(
         machine_id=machine_id,

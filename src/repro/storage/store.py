@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import active as _metrics
 from repro.storage.policy import StoragePolicy
 
 __all__ = ["CheckpointStore", "PlannedCheckpoint", "Snapshot"]
@@ -143,10 +144,17 @@ class CheckpointStore:
         )
         self._snapshots.append(snap)
         self.n_committed += 1
+        reg = _metrics()
         if plan.kind == "full":
             self.n_full += 1
+            if reg is not None:
+                reg.inc("storage.commits.full")
         else:
             self.n_delta += 1
+            if reg is not None:
+                reg.inc("storage.commits.delta")
+        if reg is not None:
+            reg.inc("storage.wire_mb", plan.wire_mb)
         self._gc()
         self.max_chain_len = max(self.max_chain_len, self.chain_length())
         return snap
@@ -156,5 +164,11 @@ class CheckpointStore:
         chain = self.chain()
         n_drop = len(self._snapshots) - len(chain)
         if n_drop > 0:
-            self.gc_freed_mb += sum(s.wire_mb for s in self._snapshots[:n_drop])
+            freed = sum(s.wire_mb for s in self._snapshots[:n_drop])
+            self.gc_freed_mb += freed
             self._snapshots = list(chain)
+            reg = _metrics()
+            if reg is not None:
+                reg.inc("storage.gc.runs")
+                reg.inc("storage.gc.snapshots_dropped", n_drop)
+                reg.inc("storage.gc.freed_mb", freed)

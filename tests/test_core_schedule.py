@@ -100,3 +100,29 @@ class TestIterationAndHelpers:
         sched = CheckpointSchedule(Exponential(1.0 / 4000.0), COSTS)
         pricier = sched.with_costs(CheckpointCosts.symmetric(1000.0))
         assert pricier.work_interval(0) > sched.work_interval(0)
+
+
+class TestIntervalsPrefixEdges:
+    """Regression: ``intervals(0)`` used to call ``_extend_to(-1)`` and
+    blow up with IndexError instead of returning the empty prefix."""
+
+    def test_zero_returns_empty(self):
+        sched = CheckpointSchedule(Exponential(1.0 / 4000.0), COSTS)
+        assert sched.intervals(0) == []
+        # and it must not have solved anything to do so
+        assert sched.intervals(0) == []
+
+    def test_zero_on_aperiodic_model(self):
+        sched = CheckpointSchedule(Weibull(0.43, 3409.0), COSTS)
+        assert sched.intervals(0) == []
+
+    def test_one_returns_first_interval(self):
+        sched = CheckpointSchedule(Exponential(1.0 / 4000.0), COSTS)
+        ts = sched.intervals(1)
+        assert len(ts) == 1
+        assert ts[0] == pytest.approx(sched.work_interval(0))
+
+    def test_negative_rejected(self):
+        sched = CheckpointSchedule(Exponential(1.0 / 4000.0), COSTS)
+        with pytest.raises(ValueError):
+            sched.intervals(-1)

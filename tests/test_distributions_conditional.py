@@ -113,3 +113,50 @@ class TestComposition:
         emp = EmpiricalDistribution([1.0, 2.0, 3.0])
         with pytest.raises(ValueError):
             ConditionalDistribution(emp, age=5.0)
+
+
+class TestDeepTailStability:
+    """Regression: at ages far past the scale, F(age + x) - F(age) loses
+    every significant digit (both operands round to 1.0) and the wrapper
+    used to report zero failure probability -- which made the Markov
+    model's overhead objective degenerate to the monotone ``1 + C/T``.
+    The survival-ratio / integral forms must stay accurate there."""
+
+    def _deep(self):
+        # S(age) ~ 5e-18: well past the point where cdf differences cancel
+        return Weibull(1.6, 4000.0).conditional(40030.0)
+
+    def test_cdf_matches_survival_ratio(self):
+        cond = self._deep()
+        for x in (10.0, 100.0, 1000.0, 1e6):
+            assert cond.cdf_one(x) == pytest.approx(1.0 - cond.sf(x), abs=1e-12)
+        # the old difference form returned exactly 0 for every horizon
+        assert cond.cdf_one(1000.0) > 0.7
+
+    def test_partial_expectation_consistent_with_truncated_mean(self):
+        cond = self._deep()
+        x = 1000.0
+        f = cond.cdf_one(x)
+        pe = cond.partial_expectation_one(x)
+        # E[t | t <= x] must land strictly inside (0, x)
+        assert 0.0 < pe / f < x
+        # cross-check the scalar fast path against the array path
+        assert float(cond.partial_expectation(x)) == pytest.approx(pe, rel=1e-9)
+
+    def test_mean_positive_and_below_base_scale(self):
+        cond = self._deep()
+        m = cond.mean()
+        # increasing-hazard Weibull: residual life shrinks with age but
+        # stays strictly positive (the old difference form returned 0.0)
+        assert 0.0 < m < Weibull(1.6, 4000.0).mean()
+
+    def test_markov_objective_has_interior_minimum(self):
+        from repro.core import CheckpointCosts, MarkovIntervalModel, optimize_interval
+
+        dist = Weibull(1.6, 4000.0)
+        costs = CheckpointCosts.symmetric(180.0)
+        opt = optimize_interval(dist, costs, age=40030.0)
+        model = MarkovIntervalModel(dist, costs, 40030.0)
+        assert opt.T_opt < 1e5  # not pinned at the search ceiling
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            assert model.overhead_ratio(opt.T_opt * factor) >= opt.overhead_ratio * (1.0 - 1e-6)

@@ -108,3 +108,52 @@ class TestMinimizePositiveScalar:
         res = minimize_positive_scalar(lambda x: 1.0, guess=1.0, lo=0.5, hi=10.0)
         assert 0.5 <= res.x <= 10.0
         assert res.fx == 1.0
+
+
+class _DomainError(Exception):
+    """Raised by objectives evaluated outside their domain."""
+
+
+class TestClampedRefinement:
+    """Regression: golden-section refinement must use the same clamped
+    objective the bracketing ran on, never the raw function outside
+    ``(lo, hi)``."""
+
+    def test_refinement_never_leaves_domain(self):
+        lo, hi = 1.0, 10.0
+
+        def f(x):
+            if x < lo - 1e-12 or x > hi + 1e-12:
+                raise _DomainError(x)
+            return (x - 9.9) ** 2
+
+        # pre-fix: bracketing (clamped) walks past hi, then refinement
+        # (raw) evaluates outside the domain and _DomainError escapes
+        res = minimize_positive_scalar(f, guess=1.2, lo=lo, hi=hi)
+        assert lo <= res.x <= hi
+        assert res.x == pytest.approx(9.9, rel=1e-3)
+
+    def test_returned_x_clamped_into_domain(self):
+        lo, hi = 0.5, 50.0
+        calls = []
+
+        def f(x):
+            calls.append(x)
+            return (x - 49.9) ** 2
+
+        res = minimize_positive_scalar(f, guess=1.0, lo=lo, hi=hi)
+        assert lo <= res.x <= hi
+        # every raw evaluation stayed inside the clamped range
+        assert all(lo - 1e-9 <= x <= hi + 1e-9 for x in calls)
+
+    def test_refined_value_consistent_with_bracket(self):
+        # the clamped objective's landscape is what the bracket saw, so
+        # the refined minimum can never exceed the bracket's centre value
+        lo, hi = 1.0, 1000.0
+
+        def f(x):
+            return (x - 700.0) ** 2 + 3.0
+
+        res = minimize_positive_scalar(f, guess=2.0, lo=lo, hi=hi)
+        assert res.fx == pytest.approx(3.0, abs=1e-6)
+        assert res.x == pytest.approx(700.0, rel=1e-6)

@@ -1,0 +1,140 @@
+"""Tests for the metrics registry and its process-global switch."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active,
+    disable,
+    enable,
+    use,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter().inc(-1.0)
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge()
+        g.set(4)
+        g.set(7.0)
+        assert g.value == 7.0
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_histogram_combine(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(5.0)
+        b.observe(3.0)
+        a.combine(b)
+        assert a.count == 3
+        assert a.min == 1.0
+        assert a.max == 5.0
+
+    def test_timer_observes_elapsed(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        h = reg.histogram("t")
+        assert h.count == 1
+        assert h.min >= 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_conveniences(self):
+        reg = MetricsRegistry()
+        reg.inc("n", 2.0)
+        reg.set_gauge("g", 9.0)
+        reg.observe("h", 0.5)
+        d = reg.as_dict()
+        assert d["counters"] == {"n": 2.0}
+        assert d["gauges"] == {"g": 9.0}
+        assert d["histograms"]["h"]["count"] == 1
+
+    def test_as_dict_empty_histogram_bounds_are_none(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        d = reg.as_dict()["histograms"]["h"]
+        assert d["min"] is None and d["max"] is None
+
+    def test_round_trip_and_merge(self):
+        a = MetricsRegistry()
+        a.inc("n", 3.0)
+        a.observe("h", 1.0)
+        a.set_gauge("g", 1.0)
+        b = MetricsRegistry.from_dict(a.as_dict())
+        b.merge_dict(a.as_dict())
+        assert b.counter("n").value == pytest.approx(6.0)
+        assert b.histogram("h").count == 2
+        assert b.gauge("g").value == 1.0  # gauges: last value wins
+
+    def test_merge_skips_empty_histograms(self):
+        a = MetricsRegistry()
+        a.histogram("h")  # declared but never observed
+        b = MetricsRegistry()
+        b.merge(a)
+        assert b.histogram("h").count == 0
+        assert b.histogram("h").min > b.histogram("h").max  # still the identity
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default(self):
+        disable()
+        assert active() is None
+
+    def test_enable_disable(self):
+        try:
+            reg = enable()
+            assert active() is reg
+        finally:
+            disable()
+        assert active() is None
+
+    def test_use_restores_previous(self):
+        disable()
+        outer = enable()
+        try:
+            with use() as inner:
+                assert active() is inner
+                assert inner is not outer
+            assert active() is outer
+        finally:
+            disable()
+
+    def test_use_accepts_explicit_registry(self):
+        disable()
+        mine = MetricsRegistry()
+        with use(mine) as got:
+            assert got is mine
+            active().inc("x")
+        assert mine.counter("x").value == 1.0
+        assert active() is None

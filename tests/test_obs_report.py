@@ -1,0 +1,140 @@
+"""Tests for run reports and the --metrics / `repro report` CLI surface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry, disable
+from repro.obs.report import (
+    SCHEMA,
+    build_report,
+    dumps_report,
+    load_report,
+    render_report,
+    write_report,
+)
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.inc("numerics.golden.iterations", 123.0)
+    reg.set_gauge("sim.pool.workers", 2.0)
+    reg.observe("sim.replay_seconds", 0.25)
+    return reg
+
+
+def run_cli(*argv):
+    buf = io.StringIO()
+    code = main(list(argv), stdout=buf)
+    return code, buf.getvalue()
+
+
+class TestReportRoundTrip:
+    def test_build_load_round_trip(self, tmp_path):
+        report = build_report(
+            _registry(), command="fig3", argv=["fig3"], duration_seconds=1.5
+        )
+        path = tmp_path / "report.json"
+        write_report(str(path), report)
+        loaded = load_report(str(path))
+        assert loaded == report
+        assert loaded["schema"] == SCHEMA
+        assert loaded["metrics"]["counters"]["numerics.golden.iterations"] == 123.0
+
+    def test_dumps_is_canonical(self):
+        report = build_report(_registry(), command="x")
+        assert dumps_report(report) == dumps_report(json.loads(dumps_report(report)))
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else", "metrics": {}}))
+        with pytest.raises(ValueError, match="not a repro run report"):
+            load_report(str(path))
+
+    def test_load_rejects_missing_sections(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": SCHEMA, "metrics": {"counters": {}}}))
+        with pytest.raises(ValueError, match="gauges"):
+            load_report(str(path))
+
+    def test_render_mentions_every_metric(self):
+        text = render_report(build_report(_registry(), command="fig3"))
+        assert "run report" in text
+        assert "numerics.golden.iterations" in text
+        assert "sim.pool.workers" in text
+        assert "sim.replay_seconds" in text
+
+    def test_render_empty_registry(self):
+        text = render_report(build_report(MetricsRegistry(), command="noop"))
+        assert "(no metrics recorded)" in text
+
+
+class TestCliMetrics:
+    def test_sweep_records_hot_layer_counters(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            "fig3", "--machines", "4", "--observations", "35", "--metrics", str(out)
+        )
+        assert code == 0
+        disable()  # belt and braces: the CLI must have uninstalled already
+        report = load_report(str(out))
+        counters = report["metrics"]["counters"]
+        # optimizer, schedule and replay layers must all have fired
+        assert counters["numerics.golden.iterations"] > 0
+        assert counters["schedule.solves"] > 0
+        assert (
+            counters.get("schedule.reuses.memoryless", 0)
+            + counters.get("schedule.reuses.converged", 0)
+            > 0
+        )
+        assert counters["sim.replays"] > 0
+        assert counters["sim.checkpoints.completed"] > 0
+        hists = report["metrics"]["histograms"]
+        assert hists["sim.replay_seconds"]["count"] > 0
+
+    def test_live_run_records_link_and_engine_counters(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            "table4",
+            "--horizon-days",
+            "0.1",
+            "--live-machines",
+            "8",
+            "--metrics",
+            str(out),
+        )
+        assert code == 0
+        report = load_report(str(out))
+        counters = report["metrics"]["counters"]
+        assert counters["engine.events"] > 0
+        assert counters["link.transfers"] > 0
+        assert counters["link.collisions"] > 0
+        assert counters["live.placements"] > 0
+        assert report["metrics"]["gauges"]["live.machines"] == 8.0
+
+    def test_report_subcommand_round_trips(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        run_cli("fig3", "--machines", "3", "--observations", "35", "--metrics", str(out))
+        code, text = run_cli("report", str(out))
+        assert code == 0
+        assert "run report" in text
+        assert "numerics.golden.iterations" in text
+        code, text = run_cli("report", str(out), "--json")
+        assert code == 0
+        assert json.loads(text) == load_report(str(out))
+
+    def test_report_subcommand_rejects_non_report(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="not a repro run report"):
+            run_cli("report", str(path))
+
+    def test_metrics_flag_announces_path(self, tmp_path):
+        out = tmp_path / "m.json"
+        _, text = run_cli(
+            "table2", "--synthetic-points", "200", "--metrics", str(out)
+        )
+        assert f"[metrics written to {out}]" in text
+        assert out.exists()

@@ -123,3 +123,34 @@ class TestSimulatorProperties:
         res = simulate_trace(dist, durations, cfg)
         assert res.checkpoint_overhead == 0.0
         assert res.recovery_overhead == 0.0
+
+    @given(
+        dists,
+        durations_lists,
+        costs,
+        st.floats(min_value=0.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.sampled_from(["proportional", "full", "none"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_with_latency(self, dist, durations, c, latency, recovery, policy):
+        # the non-storage replay path bills latency L per checkpoint
+        # attempt (docs/THEORY.md §8); the conservation law must hold in
+        # its explicit form for arbitrary (C, R, L) and any trace
+        cfg = SimulationConfig(
+            checkpoint_cost=c,
+            recovery_cost=recovery,
+            latency=latency,
+            partial_transfer_policy=policy,
+        )
+        res = simulate_trace(dist, durations, cfg)
+        total = res.total_time
+        accounted = (
+            res.useful_work
+            + res.lost_work
+            + res.checkpoint_overhead
+            + res.recovery_overhead
+        )
+        assert accounted == pytest.approx(total, rel=1e-9, abs=1e-6)
+        assert res.total_time == pytest.approx(sum(durations))
+        assert 0.0 <= res.efficiency <= 1.0

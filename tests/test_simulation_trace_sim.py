@@ -163,3 +163,72 @@ class TestValidation:
         res = simulate_trace(Exponential(1e-3), [0.0, 1000.0], cfg)
         assert res.n_intervals == 2
         assert abs(res.conservation_residual()) < 1e-9
+
+
+class TestCheckpointLatencyAccounting:
+    """Regression: the optimizer prices latency ``L`` into its retry
+    horizon, but ``replay_schedule`` used to advance time by ``T + C``
+    only -- committed checkpoints never paid ``L`` and the simulation
+    disagreed with the Markov model it was validating."""
+
+    def test_latency_billed_per_committed_checkpoint(self):
+        cfg = SimulationConfig(checkpoint_cost=100.0, recovery_cost=50.0, latency=25.0)
+        sched = exact_schedule(600.0)
+        # 50 + 2*(600 + 100 + 25) = 1500, then 100 s of doomed work
+        res = replay_schedule(sched, np.array([1600.0]), cfg)
+        assert res.n_checkpoints_completed == 2
+        assert res.useful_work == pytest.approx(1200.0)
+        assert res.checkpoint_overhead == pytest.approx(2 * 125.0)
+        assert res.lost_work == pytest.approx(100.0)
+        assert abs(res.conservation_residual()) < 1e-9
+
+    def test_eviction_in_latency_window_loses_interval(self):
+        cfg = SimulationConfig(checkpoint_cost=100.0, recovery_cost=50.0, latency=25.0)
+        sched = exact_schedule(600.0)
+        # 50 + 600 + 100 + 10: eviction 10 s into the 25 s commit window
+        res = replay_schedule(sched, np.array([760.0]), cfg)
+        assert res.n_checkpoints_completed == 0
+        assert res.n_checkpoints_attempted == 1
+        assert res.lost_work == pytest.approx(600.0)
+        assert res.checkpoint_overhead == pytest.approx(110.0)
+        # the transfer itself finished: the full image crossed the wire
+        assert res.mb_checkpoint == pytest.approx(500.0)
+        assert abs(res.conservation_residual()) < 1e-9
+
+    def test_nonzero_latency_changes_replay_consistently(self):
+        rng = np.random.default_rng(7)
+        durations = Weibull(0.6, 3000.0).sample(60, rng)
+        model = Weibull(0.6, 2500.0)
+        C, L = 150.0, 150.0
+        base = simulate_trace(model, durations, SimulationConfig(checkpoint_cost=C))
+        lat = simulate_trace(
+            model, durations, SimulationConfig(checkpoint_cost=C, latency=L)
+        )
+        # conservation holds under latency billing
+        assert abs(lat.conservation_residual()) < 1e-6 * lat.total_time
+        # each committed checkpoint now carries C + L of overhead
+        assert lat.checkpoint_overhead >= lat.n_checkpoints_completed * (C + L) - 1e-6
+        # and the accounting genuinely moved relative to the L = 0 run
+        assert lat.useful_work != pytest.approx(base.useful_work, rel=1e-6)
+        # the model also predicts the hit (Vaidya: latency can only hurt)
+        assert lat.predicted_efficiency < base.predicted_efficiency
+
+    def test_latency_billed_in_storage_path(self):
+        from repro.storage.policy import StoragePolicy
+
+        policy = StoragePolicy(delta_fraction=0.2, full_every_k=3)
+        cfg0 = SimulationConfig(
+            checkpoint_cost=150.0, checkpoint_size_mb=500.0, storage=policy
+        )
+        cfgL = SimulationConfig(
+            checkpoint_cost=150.0, checkpoint_size_mb=500.0, storage=policy, latency=75.0
+        )
+        rng = np.random.default_rng(11)
+        durations = Weibull(0.6, 3000.0).sample(40, rng)
+        model = Weibull(0.6, 2500.0)
+        r0 = simulate_trace(model, durations, cfg0)
+        rL = simulate_trace(model, durations, cfgL)
+        assert abs(rL.conservation_residual()) < 1e-6 * rL.total_time
+        # every committed checkpoint paid at least its 75 s commit window
+        assert rL.checkpoint_overhead >= rL.n_checkpoints_completed * 75.0 - 1e-6
+        assert rL.useful_work != pytest.approx(r0.useful_work, rel=1e-6)
