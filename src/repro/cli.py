@@ -62,8 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
             "'storage-study' the incremental/compressed checkpoint storage "
             "sweep at the Table 4 campus point); 'repro lint [paths]' runs "
             "the reprolint static-analysis pass (see docs/ANALYSIS.md); "
-            "'repro report FILE' pretty-prints a --metrics run report "
-            "(see docs/OBSERVABILITY.md)"
+            "'repro report FILE' pretty-prints a --metrics run report and "
+            "'repro report --diff A B' diffs two of them; 'repro trace ...' "
+            "inspects --trace event logs (see docs/OBSERVABILITY.md)"
         ),
     )
     parser.add_argument("--machines", type=int, default=120, help="pool size for the sweep experiments")
@@ -85,26 +86,90 @@ def build_parser() -> argparse.ArgumentParser:
             "inspect it later with 'repro report PATH'"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable event tracing and write a JSONL trace (schema "
+            "repro.obs.trace/1) to PATH; inspect it later with "
+            "'repro trace summary|timeline|export PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--trace-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ring-buffer capacity for --trace (default 1,000,000 events)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        action="append",
+        default=None,
+        metavar="CAT=N",
+        help=(
+            "keep 1-in-N events of a trace category (repeatable, e.g. "
+            "--trace-sample engine.step=500); overrides the default "
+            "sampling table"
+        ),
+    )
     return parser
 
 
 def _report_main(argv: list[str], stdout=None) -> int:
-    """``repro report FILE [--json]``: render a --metrics run report."""
+    """``repro report FILE [--json]`` / ``repro report --diff A B``."""
     parser = argparse.ArgumentParser(
         prog="repro-checkpoint report",
-        description="Pretty-print a JSON run report produced by --metrics.",
+        description=(
+            "Pretty-print a JSON run report produced by --metrics, or "
+            "diff two of them."
+        ),
     )
-    parser.add_argument("path", help="report file written by --metrics")
+    parser.add_argument(
+        "path", nargs="?", default=None, help="report file written by --metrics"
+    )
     parser.add_argument(
         "--json",
         action="store_true",
-        help="re-emit the report as canonical JSON instead of text",
+        help="re-emit the report (or diff) as canonical JSON instead of text",
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="diff two run reports (per-metric absolute and relative deltas)",
     )
     args = parser.parse_args(argv)
-    from repro.obs.report import dumps_report, load_report, render_report
-
-    report = load_report(args.path)
     sink = stdout if stdout is not None else sys.stdout
+    from repro.obs.report import (
+        diff_reports,
+        dumps_report,
+        load_report,
+        render_diff,
+        render_report,
+    )
+
+    if args.diff is not None:
+        report_a = load_report(args.diff[0])
+        report_b = load_report(args.diff[1])
+        try:
+            diff = diff_reports(report_a, report_b)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sink)
+            return 2
+        import json as _json
+
+        print(
+            _json.dumps(diff, indent=2, sort_keys=True) if args.json else render_diff(diff),
+            file=sink,
+        )
+        return 0
+    if args.path is None:
+        parser.error("a report path (or --diff A B) is required")
+    report = load_report(args.path)
     print(dumps_report(report) if args.json else render_report(report), file=sink)
     return 0
 
@@ -127,6 +192,10 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
         return lint_main(argv[1:], stdout=stdout)
     if argv[:1] == ["report"]:
         return _report_main(argv[1:], stdout=stdout)
+    if argv[:1] == ["trace"]:
+        from repro.obs.tracing.cli import main as trace_main
+
+        return trace_main(argv[1:], stdout=stdout)
     args = build_parser().parse_args(argv)
     sink = stdout if stdout is not None else sys.stdout
     if args.out:
@@ -136,6 +205,24 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
         from repro.obs.metrics import enable
 
         registry = enable()
+    recorder = None
+    if args.trace:
+        from repro.obs.tracing import TraceRecorder
+        from repro.obs.tracing import enable as enable_trace
+        from repro.obs.tracing.recorder import DEFAULT_SAMPLING
+
+        sampling = dict(DEFAULT_SAMPLING)
+        for spec in args.trace_sample or ():
+            cat, sep, stride = spec.partition("=")
+            if not sep or not stride.isdigit() or int(stride) < 1:
+                raise SystemExit(
+                    f"error: --trace-sample expects CAT=N with N >= 1, got {spec!r}"
+                )
+            sampling[cat] = int(stride)
+        kwargs: dict = {"sampling": sampling}
+        if args.trace_limit:
+            kwargs["max_events"] = args.trace_limit
+        recorder = enable_trace(TraceRecorder(**kwargs))
     started = time.time()
 
     def emit(text: str) -> None:
@@ -304,6 +391,21 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
         )
         disable()
         emit(f"[metrics written to {args.metrics}]")
+    if recorder is not None:
+        from repro.obs.tracing import disable as disable_trace
+        from repro.obs.tracing import write_trace
+
+        write_trace(
+            args.trace,
+            recorder,
+            meta={
+                "command": args.command,
+                "argv": list(argv),
+                "duration_seconds": time.time() - started,
+            },
+        )
+        disable_trace()
+        emit(f"[trace written to {args.trace}]")
     return 0
 
 

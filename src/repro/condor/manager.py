@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.core import Environment
 from repro.network.link import SharedLink, Transfer
+from repro.obs.tracing import active as _trace_active
 
 __all__ = ["CheckpointManager", "ModelAggregate", "PlacementLog"]
 
@@ -102,6 +103,18 @@ class CheckpointManager:
         # re-closed when the job generator is finalised by the GC later
         if log.ended_at is None and not log.censored:
             log.ended_at = self.env.now
+            tr = _trace_active()
+            if tr is not None:
+                tr.span(
+                    "live", "placement", log.started_at,
+                    log.ended_at - log.started_at, track=log.machine_id,
+                    args={
+                        "model": log.model_name,
+                        "committed_work": log.committed_work,
+                        "mb": log.mb_transferred,
+                        "checkpoints": log.n_checkpoints_completed,
+                    },
+                )
 
     def censor_open_logs(self) -> int:
         """Mark all still-open logs as right-censored; returns the count.
@@ -112,10 +125,16 @@ class CheckpointManager:
         the placements had completed.
         """
         n = 0
+        tr = _trace_active()
         for log in self.logs:
             if log.ended_at is None:
                 log.censored = True
                 n += 1
+                if tr is not None:
+                    tr.point(
+                        "live", "censored", ts=self.env.now,
+                        track=log.machine_id, args={"model": log.model_name},
+                    )
         return n
 
     # -- aggregation --------------------------------------------------------

@@ -16,6 +16,7 @@ it, since the trace simulator asks for the same prefixes over and over.
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Iterator
 
 from repro.core.markov import CheckpointCosts
@@ -23,6 +24,7 @@ from repro.core.optimizer import OptimalInterval, optimize_interval
 from repro.distributions.base import AvailabilityDistribution
 from repro.distributions.exponential import Exponential
 from repro.obs.metrics import active as _metrics
+from repro.obs.tracing import active as _trace_active
 
 __all__ = ["CheckpointSchedule"]
 
@@ -167,6 +169,7 @@ class CheckpointSchedule:
                 prev_t = self._intervals[-1].T_opt
                 age = prev_age + prev_t + self.costs.checkpoint + self.costs.latency
             reg = _metrics()
+            trace = _trace_active()
             if self._memoryless and self._intervals:
                 # memorylessness: T_opt is age-invariant; reuse interval 0
                 first = self._intervals[0]
@@ -174,17 +177,22 @@ class CheckpointSchedule:
                 self._ages.append(age)
                 if reg is not None:
                     reg.inc("schedule.reuses.memoryless")
+                if trace is not None:
+                    trace.point("opt", "cache_hit", ts=age, args={"kind": "memoryless"})
                 continue
             if self._converged_at is not None:
                 self._intervals.append(self._intervals[-1])
                 self._ages.append(age)
                 if reg is not None:
                     reg.inc("schedule.reuses.converged")
+                if trace is not None:
+                    trace.point("opt", "cache_hit", ts=age, args={"kind": "converged"})
                 continue
             if not math.isfinite(age):  # pragma: no cover - defensive
                 raise OverflowError("schedule age overflowed")
             if reg is not None:
                 reg.inc("schedule.solves")
+            wall0 = time.perf_counter()
             opt = optimize_interval(
                 self.distribution,
                 self.costs,
@@ -192,6 +200,18 @@ class CheckpointSchedule:
                 t_min=self._t_min,
                 t_max=self._t_max,
             )
+            if trace is not None:
+                # the solve is instantaneous in sim time (a zero-width
+                # span at the resource age it was computed for); its real
+                # cost is the wall_s argument
+                trace.span(
+                    "opt", "solve", age, 0.0,
+                    args={
+                        "index": idx,
+                        "T_opt": opt.T_opt,
+                        "wall_s": time.perf_counter() - wall0,
+                    },
+                )
             self._intervals.append(opt)
             self._ages.append(age)
             if (

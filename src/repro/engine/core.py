@@ -25,6 +25,7 @@ from collections.abc import Callable, Generator
 from typing import Any
 
 from repro.obs.metrics import active as _metrics
+from repro.obs.tracing import active as _trace_active
 
 __all__ = [
     "Environment",
@@ -167,6 +168,12 @@ class Process(Event):
         reg = _metrics()
         if reg is not None:
             reg.inc("engine.interrupts")
+        tr = _trace_active()
+        if tr is not None:
+            tr.point(
+                "engine", "interrupt", ts=self.env.now, track=self.name,
+                args={"cause": str(cause) if cause is not None else None},
+            )
         wake = Event(self.env)
         wake.callbacks.append(self._resume)
         wake.fail(Interrupt(cause))
@@ -293,6 +300,13 @@ class Environment:
             reg.inc("engine.events")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        tr = _trace_active()
+        if tr is not None:
+            # keep the instrumentation clock fresh for layers that do
+            # not know sim time (e.g. the checkpoint store); the step
+            # point itself is stride-sampled (see DEFAULT_SAMPLING)
+            tr.now = when
+            tr.point("engine", "step", ts=when, args={"queue": len(self._queue)})
         had_waiters = bool(event.callbacks)
         event._run_callbacks()
         # a failed event with no waiters is a lost exception -- surface it

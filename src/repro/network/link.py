@@ -22,6 +22,7 @@ import math
 from repro.engine.core import Environment, Event
 from repro.network.bandwidth import BandwidthModel, ConstantBandwidth
 from repro.obs.metrics import active as _metrics
+from repro.obs.tracing import active as _trace_active
 
 __all__ = ["SharedLink", "Transfer"]
 
@@ -130,6 +131,12 @@ class SharedLink:
                 # the ones already in flight, slowing all of them down
                 reg.inc("link.collisions")
             reg.observe("link.concurrency", len(self._active) + 1)
+        trace = _trace_active()
+        if trace is not None:
+            trace.point(
+                "link", "admit", ts=self.env.now, track=self.name,
+                args={"mb": tr.size_mb, "active": len(self._active) + 1},
+            )
         self._active.append(tr)
         self._reschedule()
 
@@ -153,6 +160,13 @@ class SharedLink:
         self._active.remove(transfer)
         transfer.aborted = True
         transfer.end_time = self.env.now
+        trace = _trace_active()
+        if trace is not None:
+            trace.span(
+                "link", "transfer", transfer.start_time,
+                self.env.now - transfer.start_time, track=self.name,
+                args={"mb": transfer.sent_mb, "aborted": True},
+            )
         self._reschedule()
 
     # ------------------------------------------------------------------
@@ -169,17 +183,37 @@ class SharedLink:
             if reg is not None:
                 # the effective per-transfer bandwidth over this segment
                 reg.observe("link.effective_mb_per_s", rate)
+            segment_mb = 0.0
             for tr in self._active:
                 credit = min(rate * dt, tr.size_mb - tr.sent_mb)
                 tr.sent_mb += credit
-                self.total_mb_sent += credit
+                segment_mb += credit
+            self.total_mb_sent += segment_mb
+            if reg is not None:
+                reg.inc("link.transferred_mb", segment_mb)
+            trace = _trace_active()
+            if trace is not None:
+                # one aggregate-rate sample per fair-share segment
+                trace.point(
+                    "link", "rate", ts=self._last_update, track=self.name,
+                    args={
+                        "mb_per_s": rate * len(self._active),
+                        "active": len(self._active),
+                    },
+                )
         self._last_update = now
         # complete finished transfers
         finished = [tr for tr in self._active if tr.sent_mb >= tr.size_mb - 1e-9]
+        trace = _trace_active()
         for tr in finished:
             self._active.remove(tr)
             tr.sent_mb = tr.size_mb
             tr.end_time = now
+            if trace is not None:
+                trace.span(
+                    "link", "transfer", tr.start_time, now - tr.start_time,
+                    track=self.name, args={"mb": tr.size_mb, "aborted": False},
+                )
             tr.done.succeed(tr)
 
     def _reschedule(self) -> None:

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import math
 import time
+from bisect import bisect_left
 from collections.abc import Iterator
 from contextlib import contextmanager
 from types import TracebackType
 from typing import Any
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -44,6 +46,13 @@ __all__ = [
     "enable",
     "use",
 ]
+
+#: Fixed histogram bucket boundaries: half-decade steps from 1e-6 to 1e6.
+#: Every histogram shares them, so bucket vectors merge element-wise
+#: across worker processes and compare across runs.  Bucket ``i`` counts
+#: observations ``<= BUCKET_BOUNDS[i]``; one final overflow bucket counts
+#: the rest, so there are ``len(BUCKET_BOUNDS) + 1`` buckets in all.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** (k / 2.0) for k in range(-12, 13))
 
 
 class Counter:
@@ -73,20 +82,22 @@ class Gauge:
 
 
 class Histogram:
-    """A summary histogram: count, sum, min, max (mean derived).
+    """A summary histogram: count, sum, min, max, plus fixed buckets.
 
-    Full bucketed distributions are overkill for run reports; the
-    summary quartet is enough to spot regressions and is trivially
-    mergeable across worker processes.
+    The summary quartet (count/sum/min/max) is what regressions are
+    spotted with; the fixed-boundary bucket vector (:data:`BUCKET_BOUNDS`)
+    adds enough shape to derive p50/p95/p99 without storing samples, and
+    merges element-wise across worker processes.
     """
 
-    __slots__ = ("count", "sum", "min", "max")
+    __slots__ = ("count", "sum", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         v = float(value)
@@ -96,16 +107,51 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        self.buckets[bisect_left(BUCKET_BOUNDS, v)] += 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """An interpolated quantile estimate from the bucket counts.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the observed ``[min, max]``; exact when all mass shares one
+        bucket, else accurate to the half-decade bucket width.  Returns
+        ``0.0`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                lo = BUCKET_BOUNDS[i - 1] if i > 0 else min(self.min, BUCKET_BOUNDS[0])
+                hi = (
+                    BUCKET_BOUNDS[i]
+                    if i < len(BUCKET_BOUNDS)
+                    else max(self.max, BUCKET_BOUNDS[-1])
+                )
+                frac = (target - cum) / n
+                v = lo + frac * (hi - lo)
+                return min(max(v, self.min), self.max)
+            cum += n
+        # reachable only when bucket counts undercount ``count`` (a
+        # merged v1 snapshot carried no buckets): fall back to the max
+        return self.max
 
     def combine(self, other: "Histogram") -> None:
         self.count += other.count
         self.sum += other.sum
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
 
 
 class Timer:
@@ -199,6 +245,10 @@ class MetricsRegistry:
                     "sum": h.sum,
                     "min": h.min if h.count else None,
                     "max": h.max if h.count else None,
+                    "buckets": list(h.buckets),
+                    "p50": h.quantile(0.50) if h.count else None,
+                    "p95": h.quantile(0.95) if h.count else None,
+                    "p99": h.quantile(0.99) if h.count else None,
                 }
                 for k, h in sorted(self._histograms.items())
             },
@@ -226,6 +276,12 @@ class MetricsRegistry:
             h.sum += float(summary["sum"])
             h.min = min(h.min, float(summary["min"]))
             h.max = max(h.max, float(summary["max"]))
+            # v1 snapshots carry no bucket vector; quantiles then
+            # degrade (see Histogram.quantile) but nothing breaks
+            buckets = summary.get("buckets")
+            if buckets is not None and len(buckets) == len(h.buckets):
+                for i, n in enumerate(buckets):
+                    h.buckets[i] += int(n)
 
     def merge(self, other: "MetricsRegistry") -> None:
         self.merge_dict(other.as_dict())

@@ -7,7 +7,7 @@ tooling (CI artifact diffing, the future perf dashboard) can consume it
 without this package::
 
     {
-      "schema": "repro.obs.report/1",
+      "schema": "repro.obs.report/2",
       "command": "table1",
       "argv": ["table1", "--machines", "4"],
       "duration_seconds": 12.3,
@@ -15,13 +15,18 @@ without this package::
         "counters":   {"numerics.golden.iterations": 48231.0, ...},
         "gauges":     {"sim.pool.workers": 4.0, ...},
         "histograms": {"sim.replay_seconds":
-                       {"count": 160, "sum": 9.1, "min": ..., "max": ...}}
+                       {"count": 160, "sum": 9.1, "min": ..., "max": ...,
+                        "buckets": [...], "p50": ..., "p95": ..., "p99": ...}}
       }
     }
 
+Schema ``/2`` added the histogram bucket vector and derived
+percentiles; :func:`load_report` still accepts ``/1`` documents (their
+histograms simply lack the new keys).
+
 ``repro report PATH`` pretty-prints a report; ``repro report PATH
 --json`` re-emits it canonically (the round-trip the CLI smoke test
-asserts).
+asserts); ``repro report --diff A B`` prints per-metric deltas.
 """
 
 from __future__ import annotations
@@ -33,14 +38,18 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "SCHEMA",
+    "SCHEMA_V1",
     "build_report",
+    "diff_reports",
     "dumps_report",
     "load_report",
+    "render_diff",
     "render_report",
     "write_report",
 ]
 
-SCHEMA = "repro.obs.report/1"
+SCHEMA = "repro.obs.report/2"
+SCHEMA_V1 = "repro.obs.report/1"
 
 
 def build_report(
@@ -82,9 +91,9 @@ def load_report(path_or_file: str | IO[str]) -> dict[str, Any]:
             data = json.load(fh)
     else:
         data = json.load(path_or_file)
-    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+    if not isinstance(data, dict) or data.get("schema") not in (SCHEMA, SCHEMA_V1):
         raise ValueError(
-            f"not a repro run report (expected schema {SCHEMA!r}, "
+            f"not a repro run report (expected schema {SCHEMA!r} or {SCHEMA_V1!r}, "
             f"got {data.get('schema') if isinstance(data, dict) else type(data).__name__!r})"
         )
     metrics = data.get("metrics")
@@ -132,7 +141,7 @@ def render_report(report: dict[str, Any]) -> str:
             lines.append(f"  {name:<{width}}  {fmt(gauges[name])}")
     if histograms:
         lines.append("")
-        lines.append("histograms (count / mean / min / max)")
+        lines.append("histograms (count / mean / min / max / p50 / p95 / p99)")
         width = max(len(k) for k in histograms)
         for name in sorted(histograms):
             h = histograms[name]
@@ -141,11 +150,134 @@ def render_report(report: dict[str, Any]) -> str:
                 lines.append(f"  {name:<{width}}  0 / - / - / -")
                 continue
             mean = float(h["sum"]) / count
-            lines.append(
+            row = (
                 f"  {name:<{width}}  {count:,} / {mean:.6g} / "
                 f"{float(h['min']):.6g} / {float(h['max']):.6g}"
             )
+            if h.get("p50") is not None:
+                # a /1 report has no percentiles; omit rather than guess
+                row += (
+                    f" / {float(h['p50']):.6g} / {float(h['p95']):.6g}"
+                    f" / {float(h['p99']):.6g}"
+                )
+            lines.append(row)
     if not (counters or gauges or histograms):
         lines.append("")
         lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# report diffing (``repro report --diff A B``)
+# ----------------------------------------------------------------------
+def diff_reports(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
+    """Per-metric deltas between two run reports (``b`` minus ``a``).
+
+    Counters and gauges diff directly; histograms diff on count, mean
+    and (when both sides carry them) p95.  Raises :class:`ValueError`
+    when the two documents' schemas differ — comparing a ``/1`` against
+    a ``/2`` report would silently drop the percentile columns, so the
+    caller must migrate first.
+    """
+    if a.get("schema") != b.get("schema"):
+        raise ValueError(
+            f"schema mismatch: {a.get('schema')!r} vs {b.get('schema')!r}"
+        )
+
+    def scalar_diff(
+        side_a: dict[str, float], side_b: dict[str, float]
+    ) -> dict[str, dict[str, float | None]]:
+        out: dict[str, dict[str, float | None]] = {}
+        for name in sorted(set(side_a) | set(side_b)):
+            va = side_a.get(name)
+            vb = side_b.get(name)
+            entry: dict[str, float | None] = {
+                "a": va,
+                "b": vb,
+                "delta": (vb - va) if va is not None and vb is not None else None,
+            }
+            if va is not None and vb is not None and va != 0:
+                entry["relative"] = (vb - va) / va
+            else:
+                entry["relative"] = None
+            out[name] = entry
+        return out
+
+    ma, mb = a["metrics"], b["metrics"]
+    hist: dict[str, dict[str, Any]] = {}
+    for name in sorted(set(ma["histograms"]) | set(mb["histograms"])):
+        ha = ma["histograms"].get(name)
+        hb = mb["histograms"].get(name)
+        entry: dict[str, Any] = {"a": ha, "b": hb}
+        if ha is not None and hb is not None:
+            entry["count_delta"] = int(hb["count"]) - int(ha["count"])
+            mean_a = float(ha["sum"]) / ha["count"] if ha["count"] else None
+            mean_b = float(hb["sum"]) / hb["count"] if hb["count"] else None
+            entry["mean_delta"] = (
+                mean_b - mean_a if mean_a is not None and mean_b is not None else None
+            )
+            if ha.get("p95") is not None and hb.get("p95") is not None:
+                entry["p95_delta"] = float(hb["p95"]) - float(ha["p95"])
+        hist[name] = entry
+    return {
+        "schema": a.get("schema"),
+        "commands": [a.get("command"), b.get("command")],
+        "counters": scalar_diff(ma["counters"], mb["counters"]),
+        "gauges": scalar_diff(ma["gauges"], mb["gauges"]),
+        "histograms": hist,
+    }
+
+
+def render_diff(diff: dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`diff_reports` output."""
+    lines: list[str] = []
+    cmd_a, cmd_b = diff["commands"]
+    header = f"report diff — A: {cmd_a or '?'}  B: {cmd_b or '?'}"
+    lines.append(header)
+    lines.append("=" * len(header))
+
+    def fmt(v: float | None) -> str:
+        if v is None:
+            return "-"
+        if float(v).is_integer() and abs(v) < 1e15:
+            return f"{int(v):,}"
+        return f"{v:,.6g}"
+
+    for section in ("counters", "gauges"):
+        entries = {
+            k: e for k, e in diff[section].items() if e["delta"] or e["delta"] is None
+        }
+        if not entries:
+            continue
+        lines.append("")
+        lines.append(f"{section} (A / B / Δ / Δ%)")
+        width = max(len(k) for k in entries)
+        for name, e in entries.items():
+            rel = e.get("relative")
+            rel_s = f"{rel * 100:+.2f}%" if rel is not None else "-"
+            lines.append(
+                f"  {name:<{width}}  {fmt(e['a'])} / {fmt(e['b'])} / "
+                f"{fmt(e['delta'])} / {rel_s}"
+            )
+    changed_hists = {
+        k: e
+        for k, e in diff["histograms"].items()
+        if e.get("count_delta") or e["a"] is None or e["b"] is None
+    }
+    if changed_hists:
+        lines.append("")
+        lines.append("histograms (Δcount / Δmean / Δp95)")
+        width = max(len(k) for k in changed_hists)
+        for name, e in changed_hists.items():
+            if e["a"] is None or e["b"] is None:
+                side = "only in B" if e["a"] is None else "only in A"
+                lines.append(f"  {name:<{width}}  ({side})")
+                continue
+            lines.append(
+                f"  {name:<{width}}  {fmt(e.get('count_delta'))} / "
+                f"{fmt(e.get('mean_delta'))} / {fmt(e.get('p95_delta'))}"
+            )
+    if len(lines) == 2:
+        lines.append("")
+        lines.append("(no differences)")
     return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Event tracing: sim-time spans, JSONL/Chrome export, timelines.
+
+The tracing layer is the event-granular sibling of the metrics
+registry: a process-global, off-by-default :class:`TraceRecorder`
+captures *when* things happened in simulation time (work / checkpoint /
+recovery spans per machine, link transfers with their megabytes,
+storage commits, optimizer solves), bounded by a ring buffer and
+per-category sampling.  See ``docs/OBSERVABILITY.md`` for the event
+taxonomy and the ``repro trace`` CLI.
+"""
+
+from repro.obs.tracing.export import (
+    TRACE_SCHEMA,
+    chrome_to_events,
+    chrome_trace,
+    dumps_chrome_trace,
+    load_trace,
+    write_events,
+    write_trace,
+)
+from repro.obs.tracing.recorder import (
+    TraceEvent,
+    TraceRecorder,
+    active,
+    disable,
+    enable,
+    use,
+)
+from repro.obs.tracing.timeline import (
+    BurstinessStats,
+    LinkTimeline,
+    burstiness,
+    link_timeline,
+    render_timeline,
+    span_totals,
+    transfer_spans,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "BurstinessStats",
+    "LinkTimeline",
+    "TraceEvent",
+    "TraceRecorder",
+    "active",
+    "burstiness",
+    "chrome_to_events",
+    "chrome_trace",
+    "disable",
+    "dumps_chrome_trace",
+    "enable",
+    "link_timeline",
+    "load_trace",
+    "render_timeline",
+    "span_totals",
+    "transfer_spans",
+    "use",
+    "write_events",
+    "write_trace",
+]

@@ -1,0 +1,234 @@
+"""Trace serialisation: JSONL event logs and Chrome trace-event format.
+
+The native on-disk format (schema ``repro.obs.trace/1``) is JSON Lines:
+one header object followed by one event object per line, sorted by
+timestamp::
+
+    {"schema": "repro.obs.trace/1", "meta": {"command": "fig3", ...}}
+    {"ts": 0.0, "dur": 110.0, "cat": "replay", "name": "recovery", "track": "m-000"}
+    {"ts": 110.0, "dur": 953.2, "cat": "replay", "name": "work", "track": "m-000"}
+
+JSONL streams, greps and diffs well, and a truncated file still parses
+line by line.  For *visual* inspection the same events export to the
+Chrome trace-event format (the ``traceEvents`` JSON that Perfetto and
+``chrome://tracing`` load): each ``track`` becomes one named thread
+row, spans become complete ("X") events and points become instants
+("i"), with sim seconds mapped to trace microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.obs.tracing.recorder import TraceEvent, TraceRecorder
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "chrome_trace",
+    "chrome_to_events",
+    "dumps_chrome_trace",
+    "load_trace",
+    "write_events",
+    "write_trace",
+]
+
+TRACE_SCHEMA = "repro.obs.trace/1"
+
+#: sim seconds -> Chrome trace microseconds
+_US_PER_S = 1e6
+
+
+def write_trace(
+    path_or_file: str | IO[str],
+    recorder: TraceRecorder,
+    *,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Write a recorder's buffered events as a schema/1 JSONL file."""
+    header: dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "meta": dict(meta) if meta else {},
+        "n_recorded": recorder.n_recorded,
+        "n_dropped": recorder.n_dropped,
+        "n_sampled_out": recorder.n_sampled_out,
+    }
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            _write_lines(fh, header, recorder.events())
+    else:
+        _write_lines(path_or_file, header, recorder.events())
+
+
+def write_events(
+    path_or_file: str | IO[str],
+    events: list[TraceEvent],
+    *,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Write a bare event list as a schema/1 JSONL file (``trace filter``)."""
+    header: dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "meta": dict(meta) if meta else {},
+        "n_recorded": len(events),
+        "n_dropped": 0,
+        "n_sampled_out": 0,
+    }
+    ordered = sorted(events, key=lambda ev: float(ev["ts"]))
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            _write_lines(fh, header, ordered)
+    else:
+        _write_lines(path_or_file, header, ordered)
+
+
+def _write_lines(fh: IO[str], header: dict[str, Any], events: list[TraceEvent]) -> None:
+    fh.write(json.dumps(header, sort_keys=True))
+    fh.write("\n")
+    for ev in events:
+        fh.write(json.dumps(ev, sort_keys=True))
+        fh.write("\n")
+
+
+def load_trace(path_or_file: str | IO[str]) -> tuple[dict[str, Any], list[TraceEvent]]:
+    """Read a JSONL trace; returns ``(header, events)``.
+
+    Validates the schema tag and each event's required fields, so the
+    CLI fails loudly on non-trace files.
+    """
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as fh:
+            return _read_lines(fh)
+    return _read_lines(path_or_file)
+
+
+def _read_lines(fh: IO[str]) -> tuple[dict[str, Any], list[TraceEvent]]:
+    header_line = fh.readline()
+    try:
+        header = json.loads(header_line) if header_line.strip() else None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not a repro trace (unparseable header: {exc})") from exc
+    if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+        got = header.get("schema") if isinstance(header, dict) else None
+        raise ValueError(
+            f"not a repro trace (expected schema {TRACE_SCHEMA!r}, got {got!r})"
+        )
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(fh, start=2):
+        if not line.strip():
+            continue
+        ev = json.loads(line)
+        if not isinstance(ev, dict) or "ts" not in ev or "cat" not in ev or "name" not in ev:
+            raise ValueError(f"line {lineno}: not a trace event: {line.strip()[:80]}")
+        events.append(ev)
+    return header, events
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+def chrome_trace(
+    events: list[TraceEvent], *, meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Convert native events to a Chrome trace-event document.
+
+    Machines/components (the ``track`` field) map to named thread rows
+    under one ``repro-sim`` process; events without a track land on an
+    ``(untracked)`` row.  Sim seconds become trace microseconds.
+    """
+    tids: dict[str, int] = {}
+    trace_events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro-sim"},
+        }
+    ]
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    for ev in events:
+        track = str(ev.get("track", "(untracked)"))
+        out: dict[str, Any] = {
+            "name": ev["name"],
+            "cat": ev["cat"],
+            "pid": 1,
+            "tid": tid_for(track),
+            "ts": float(ev["ts"]) * _US_PER_S,
+        }
+        if "dur" in ev:
+            out["ph"] = "X"
+            out["dur"] = float(ev["dur"]) * _US_PER_S
+        else:
+            out["ph"] = "i"
+            out["s"] = "t"  # thread-scoped instant
+        if "args" in ev:
+            out["args"] = ev["args"]
+        trace_events.append(out)
+
+    doc: dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+    }
+    if meta:
+        doc["otherData"].update(meta)
+    return doc
+
+
+def dumps_chrome_trace(
+    events: list[TraceEvent], *, meta: dict[str, Any] | None = None
+) -> str:
+    """Canonical serialisation of :func:`chrome_trace`."""
+    return json.dumps(chrome_trace(events, meta=meta), indent=1, sort_keys=True)
+
+
+def chrome_to_events(doc: dict[str, Any]) -> list[TraceEvent]:
+    """Invert :func:`chrome_trace` (round-trip testing and tooling).
+
+    Metadata ("M") records rebuild the tid -> track mapping; "X" spans
+    and "i" instants map back to native events with microseconds
+    converted to sim seconds.  The ``(untracked)`` row maps back to
+    events without a ``track`` field.
+    """
+    trace_events = doc.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ValueError("not a Chrome trace document (no traceEvents list)")
+    tracks: dict[int, str] = {}
+    for ev in trace_events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tracks[int(ev["tid"])] = str(ev["args"]["name"])
+    events: list[TraceEvent] = []
+    for ev in trace_events:
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        out: TraceEvent = {
+            "ts": float(ev["ts"]) / _US_PER_S,
+            "cat": ev.get("cat", ""),
+            "name": ev.get("name", ""),
+        }
+        if ph == "X":
+            out["dur"] = float(ev.get("dur", 0.0)) / _US_PER_S
+        track = tracks.get(int(ev.get("tid", 0)))
+        if track is not None and track != "(untracked)":
+            out["track"] = track
+        if "args" in ev:
+            out["args"] = ev["args"]
+        events.append(out)
+    return events

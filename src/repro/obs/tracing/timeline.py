@@ -1,0 +1,300 @@
+"""Timeline analysis: link-utilization series and burstiness statistics.
+
+The paper's headline network claim -- the 2-phase hyperexponential moves
+>=30 % less checkpoint traffic than the exponential for C >= 200 s -- is
+a claim about *when and how hard* the shared link is hit, which
+aggregate byte counters flatten away.  This module reconstructs the
+time dimension from a trace's ``link``/``transfer`` spans (each carries
+its billed megabytes in ``args["mb"]``):
+
+* :func:`link_timeline` -- binned MB and MB/s over sim time.  Each
+  span's megabytes are spread over its bins proportionally to overlap,
+  so the series *sums to exactly the bytes on the wire* (the
+  ``link.transferred_mb`` counter, modulo float addition order).
+* :func:`burstiness` -- peak aggregate MB/s, busy fraction, and the
+  time-weighted p95/max of concurrent transfers, from an event-boundary
+  sweep.
+* :func:`span_totals` -- per-(track, name) span-duration totals, the
+  quantity behind the span-conservation property (work + checkpoint +
+  recovery spans partition every machine's simulated time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.obs.tracing.recorder import TraceEvent
+
+__all__ = [
+    "BurstinessStats",
+    "LinkTimeline",
+    "burstiness",
+    "link_timeline",
+    "render_timeline",
+    "span_totals",
+    "transfer_spans",
+]
+
+
+def transfer_spans(events: list[TraceEvent]) -> list[TraceEvent]:
+    """The link-transfer spans of a trace (cat ``link``, name ``transfer``)."""
+    return [ev for ev in events if ev.get("cat") == "link" and ev.get("name") == "transfer"]
+
+
+def _span_mb(ev: TraceEvent) -> float:
+    args = ev.get("args")
+    if isinstance(args, dict):
+        return float(args.get("mb", 0.0))
+    return 0.0
+
+
+@dataclass(frozen=True)
+class LinkTimeline:
+    """Binned link-utilization series over ``[t_start, t_end]``."""
+
+    t_start: float
+    t_end: float
+    bin_seconds: float
+    #: megabytes on the wire per bin (sums to :attr:`total_mb`)
+    mb: tuple[float, ...]
+    #: average utilisation per bin, MB/s (``mb[i] / bin_seconds``)
+    mb_per_s: tuple[float, ...]
+    #: exact sum of the transfer spans' billed megabytes
+    total_mb: float
+    n_transfers: int
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.mb)
+
+    def bin_start(self, i: int) -> float:
+        return self.t_start + i * self.bin_seconds
+
+
+def link_timeline(
+    events: list[TraceEvent],
+    *,
+    n_bins: int = 60,
+    bin_seconds: float | None = None,
+) -> LinkTimeline:
+    """Bin the trace's transfer spans into a MB / MB-per-second series.
+
+    ``bin_seconds`` overrides the bin width (``n_bins`` then follows
+    from the time range).  Zero-duration transfers (infinitely fast
+    links) deposit all their megabytes into the bin containing their
+    timestamp.
+    """
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    spans = transfer_spans(events)
+    total_mb = math.fsum(_span_mb(ev) for ev in spans)
+    if not spans:
+        return LinkTimeline(
+            t_start=0.0, t_end=0.0, bin_seconds=0.0, mb=(), mb_per_s=(),
+            total_mb=0.0, n_transfers=0,
+        )
+    t_start = min(float(ev["ts"]) for ev in spans)
+    t_end = max(float(ev["ts"]) + float(ev.get("dur", 0.0)) for ev in spans)
+    window = t_end - t_start
+    if window <= 0.0:
+        # all transfers instantaneous at one timestamp: one impulse bin
+        return LinkTimeline(
+            t_start=t_start, t_end=t_end, bin_seconds=0.0, mb=(total_mb,),
+            mb_per_s=(math.inf if total_mb > 0 else 0.0,),
+            total_mb=total_mb, n_transfers=len(spans),
+        )
+    if bin_seconds is not None:
+        if bin_seconds <= 0:
+            raise ValueError(f"bin_seconds must be positive, got {bin_seconds}")
+        width = float(bin_seconds)
+        n_bins = max(1, math.ceil(window / width))
+    else:
+        width = window / n_bins
+    bins = [0.0] * n_bins
+
+    def clamp_bin(x: float) -> int:
+        return min(max(int(x), 0), n_bins - 1)
+
+    for ev in spans:
+        mb = _span_mb(ev)
+        if mb <= 0.0:
+            continue
+        s = float(ev["ts"])
+        dur = float(ev.get("dur", 0.0))
+        if dur <= 0.0:
+            bins[clamp_bin((s - t_start) / width)] += mb
+            continue
+        e = s + dur
+        first = clamp_bin((s - t_start) / width)
+        last = clamp_bin((e - t_start) / width)
+        if first == last:
+            bins[first] += mb
+            continue
+        for b in range(first, last + 1):
+            b_lo = t_start + b * width
+            b_hi = b_lo + width
+            overlap = min(e, b_hi) - max(s, b_lo)
+            if overlap > 0.0:
+                bins[b] += mb * (overlap / dur)
+    return LinkTimeline(
+        t_start=t_start,
+        t_end=t_end,
+        bin_seconds=width,
+        mb=tuple(bins),
+        mb_per_s=tuple(b / width for b in bins),
+        total_mb=total_mb,
+        n_transfers=len(spans),
+    )
+
+
+@dataclass(frozen=True)
+class BurstinessStats:
+    """Burstiness of the link's load over the trace window."""
+
+    total_mb: float
+    n_transfers: int
+    #: peak instantaneous aggregate rate (sum of concurrent spans' MB/s)
+    peak_mb_per_s: float
+    #: fraction of the window with at least one transfer in flight
+    busy_fraction: float
+    #: time-weighted 95th percentile of concurrent transfers
+    p95_concurrency: float
+    max_concurrency: int
+
+
+def burstiness(events: list[TraceEvent]) -> BurstinessStats:
+    """Event-boundary sweep over the transfer spans.
+
+    Rates are each span's average (``mb / dur``); zero-duration spans
+    count toward concurrency at their instant but not toward the peak
+    rate (their instantaneous rate is unbounded).
+    """
+    spans = transfer_spans(events)
+    total_mb = math.fsum(_span_mb(ev) for ev in spans)
+    if not spans:
+        return BurstinessStats(0.0, 0, 0.0, 0.0, 0.0, 0)
+    boundaries: list[tuple[float, int, float]] = []
+    for ev in spans:
+        s = float(ev["ts"])
+        dur = float(ev.get("dur", 0.0))
+        if dur <= 0.0:
+            continue
+        rate = _span_mb(ev) / dur
+        boundaries.append((s, +1, rate))
+        boundaries.append((s + dur, -1, -rate))
+    if not boundaries:
+        return BurstinessStats(total_mb, len(spans), 0.0, 0.0, 0.0, len(spans))
+    # at equal timestamps process departures before arrivals so a
+    # back-to-back handoff does not read as a 2-deep burst
+    boundaries.sort(key=lambda b: (b[0], b[1]))
+    t_start = boundaries[0][0]
+    t_end = max(b[0] for b in boundaries)
+    window = t_end - t_start
+    concurrency = 0
+    rate = 0.0
+    peak_rate = 0.0
+    max_conc = 0
+    busy_time = 0.0
+    #: (concurrency_level, seconds spent at it)
+    occupancy: dict[int, float] = {}
+    prev_t = t_start
+    for t, delta, dr in boundaries:
+        dt = t - prev_t
+        if dt > 0:
+            occupancy[concurrency] = occupancy.get(concurrency, 0.0) + dt
+            if concurrency > 0:
+                busy_time += dt
+        prev_t = t
+        concurrency += delta
+        rate += dr
+        if concurrency > max_conc:
+            max_conc = concurrency
+        if rate > peak_rate:
+            peak_rate = rate
+    p95 = _weighted_quantile(occupancy, 0.95)
+    return BurstinessStats(
+        total_mb=total_mb,
+        n_transfers=len(spans),
+        peak_mb_per_s=peak_rate,
+        busy_fraction=busy_time / window if window > 0 else 1.0,
+        p95_concurrency=p95,
+        max_concurrency=max_conc,
+    )
+
+
+def _weighted_quantile(occupancy: dict[int, float], q: float) -> float:
+    """Time-weighted quantile of the concurrency level."""
+    total = math.fsum(occupancy.values())
+    if total <= 0.0:
+        return 0.0
+    target = q * total
+    cum = 0.0
+    for level in sorted(occupancy):
+        cum += occupancy[level]
+        if cum >= target - 1e-12:
+            return float(level)
+    return float(max(occupancy))
+
+
+def span_totals(
+    events: list[TraceEvent], *, cat: str = "replay"
+) -> dict[str, dict[str, float]]:
+    """Per-track, per-name span-duration totals for one category.
+
+    ``span_totals(events)["m-000"]`` maps phase names (``work``,
+    ``checkpoint``, ``recovery``) to their summed durations -- the
+    partition that the conservation property checks against simulated
+    time.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for ev in events:
+        if ev.get("cat") != cat or "dur" not in ev:
+            continue
+        track = str(ev.get("track", "(untracked)"))
+        name = str(ev["name"])
+        per_track = out.setdefault(track, {})
+        per_track[name] = per_track.get(name, 0.0) + float(ev["dur"])
+    return out
+
+
+def render_timeline(
+    timeline: LinkTimeline, stats: BurstinessStats, *, max_rows: int = 120
+) -> str:
+    """Human-readable rendering (the ``repro trace timeline`` printer)."""
+    lines: list[str] = []
+    header = (
+        f"link utilization — {stats.n_transfers:,} transfers, "
+        f"{timeline.total_mb:,.3f} MB total"
+    )
+    lines.append(header)
+    lines.append("=" * len(header))
+    if timeline.n_bins == 0:
+        lines.append("(no transfer spans in trace)")
+        return "\n".join(lines)
+    lines.append(
+        f"window: t={timeline.t_start:,.1f}s .. t={timeline.t_end:,.1f}s, "
+        f"bin width {timeline.bin_seconds:,.1f}s"
+    )
+    lines.append("")
+    lines.append(f"{'t_start':>14}  {'MB':>12}  {'MB/s':>10}  profile")
+    shown = min(timeline.n_bins, max_rows)
+    peak_mb = max(timeline.mb) if timeline.mb else 0.0
+    for i in range(shown):
+        bar = ""
+        if peak_mb > 0:
+            bar = "#" * int(round(30.0 * timeline.mb[i] / peak_mb))
+        rate = timeline.mb_per_s[i]
+        rate_text = f"{rate:>10.3f}" if math.isfinite(rate) else f"{'inf':>10}"
+        lines.append(
+            f"{timeline.bin_start(i):>14,.1f}  {timeline.mb[i]:>12.3f}  {rate_text}  {bar}"
+        )
+    if shown < timeline.n_bins:
+        lines.append(f"... ({timeline.n_bins - shown} more bins)")
+    lines.append("")
+    lines.append(f"total transferred MB   {timeline.total_mb:.6f}")
+    lines.append(f"peak aggregate MB/s    {stats.peak_mb_per_s:.6f}")
+    lines.append(f"busy fraction          {stats.busy_fraction:.4f}")
+    lines.append(f"p95 concurrent xfers   {stats.p95_concurrency:.1f}")
+    lines.append(f"max concurrent xfers   {stats.max_concurrency}")
+    return "\n".join(lines)

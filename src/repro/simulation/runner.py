@@ -29,6 +29,11 @@ import numpy as np
 
 from repro.distributions.fitting import MODEL_NAMES, fit_model
 from repro.obs.metrics import MetricsRegistry, active as _metrics, use as _use_metrics
+from repro.obs.tracing import (
+    TraceRecorder,
+    active as _trace_active,
+    use as _use_trace,
+)
 from repro.simulation.accounting import SimulationConfig, SimulationResult
 from repro.simulation.trace_sim import simulate_trace
 from repro.traces.model import TRAINING_SET_SIZE, AvailabilityTrace, MachinePool
@@ -144,21 +149,32 @@ class PoolSweep:
 
 
 def _simulate_machine_star(
-    args: tuple[AvailabilityTrace, SweepSettings, bool],
-) -> tuple[list[SimulationResult], dict[str, Any] | None]:
+    args: tuple[AvailabilityTrace, SweepSettings, bool, bool],
+) -> tuple[list[SimulationResult], dict[str, Any] | None, dict[str, Any] | None]:
     """Worker entry point: one machine's sweep, plus (when the parent is
-    collecting metrics) a snapshot of the metrics the work recorded.
+    collecting metrics and/or a trace) snapshots of what the work
+    recorded.
 
-    Worker processes do not inherit the parent's registry, so each call
-    records into a private one and ships its ``as_dict()`` back with
-    the results; the parent folds the snapshots into its registry.
+    Worker processes do not inherit the parent's registry or recorder,
+    so each call records into private ones and ships their
+    ``as_dict()`` back with the results; the parent folds the snapshots
+    into its own.
     """
-    trace, settings, collect_metrics = args
-    if not collect_metrics:
-        return simulate_machine(trace, settings), None
+    trace, settings, collect_metrics, collect_trace = args
+    metrics_snapshot: dict[str, Any] | None = None
+    trace_snapshot: dict[str, Any] | None = None
+    if not collect_metrics and not collect_trace:
+        return simulate_machine(trace, settings), None, None
     with _use_metrics() as reg:
-        results = simulate_machine(trace, settings)
-    return results, reg.as_dict()
+        if collect_trace:
+            with _use_trace() as rec:
+                results = simulate_machine(trace, settings)
+            trace_snapshot = rec.as_dict()
+        else:
+            results = simulate_machine(trace, settings)
+    if collect_metrics:
+        metrics_snapshot = reg.as_dict()
+    return results, metrics_snapshot, trace_snapshot
 
 
 def simulate_pool(
@@ -179,6 +195,7 @@ def simulate_pool(
     traces = list(pool)
     all_results: list[SimulationResult] = []
     parent_reg: MetricsRegistry | None = _metrics()
+    parent_trace: TraceRecorder | None = _trace_active()
     if parent_reg is not None:
         parent_reg.inc("sim.pool.sweeps")
         parent_reg.inc("sim.pool.machines", len(traces))
@@ -188,13 +205,18 @@ def simulate_pool(
         with ProcessPoolExecutor(max_workers=n_workers) as pool_exec:
             chunks = pool_exec.map(
                 _simulate_machine_star,
-                [(t, settings, parent_reg is not None) for t in traces],
+                [
+                    (t, settings, parent_reg is not None, parent_trace is not None)
+                    for t in traces
+                ],
                 chunksize=max(1, len(traces) // (n_workers * 4)),
             )
-            for chunk, metrics_snapshot in chunks:
+            for chunk, metrics_snapshot, trace_snapshot in chunks:
                 all_results.extend(chunk)
                 if metrics_snapshot is not None and parent_reg is not None:
                     parent_reg.merge_dict(metrics_snapshot)
+                if trace_snapshot is not None and parent_trace is not None:
+                    parent_trace.merge_dict(trace_snapshot)
     else:
         if parent_reg is not None:
             parent_reg.set_gauge("sim.pool.workers", 1)

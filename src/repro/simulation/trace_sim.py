@@ -36,6 +36,7 @@ from repro.core.markov import CheckpointCosts
 from repro.core.schedule import CheckpointSchedule
 from repro.distributions.base import AvailabilityDistribution
 from repro.obs.metrics import active as _metrics
+from repro.obs.tracing import active as _trace_active
 from repro.simulation.accounting import SimulationConfig, SimulationResult
 from repro.storage.costs import effective_costs
 from repro.storage.store import CheckpointStore
@@ -160,6 +161,7 @@ def replay_schedule(
     size = config.checkpoint_size_mb
     policy = config.partial_transfer_policy
     reg = _metrics()
+    tr = _trace_active()
     t_wall = time.perf_counter() if reg is not None else 0.0
 
     useful = 0.0
@@ -172,6 +174,7 @@ def replay_schedule(
     n_ckpt_try = 0
     n_rec_done = 0
     n_rec_try = 0
+    base = 0.0  # machine-timeline offset of the current interval's start
 
     def _transfer_mb(elapsed: float, full_cost: float, completed: bool) -> float:
         if completed:
@@ -187,13 +190,21 @@ def replay_schedule(
                 t += R
                 rec_overhead += R
                 n_rec_done += 1
-                if config.count_recovery_bandwidth:
-                    mb_rec += _transfer_mb(R, R, completed=True)
+                billed = _transfer_mb(R, R, completed=True) if config.count_recovery_bandwidth else 0.0
+                mb_rec += billed
+                if tr is not None:
+                    tr.span("replay", "recovery", base, R, track=machine_id, args={"committed": True})
+                    tr.span("link", "transfer", base, R, track=machine_id, args={"mb": billed, "phase": "recovery"})
             else:
                 elapsed = a - t
                 rec_overhead += elapsed
-                if config.count_recovery_bandwidth:
-                    mb_rec += _transfer_mb(elapsed, R, completed=False)
+                billed = _transfer_mb(elapsed, R, completed=False) if config.count_recovery_bandwidth else 0.0
+                mb_rec += billed
+                if tr is not None:
+                    tr.span("replay", "recovery", base, elapsed, track=machine_id, args={"committed": False})
+                    tr.span("link", "transfer", base, elapsed, track=machine_id, args={"mb": billed, "phase": "recovery"})
+                    tr.point("replay", "failure", ts=base + a, track=machine_id)
+                base += a
                 continue  # eviction during recovery: interval exhausted
         # ---- work / checkpoint cycles -------------------------------
         i = 0
@@ -201,6 +212,8 @@ def replay_schedule(
             T = schedule.work_interval(i)
             if t + T > a:
                 lost += a - t  # eviction mid-work
+                if tr is not None:
+                    tr.span("replay", "work", base + t, a - t, track=machine_id, args={"committed": False})
                 t = a
                 break
             if t + T + C + L <= a:
@@ -209,6 +222,10 @@ def replay_schedule(
                 n_ckpt_try += 1
                 n_ckpt_done += 1
                 mb_ckpt += _transfer_mb(C, C, completed=True)
+                if tr is not None:
+                    tr.span("replay", "work", base + t, T, track=machine_id, args={"committed": True})
+                    tr.span("replay", "checkpoint", base + t + T, C + L, track=machine_id, args={"committed": True, "mb": size})
+                    tr.span("link", "transfer", base + t + T, C, track=machine_id, args={"mb": size, "phase": "checkpoint"})
                 t += T + C + L
                 i += 1
             else:
@@ -221,15 +238,24 @@ def replay_schedule(
                 lost += T
                 ckpt_overhead += elapsed
                 n_ckpt_try += 1
-                mb_ckpt += _transfer_mb(min(elapsed, C), C, completed=elapsed >= C)
+                billed = _transfer_mb(min(elapsed, C), C, completed=elapsed >= C)
+                mb_ckpt += billed
+                if tr is not None:
+                    tr.span("replay", "work", base + t, T, track=machine_id, args={"committed": False})
+                    tr.span("replay", "checkpoint", base + t + T, elapsed, track=machine_id, args={"committed": False, "mb": billed})
+                    tr.span("link", "transfer", base + t + T, min(elapsed, C), track=machine_id, args={"mb": billed, "phase": "checkpoint"})
                 t = a
                 break
+        if tr is not None:
+            tr.point("replay", "failure", ts=base + a, track=machine_id)
+        base += a
 
     if reg is not None:
         reg.inc("sim.replays")
         reg.inc("sim.machine_seconds", float(durations.sum()))
         reg.inc("sim.checkpoints.attempted", n_ckpt_try)
         reg.inc("sim.checkpoints.completed", n_ckpt_done)
+        reg.inc("link.transferred_mb", mb_ckpt + mb_rec)
         reg.observe("sim.replay_seconds", time.perf_counter() - t_wall)
 
     return SimulationResult(
@@ -278,6 +304,7 @@ def _replay_with_storage(
     store = CheckpointStore(config.storage, size)
     bw = size / C if C > 0 else math.inf
     reg = _metrics()
+    tr = _trace_active()
     t_wall = time.perf_counter() if reg is not None else 0.0
 
     useful = 0.0
@@ -290,6 +317,7 @@ def _replay_with_storage(
     n_ckpt_try = 0
     n_rec_done = 0
     n_rec_try = 0
+    base = 0.0  # machine-timeline offset of the current interval's start
 
     for a in durations:
         t = 0.0
@@ -298,17 +326,34 @@ def _replay_with_storage(
             chain_mb = store.restore_chain_mb()
             R_i = chain_mb / bw if math.isfinite(bw) else 0.0
             n_rec_try += 1
+            if tr is not None:
+                tr.point(
+                    "storage", "restore_chain", ts=base, track=machine_id,
+                    args={"mb": chain_mb, "chain_len": store.chain_length()},
+                )
             if t + R_i <= a:
                 t += R_i
                 rec_overhead += R_i
                 n_rec_done += 1
-                if config.count_recovery_bandwidth:
-                    mb_rec += chain_mb
+                billed = chain_mb if config.count_recovery_bandwidth else 0.0
+                mb_rec += billed
+                if tr is not None:
+                    tr.span("replay", "recovery", base, R_i, track=machine_id, args={"committed": True})
+                    tr.span("link", "transfer", base, R_i, track=machine_id, args={"mb": billed, "phase": "recovery"})
             else:
                 elapsed = a - t
                 rec_overhead += elapsed
-                if config.count_recovery_bandwidth:
-                    mb_rec += _partial_mb(chain_mb, elapsed, R_i, policy)
+                billed = (
+                    _partial_mb(chain_mb, elapsed, R_i, policy)
+                    if config.count_recovery_bandwidth
+                    else 0.0
+                )
+                mb_rec += billed
+                if tr is not None:
+                    tr.span("replay", "recovery", base, elapsed, track=machine_id, args={"committed": False})
+                    tr.span("link", "transfer", base, elapsed, track=machine_id, args={"mb": billed, "phase": "recovery"})
+                    tr.point("replay", "failure", ts=base + a, track=machine_id)
+                base += a
                 continue  # eviction during recovery: interval exhausted
         # ---- work / checkpoint cycles -------------------------------
         i = 0
@@ -316,6 +361,8 @@ def _replay_with_storage(
             T = schedule.work_interval(i)
             if t + T > a:
                 lost += a - t  # eviction mid-work
+                if tr is not None:
+                    tr.span("replay", "work", base + t, a - t, track=machine_id, args={"committed": False})
                 t = a
                 break
             plan = store.plan_checkpoint(T)
@@ -329,6 +376,20 @@ def _replay_with_storage(
                 n_ckpt_try += 1
                 n_ckpt_done += 1
                 mb_ckpt += plan.wire_mb
+                if tr is not None:
+                    tr.span("replay", "work", base + t, T, track=machine_id, args={"committed": True})
+                    tr.span(
+                        "replay", "checkpoint", base + t + T, ckpt_time, track=machine_id,
+                        args={"committed": True, "mb": plan.wire_mb, "kind": plan.kind},
+                    )
+                    if plan.cpu_seconds > 0.0:
+                        tr.span("storage", "compress", base + t + T, plan.cpu_seconds, track=machine_id)
+                    tr.span(
+                        "link", "transfer", base + t + T + plan.cpu_seconds, wire_time,
+                        track=machine_id, args={"mb": plan.wire_mb, "phase": "checkpoint"},
+                    )
+                    # store events (commit / GC) timestamp at the cycle end
+                    tr.now = base + t + T + ckpt_time
                 store.commit(plan)
                 t += T + ckpt_time
                 i += 1
@@ -343,18 +404,41 @@ def _replay_with_storage(
                 # CPU phase moved data; an eviction inside the latency
                 # window leaves the full payload on the wire
                 if elapsed >= plan.cpu_seconds + wire_time:
-                    mb_ckpt += plan.wire_mb
+                    billed = plan.wire_mb
                 else:
                     wire_elapsed = max(0.0, elapsed - plan.cpu_seconds)
-                    mb_ckpt += _partial_mb(plan.wire_mb, wire_elapsed, wire_time, policy)
+                    billed = _partial_mb(plan.wire_mb, wire_elapsed, wire_time, policy)
+                mb_ckpt += billed
+                if tr is not None:
+                    tr.span("replay", "work", base + t, T, track=machine_id, args={"committed": False})
+                    tr.span(
+                        "replay", "checkpoint", base + t + T, elapsed, track=machine_id,
+                        args={"committed": False, "mb": billed, "kind": plan.kind},
+                    )
+                    cpu_elapsed = min(elapsed, plan.cpu_seconds)
+                    if cpu_elapsed > 0.0:
+                        tr.span("storage", "compress", base + t + T, cpu_elapsed, track=machine_id)
+                    wire_span = min(max(0.0, elapsed - plan.cpu_seconds), wire_time)
+                    if wire_span > 0.0 or billed > 0.0:
+                        # billed > 0 with no wire time happens under the
+                        # "full" partial-transfer policy: the attempt is
+                        # billed even though no bytes flowed yet
+                        tr.span(
+                            "link", "transfer", base + t + T + cpu_elapsed, wire_span,
+                            track=machine_id, args={"mb": billed, "phase": "checkpoint"},
+                        )
                 t = a
                 break
+        if tr is not None:
+            tr.point("replay", "failure", ts=base + a, track=machine_id)
+        base += a
 
     if reg is not None:
         reg.inc("sim.replays")
         reg.inc("sim.machine_seconds", float(durations.sum()))
         reg.inc("sim.checkpoints.attempted", n_ckpt_try)
         reg.inc("sim.checkpoints.completed", n_ckpt_done)
+        reg.inc("link.transferred_mb", mb_ckpt + mb_rec)
         reg.observe("sim.replay_seconds", time.perf_counter() - t_wall)
 
     return SimulationResult(

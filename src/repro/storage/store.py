@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.obs.metrics import active as _metrics
+from repro.obs.tracing import active as _trace_active
 from repro.storage.policy import StoragePolicy
 
 __all__ = ["CheckpointStore", "PlannedCheckpoint", "Snapshot"]
@@ -155,6 +156,19 @@ class CheckpointStore:
                 reg.inc("storage.commits.delta")
         if reg is not None:
             reg.inc("storage.wire_mb", plan.wire_mb)
+        tr = _trace_active()
+        if tr is not None:
+            # the store has no clock of its own; the driving layer keeps
+            # the recorder's instrumentation clock (``tr.now``) fresh
+            tr.point(
+                "storage", "commit",
+                args={
+                    "kind": plan.kind,
+                    "wire_mb": plan.wire_mb,
+                    "raw_mb": plan.raw_mb,
+                    "index": snap.index,
+                },
+            )
         self._gc()
         self.max_chain_len = max(self.max_chain_len, self.chain_length())
         return snap
@@ -172,3 +186,9 @@ class CheckpointStore:
                 reg.inc("storage.gc.runs")
                 reg.inc("storage.gc.snapshots_dropped", n_drop)
                 reg.inc("storage.gc.freed_mb", freed)
+            tr = _trace_active()
+            if tr is not None:
+                tr.point(
+                    "storage", "gc",
+                    args={"dropped": n_drop, "freed_mb": freed},
+                )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     Counter,
     Gauge,
     Histogram,
@@ -61,6 +62,92 @@ class TestInstruments:
         h = reg.histogram("t")
         assert h.count == 1
         assert h.min >= 0.0
+
+
+class TestHistogramBuckets:
+    def test_bounds_are_sorted_half_decades(self):
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-6)
+        assert BUCKET_BOUNDS[-1] == pytest.approx(1e6)
+
+    def test_bucket_counts_sum_to_count(self):
+        h = Histogram()
+        for v in (0.0, 1e-9, 0.5, 1.0, 7.0, 300.0, 1e9):
+            h.observe(v)
+        assert sum(h.buckets) == h.count == 7
+
+    def test_overflow_and_underflow_buckets(self):
+        h = Histogram()
+        h.observe(1e9)  # above the last boundary
+        assert h.buckets[-1] == 1
+        h.observe(-5.0)  # below the first boundary
+        assert h.buckets[0] == 1
+
+    def test_quantiles_single_value(self):
+        h = Histogram()
+        for _ in range(100):
+            h.observe(42.0)
+        # all mass in one bucket, clamped to [min, max] => exact
+        assert h.quantile(0.5) == pytest.approx(42.0)
+        assert h.quantile(0.99) == pytest.approx(42.0)
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        h = Histogram()
+        for i in range(1, 1001):
+            h.observe(i / 10.0)  # 0.1 .. 100.0
+        q50, q95, q99 = h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)
+        assert h.min <= q50 <= q95 <= q99 <= h.max
+        # half-decade buckets: the estimate lands in the right bucket
+        assert 10.0 <= q50 <= 100.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_combine_merges_buckets(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(1.0)
+        b.observe(1000.0)
+        a.combine(b)
+        assert sum(a.buckets) == a.count == 3
+
+    def test_merge_dict_accepts_v1_snapshot_without_buckets(self):
+        reg = MetricsRegistry()
+        reg.merge_dict(
+            {"histograms": {"h": {"count": 4, "sum": 8.0, "min": 1.0, "max": 3.0}}}
+        )
+        h = reg.histogram("h")
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.0)
+        # no bucket info: the quantile degrades to the max, not a crash
+        assert h.quantile(0.5) == 3.0
+
+    def test_merge_dict_folds_bucket_vectors(self):
+        a = MetricsRegistry()
+        a.observe("h", 2.0)
+        b = MetricsRegistry()
+        b.observe("h", 2.0)
+        b.merge_dict(a.as_dict())
+        assert sum(b.histogram("h").buckets) == 2
+
+    def test_as_dict_exposes_percentiles(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("h", v)
+        d = reg.as_dict()["histograms"]["h"]
+        assert len(d["buckets"]) == len(BUCKET_BOUNDS) + 1
+        assert d["p50"] is not None and d["p95"] is not None and d["p99"] is not None
+        assert d["p50"] <= d["p95"] <= d["p99"]
+
+    def test_as_dict_empty_percentiles_are_none(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        d = reg.as_dict()["histograms"]["h"]
+        assert d["p50"] is None and d["p95"] is None and d["p99"] is None
 
 
 class TestRegistry:

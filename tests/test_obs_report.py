@@ -9,9 +9,12 @@ from repro.cli import main
 from repro.obs.metrics import MetricsRegistry, disable
 from repro.obs.report import (
     SCHEMA,
+    SCHEMA_V1,
     build_report,
+    diff_reports,
     dumps_report,
     load_report,
+    render_diff,
     render_report,
     write_report,
 )
@@ -69,6 +72,143 @@ class TestReportRoundTrip:
     def test_render_empty_registry(self):
         text = render_report(build_report(MetricsRegistry(), command="noop"))
         assert "(no metrics recorded)" in text
+
+
+class TestSchemaVersions:
+    """Schema /2 must load, and so must legacy /1 documents."""
+
+    def test_current_schema_is_v2(self):
+        assert SCHEMA == "repro.obs.report/2"
+        report = build_report(_registry(), command="x")
+        assert report["schema"] == SCHEMA
+        hist = report["metrics"]["histograms"]["sim.replay_seconds"]
+        assert "buckets" in hist and "p50" in hist and "p95" in hist and "p99" in hist
+
+    def test_load_accepts_v1_report(self, tmp_path):
+        v1 = {
+            "schema": SCHEMA_V1,
+            "command": "fig3",
+            "argv": ["fig3"],
+            "duration_seconds": 1.0,
+            "metrics": {
+                "counters": {"sim.replays": 4.0},
+                "gauges": {},
+                "histograms": {
+                    "sim.replay_seconds": {
+                        "count": 4,
+                        "sum": 1.0,
+                        "min": 0.1,
+                        "max": 0.5,
+                    }
+                },
+            },
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(v1))
+        loaded = load_report(str(path))
+        assert loaded["schema"] == SCHEMA_V1
+        # a /1 histogram has no percentiles; rendering must not crash
+        assert "sim.replay_seconds" in render_report(loaded)
+
+    def test_load_accepts_v2_report(self, tmp_path):
+        path = tmp_path / "v2.json"
+        write_report(str(path), build_report(_registry(), command="x"))
+        assert load_report(str(path))["schema"] == SCHEMA
+
+    def test_render_v2_shows_percentiles(self):
+        text = render_report(build_report(_registry(), command="x"))
+        assert "p50" in text and "p95" in text and "p99" in text
+
+
+class TestDiffReports:
+    def _two_reports(self):
+        a = MetricsRegistry()
+        a.inc("sim.replays", 10.0)
+        a.set_gauge("sim.pool.workers", 1.0)
+        a.observe("sim.replay_seconds", 0.2)
+        b = MetricsRegistry()
+        b.inc("sim.replays", 15.0)
+        b.inc("link.transfers", 3.0)
+        b.set_gauge("sim.pool.workers", 4.0)
+        b.observe("sim.replay_seconds", 0.2)
+        b.observe("sim.replay_seconds", 0.4)
+        return (
+            build_report(a, command="fig3"),
+            build_report(b, command="fig3"),
+        )
+
+    def test_absolute_and_relative_deltas(self):
+        ra, rb = self._two_reports()
+        diff = diff_reports(ra, rb)
+        entry = diff["counters"]["sim.replays"]
+        assert entry["delta"] == pytest.approx(5.0)
+        assert entry["relative"] == pytest.approx(0.5)
+        assert diff["gauges"]["sim.pool.workers"]["delta"] == pytest.approx(3.0)
+
+    def test_one_sided_metric_has_none_delta(self):
+        ra, rb = self._two_reports()
+        diff = diff_reports(ra, rb)
+        entry = diff["counters"]["link.transfers"]
+        assert entry["a"] is None
+        assert entry["delta"] is None
+
+    def test_histogram_deltas(self):
+        ra, rb = self._two_reports()
+        diff = diff_reports(ra, rb)
+        h = diff["histograms"]["sim.replay_seconds"]
+        assert h["count_delta"] == 1
+        assert h["mean_delta"] == pytest.approx(0.1)
+        assert "p95_delta" in h
+
+    def test_schema_mismatch_raises(self):
+        ra, rb = self._two_reports()
+        ra["schema"] = SCHEMA_V1
+        with pytest.raises(ValueError, match="schema mismatch"):
+            diff_reports(ra, rb)
+
+    def test_render_diff_output(self):
+        ra, rb = self._two_reports()
+        text = render_diff(diff_reports(ra, rb))
+        assert "report diff" in text
+        assert "sim.replays" in text
+        assert "+50.00%" in text
+
+
+class TestDiffCli:
+    def test_diff_prints_deltas(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.inc("sim.replays", 2.0)
+        reg_b.inc("sim.replays", 4.0)
+        write_report(str(a), build_report(reg_a, command="x"))
+        write_report(str(b), build_report(reg_b, command="y"))
+        code, text = run_cli("report", "--diff", str(a), str(b))
+        assert code == 0
+        assert "sim.replays" in text
+        assert "+100.00%" in text
+
+    def test_diff_json_mode(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        reg = MetricsRegistry()
+        reg.inc("n", 1.0)
+        write_report(str(a), build_report(reg, command="x"))
+        write_report(str(b), build_report(reg, command="x"))
+        code, text = run_cli("report", "--diff", str(a), str(b), "--json")
+        assert code == 0
+        parsed = json.loads(text)
+        assert parsed["counters"]["n"]["delta"] == 0.0
+
+    def test_diff_schema_mismatch_exits_nonzero(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        reg = MetricsRegistry()
+        report = build_report(reg, command="x")
+        write_report(str(b), report)
+        v1 = dict(report)
+        v1["schema"] = SCHEMA_V1
+        a.write_text(json.dumps(v1))
+        code, text = run_cli("report", "--diff", str(a), str(b))
+        assert code == 2
+        assert "schema mismatch" in text
 
 
 class TestCliMetrics:

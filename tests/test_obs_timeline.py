@@ -1,0 +1,165 @@
+"""Tests for the timeline-analysis module (binning, burstiness, totals)."""
+
+import math
+
+import pytest
+
+from repro.obs.tracing import (
+    burstiness,
+    link_timeline,
+    render_timeline,
+    span_totals,
+    transfer_spans,
+)
+
+
+def _xfer(ts, dur, mb, track="m-000"):
+    return {
+        "ts": ts, "dur": dur, "cat": "link", "name": "transfer",
+        "track": track, "args": {"mb": mb},
+    }
+
+
+class TestTransferSpans:
+    def test_selects_only_link_transfers(self):
+        events = [
+            _xfer(0.0, 1.0, 5.0),
+            {"ts": 0.0, "dur": 1.0, "cat": "replay", "name": "work"},
+            {"ts": 0.0, "cat": "link", "name": "admit"},
+        ]
+        spans = transfer_spans(events)
+        assert len(spans) == 1
+        assert spans[0]["args"]["mb"] == 5.0
+
+
+class TestLinkTimeline:
+    def test_total_equals_sum_of_span_mb_exactly(self):
+        events = [_xfer(i * 7.3, 2.0, 10.0 + i) for i in range(50)]
+        tl = link_timeline(events, n_bins=13)
+        assert tl.total_mb == math.fsum(10.0 + i for i in range(50))
+        # proportional binning conserves megabytes
+        assert math.fsum(tl.mb) == pytest.approx(tl.total_mb, rel=1e-12)
+
+    def test_single_span_single_bin(self):
+        tl = link_timeline([_xfer(10.0, 5.0, 100.0)], n_bins=1)
+        assert tl.t_start == 10.0
+        assert tl.t_end == 15.0
+        assert tl.mb == (100.0,)
+        assert tl.mb_per_s[0] == pytest.approx(20.0)
+
+    def test_span_split_proportionally_across_bins(self):
+        # one 10 s / 100 MB span over a 10 s window in 2 bins: 50/50
+        tl = link_timeline([_xfer(0.0, 10.0, 100.0)], n_bins=2)
+        assert tl.mb[0] == pytest.approx(50.0)
+        assert tl.mb[1] == pytest.approx(50.0)
+
+    def test_zero_duration_impulse_lands_in_containing_bin(self):
+        events = [_xfer(0.0, 10.0, 10.0), _xfer(7.0, 0.0, 99.0)]
+        tl = link_timeline(events, n_bins=10)
+        assert tl.mb[7] >= 99.0
+
+    def test_all_impulses_at_one_instant(self):
+        tl = link_timeline([_xfer(5.0, 0.0, 10.0), _xfer(5.0, 0.0, 20.0)])
+        assert tl.n_bins == 1
+        assert tl.total_mb == 30.0
+        assert math.isinf(tl.mb_per_s[0])
+
+    def test_bin_seconds_overrides_n_bins(self):
+        tl = link_timeline([_xfer(0.0, 100.0, 10.0)], bin_seconds=10.0)
+        assert tl.n_bins == 10
+        assert tl.bin_seconds == 10.0
+
+    def test_empty_trace(self):
+        tl = link_timeline([])
+        assert tl.n_bins == 0
+        assert tl.total_mb == 0.0
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError, match="n_bins"):
+            link_timeline([], n_bins=0)
+        with pytest.raises(ValueError, match="bin_seconds"):
+            link_timeline([_xfer(0.0, 1.0, 1.0)], bin_seconds=-1.0)
+
+    def test_bin_start_walks_the_window(self):
+        tl = link_timeline([_xfer(100.0, 60.0, 6.0)], n_bins=6)
+        assert tl.bin_start(0) == pytest.approx(100.0)
+        assert tl.bin_start(3) == pytest.approx(130.0)
+
+
+class TestBurstiness:
+    def test_sequential_transfers_concurrency_one(self):
+        events = [_xfer(0.0, 10.0, 50.0), _xfer(10.0, 10.0, 50.0)]
+        stats = burstiness(events)
+        assert stats.max_concurrency == 1  # handoff, not a burst
+        assert stats.peak_mb_per_s == pytest.approx(5.0)
+        assert stats.busy_fraction == pytest.approx(1.0)
+
+    def test_overlapping_transfers_stack(self):
+        events = [_xfer(0.0, 10.0, 50.0), _xfer(5.0, 10.0, 100.0)]
+        stats = burstiness(events)
+        assert stats.max_concurrency == 2
+        assert stats.peak_mb_per_s == pytest.approx(15.0)
+
+    def test_busy_fraction_counts_gaps(self):
+        events = [_xfer(0.0, 10.0, 1.0), _xfer(30.0, 10.0, 1.0)]
+        stats = burstiness(events)
+        assert stats.busy_fraction == pytest.approx(0.5)
+
+    def test_p95_concurrency_is_time_weighted(self):
+        # 95 s at concurrency 1, 5 s at concurrency 2
+        events = [_xfer(0.0, 100.0, 1.0), _xfer(95.0, 5.0, 1.0)]
+        stats = burstiness(events)
+        assert stats.p95_concurrency == pytest.approx(1.0)
+
+    def test_zero_duration_spans_do_not_blow_up_peak(self):
+        events = [_xfer(0.0, 10.0, 10.0), _xfer(5.0, 0.0, 99.0)]
+        stats = burstiness(events)
+        assert math.isfinite(stats.peak_mb_per_s)
+        assert stats.total_mb == pytest.approx(109.0)
+
+    def test_empty(self):
+        stats = burstiness([])
+        assert stats.n_transfers == 0
+        assert stats.max_concurrency == 0
+
+
+class TestSpanTotals:
+    def test_per_track_per_name_totals(self):
+        events = [
+            {"ts": 0.0, "dur": 5.0, "cat": "replay", "name": "work", "track": "m-000"},
+            {"ts": 5.0, "dur": 2.0, "cat": "replay", "name": "checkpoint", "track": "m-000"},
+            {"ts": 0.0, "dur": 3.0, "cat": "replay", "name": "work", "track": "m-001"},
+            {"ts": 0.0, "dur": 9.0, "cat": "link", "name": "transfer", "track": "m-000"},
+            {"ts": 1.0, "cat": "replay", "name": "failure", "track": "m-000"},
+        ]
+        totals = span_totals(events)
+        assert totals["m-000"] == {"work": 5.0, "checkpoint": 2.0}
+        assert totals["m-001"] == {"work": 3.0}
+
+    def test_category_filter(self):
+        events = [{"ts": 0.0, "dur": 9.0, "cat": "link", "name": "transfer", "track": "m"}]
+        assert span_totals(events) == {}
+        assert span_totals(events, cat="link")["m"]["transfer"] == 9.0
+
+
+class TestRenderTimeline:
+    def test_render_contains_totals_and_bars(self):
+        events = [_xfer(0.0, 10.0, 100.0), _xfer(5.0, 10.0, 50.0)]
+        text = render_timeline(link_timeline(events, n_bins=5), burstiness(events))
+        assert "link utilization" in text
+        assert "total transferred MB" in text
+        assert "peak aggregate MB/s" in text
+        assert "busy fraction" in text
+        assert "p95 concurrent xfers" in text
+        assert "#" in text
+
+    def test_render_empty(self):
+        text = render_timeline(link_timeline([]), burstiness([]))
+        assert "(no transfer spans in trace)" in text
+
+    def test_render_caps_rows(self):
+        events = [_xfer(float(i), 1.0, 1.0) for i in range(300)]
+        text = render_timeline(
+            link_timeline(events, n_bins=200), burstiness(events), max_rows=50
+        )
+        assert "more bins" in text

@@ -1,0 +1,304 @@
+"""Tests for the trace recorder, its global switch, and the exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    TraceRecorder,
+    active,
+    chrome_to_events,
+    chrome_trace,
+    disable,
+    dumps_chrome_trace,
+    enable,
+    load_trace,
+    use,
+    write_events,
+    write_trace,
+)
+from repro.obs.tracing.recorder import DEFAULT_MAX_EVENTS, DEFAULT_SAMPLING
+
+
+class TestRecorder:
+    def test_point_uses_instrumentation_clock(self):
+        rec = TraceRecorder(sampling={})
+        rec.now = 12.5
+        rec.point("storage", "commit")
+        (ev,) = rec.events()
+        assert ev["ts"] == 12.5
+
+    def test_point_explicit_ts_wins(self):
+        rec = TraceRecorder(sampling={})
+        rec.now = 1.0
+        rec.point("replay", "failure", ts=77.0, track="m-000")
+        (ev,) = rec.events()
+        assert ev["ts"] == 77.0
+        assert ev["track"] == "m-000"
+
+    def test_span_records_start_and_duration(self):
+        rec = TraceRecorder(sampling={})
+        rec.span("replay", "work", 10.0, 5.0, track="m-000", args={"committed": True})
+        (ev,) = rec.events()
+        assert ev["ts"] == 10.0
+        assert ev["dur"] == 5.0
+        assert ev["args"] == {"committed": True}
+
+    def test_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            TraceRecorder(sampling={}).span("replay", "work", 0.0, -1.0)
+
+    def test_events_sorted_by_timestamp(self):
+        rec = TraceRecorder(sampling={})
+        rec.point("a", "x", ts=3.0)
+        rec.point("a", "y", ts=1.0)
+        rec.point("a", "z", ts=2.0)
+        assert [ev["ts"] for ev in rec.events()] == [1.0, 2.0, 3.0]
+
+    def test_default_capacity(self):
+        assert TraceRecorder().max_events == DEFAULT_MAX_EVENTS
+
+    def test_ring_buffer_drops_oldest(self):
+        rec = TraceRecorder(max_events=3, sampling={})
+        for i in range(5):
+            rec.point("a", "x", ts=float(i))
+        assert len(rec) == 3
+        assert rec.n_recorded == 5
+        assert rec.n_dropped == 2
+        assert [ev["ts"] for ev in rec.events()] == [2.0, 3.0, 4.0]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="max_events"):
+            TraceRecorder(max_events=0)
+
+    def test_stride_sampling_by_cat_name(self):
+        rec = TraceRecorder(sampling={"engine.step": 10})
+        for i in range(25):
+            rec.point("engine", "step", ts=float(i))
+        kept = rec.events()
+        assert len(kept) == 3  # events 0, 10, 20
+        assert rec.n_sampled_out == 22
+
+    def test_stride_sampling_by_bare_cat(self):
+        rec = TraceRecorder(sampling={"engine": 5})
+        for i in range(10):
+            rec.point("engine", "anything", ts=float(i))
+        assert len(rec.events()) == 2
+
+    def test_sampling_leaves_other_categories_alone(self):
+        rec = TraceRecorder(sampling={"engine.step": 100})
+        rec.point("link", "admit", ts=0.0)
+        rec.span("replay", "work", 0.0, 1.0)
+        assert len(rec.events()) == 2
+
+    def test_default_sampling_thins_engine_step(self):
+        assert DEFAULT_SAMPLING["engine.step"] > 1
+
+    def test_rejects_bad_sampling_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            TraceRecorder(sampling={"engine.step": 0})
+
+
+class TestMerge:
+    def test_merge_dict_interleaves_events(self):
+        parent = TraceRecorder(sampling={})
+        parent.point("a", "x", ts=5.0)
+        worker = TraceRecorder(sampling={})
+        worker.point("a", "y", ts=1.0)
+        worker.point("a", "z", ts=9.0)
+        parent.merge_dict(worker.as_dict())
+        assert [ev["ts"] for ev in parent.events()] == [1.0, 5.0, 9.0]
+        assert parent.n_recorded == 3
+
+    def test_merge_accounts_worker_side_drops(self):
+        worker = TraceRecorder(max_events=2, sampling={})
+        for i in range(5):
+            worker.point("a", "x", ts=float(i))
+        parent = TraceRecorder(sampling={})
+        parent.merge_dict(worker.as_dict())
+        assert parent.n_recorded == 5
+        assert len(parent) == 2
+        assert parent.n_dropped == 3
+
+    def test_merge_adds_sampled_out_counts(self):
+        worker = TraceRecorder(sampling={"engine.step": 10})
+        for i in range(10):
+            worker.point("engine", "step", ts=float(i))
+        parent = TraceRecorder(sampling={})
+        parent.merge_dict(worker.as_dict())
+        assert parent.n_sampled_out == 9
+
+    def test_merge_object_api(self):
+        a, b = TraceRecorder(sampling={}), TraceRecorder(sampling={})
+        b.point("x", "y", ts=0.0)
+        a.merge(b)
+        assert len(a) == 1
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default(self):
+        disable()
+        assert active() is None
+
+    def test_enable_disable(self):
+        try:
+            rec = enable()
+            assert active() is rec
+        finally:
+            disable()
+        assert active() is None
+
+    def test_use_restores_previous(self):
+        disable()
+        outer = enable()
+        try:
+            with use() as inner:
+                assert active() is inner
+                assert inner is not outer
+            assert active() is outer
+        finally:
+            disable()
+
+    def test_use_accepts_explicit_recorder(self):
+        disable()
+        mine = TraceRecorder(sampling={})
+        with use(mine) as got:
+            assert got is mine
+            active().point("x", "y", ts=0.0)
+        assert len(mine) == 1
+        assert active() is None
+
+
+class TestJsonlExport:
+    def _recorder(self):
+        rec = TraceRecorder(sampling={})
+        rec.span("replay", "work", 0.0, 10.0, track="m-000")
+        rec.point("replay", "failure", ts=10.0, track="m-000")
+        rec.span("link", "transfer", 3.0, 2.0, track="m-000", args={"mb": 50.0})
+        return rec
+
+    def test_write_load_round_trip(self, tmp_path):
+        rec = self._recorder()
+        path = tmp_path / "t.jsonl"
+        write_trace(str(path), rec, meta={"command": "test"})
+        header, events = load_trace(str(path))
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["meta"]["command"] == "test"
+        assert header["n_recorded"] == 3
+        assert header["n_dropped"] == 0
+        assert events == rec.events()
+
+    def test_header_reports_drops_and_sampling(self):
+        rec = TraceRecorder(max_events=1, sampling={"a": 2})
+        rec.point("a", "x", ts=0.0)
+        rec.point("a", "x", ts=1.0)
+        rec.point("a", "x", ts=2.0)
+        buf = io.StringIO()
+        write_trace(buf, rec)
+        buf.seek(0)
+        header, events = load_trace(buf)
+        assert header["n_sampled_out"] == 1
+        assert header["n_dropped"] == 1
+        assert len(events) == 1
+
+    def test_write_events_sorts_and_loads(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        write_events(
+            str(path),
+            [{"ts": 5.0, "cat": "a", "name": "x"}, {"ts": 1.0, "cat": "a", "name": "y"}],
+        )
+        _, events = load_trace(str(path))
+        assert [ev["ts"] for ev in events] == [1.0, 5.0]
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "something/else"}\n')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(str(path))
+
+    def test_load_rejects_malformed_event_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA, "meta": {}}) + "\n" + '{"nope": 1}\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(str(path))
+
+
+class TestChromeExport:
+    def _events(self):
+        return [
+            {"ts": 0.0, "dur": 10.0, "cat": "replay", "name": "work", "track": "m-000"},
+            {"ts": 3.0, "dur": 2.0, "cat": "link", "name": "transfer", "track": "m-000",
+             "args": {"mb": 50.0}},
+            {"ts": 10.0, "cat": "replay", "name": "failure", "track": "m-001"},
+            {"ts": 4.0, "cat": "storage", "name": "commit"},  # untracked
+        ]
+
+    def test_structure_is_perfetto_loadable(self):
+        doc = chrome_trace(self._events())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {ev["ph"] for ev in doc["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+        # every event belongs to pid 1 and a registered tid
+        named_tids = {
+            ev["tid"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        for ev in doc["traceEvents"]:
+            assert ev["pid"] == 1
+            if ev["ph"] in ("X", "i"):
+                assert ev["tid"] in named_tids
+        # one process_name metadata record
+        assert sum(
+            1 for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        ) == 1
+
+    def test_tracks_become_named_threads(self):
+        doc = chrome_trace(self._events())
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert names == {"m-000", "m-001", "(untracked)"}
+
+    def test_sim_seconds_become_microseconds(self):
+        doc = chrome_trace(self._events())
+        span = next(ev for ev in doc["traceEvents"] if ev["ph"] == "X" and ev["cat"] == "link")
+        assert span["ts"] == pytest.approx(3.0e6)
+        assert span["dur"] == pytest.approx(2.0e6)
+
+    def test_instants_are_thread_scoped(self):
+        doc = chrome_trace(self._events())
+        inst = next(ev for ev in doc["traceEvents"] if ev["ph"] == "i")
+        assert inst["s"] == "t"
+
+    def test_round_trip_through_chrome_format(self):
+        original = self._events()
+        back = chrome_to_events(chrome_trace(original))
+        assert len(back) == len(original)
+        by_key = {(ev["cat"], ev["name"]): ev for ev in back}
+        work = by_key[("replay", "work")]
+        assert work["ts"] == pytest.approx(0.0)
+        assert work["dur"] == pytest.approx(10.0)
+        assert work["track"] == "m-000"
+        link = by_key[("link", "transfer")]
+        assert link["args"] == {"mb": 50.0}
+        # untracked events come back without a track field
+        assert "track" not in by_key[("storage", "commit")]
+
+    def test_dumps_includes_schema_tag(self):
+        text = dumps_chrome_trace(self._events(), meta={"command": "fig3"})
+        doc = json.loads(text)
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+        assert doc["otherData"]["command"] == "fig3"
+
+    def test_chrome_to_events_rejects_non_trace(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            chrome_to_events({"foo": 1})
