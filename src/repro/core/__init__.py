@@ -14,9 +14,21 @@ from repro.core.completion import (
     simulate_completion_time,
 )
 from repro.core.markov import CheckpointCosts, IntervalTransitions, MarkovIntervalModel
-from repro.core.optimizer import OptimalInterval, optimize_interval, young_approximation
+from repro.core.optimizer import (
+    OptimalInterval,
+    default_solver_method,
+    optimize_interval,
+    use_solver,
+    young_approximation,
+)
 from repro.core.planner import CheckpointPlanner
 from repro.core.schedule import CheckpointSchedule
+from repro.core.solver_cache import (
+    SolverCache,
+    active_cache,
+    configure_cache,
+    use_solver_cache,
+)
 
 __all__ = [
     "CheckpointCosts",
@@ -28,6 +40,12 @@ __all__ = [
     "IntervalTransitions",
     "MarkovIntervalModel",
     "OptimalInterval",
+    "SolverCache",
+    "active_cache",
+    "configure_cache",
+    "default_solver_method",
     "optimize_interval",
+    "use_solver",
+    "use_solver_cache",
     "young_approximation",
 ]

@@ -41,7 +41,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.distributions.base import AvailabilityDistribution
+import numpy as np
+
+from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray
 
 __all__ = ["CheckpointCosts", "IntervalTransitions", "MarkovIntervalModel"]
 
@@ -177,6 +179,52 @@ class MarkovIntervalModel:
     def overhead_ratio(self, T: float) -> float:
         """``Gamma(T) / T`` -- the quantity the paper minimises."""
         return self.gamma(T) / T
+
+    # ------------------------------------------------------------------
+    # batched evaluation (the vectorised-solver fast path)
+    # ------------------------------------------------------------------
+    def gamma_batch(self, T: ArrayLike) -> FloatArray:
+        """Eq. 11 for a whole vector of candidate work intervals.
+
+        One call evaluates the Markov objective at every element of ``T``
+        through the distributions' array-form ``cdf`` /
+        ``partial_expectation``, which is what makes grid bracketing in
+        the hybrid solver cost roughly one scalar evaluation instead of
+        one per abscissa.  Agrees with :meth:`gamma` pointwise (the
+        scalar fast paths and the ndarray paths share formulas; they can
+        differ by a few ulps of round-off, never more).
+        """
+        Tarr = np.atleast_1d(np.asarray(T, dtype=np.float64))
+        if np.any(Tarr <= 0.0):
+            raise ValueError("work intervals must be positive")
+        C, R, L = self.costs.checkpoint, self.costs.recovery, self.costs.latency
+        horizon0 = C + Tarr
+        horizon2 = L + R + Tarr
+
+        # state-0 transitions: future-lifetime distribution at `age`
+        f0 = np.clip(np.asarray(self._cond.cdf(horizon0), dtype=np.float64), 0.0, 1.0)
+        pe0 = np.asarray(self._cond.partial_expectation(horizon0), dtype=np.float64)
+        safe0 = np.where(f0 > 0.0, f0, 1.0)
+        k02 = np.where(f0 > 0.0, np.minimum(pe0 / safe0, horizon0), 0.0)
+
+        # state-2 transitions: unconditional distribution (fresh resource)
+        f2 = np.clip(np.asarray(self.distribution.cdf(horizon2), dtype=np.float64), 0.0, 1.0)
+        pe2 = np.asarray(self.distribution.partial_expectation(horizon2), dtype=np.float64)
+        safe2 = np.where(f2 > 0.0, f2, 1.0)
+        k22 = np.where(f2 > 0.0, np.minimum(pe2 / safe2, horizon2), 0.0)
+
+        p21 = 1.0 - f2
+        with np.errstate(divide="ignore", invalid="ignore"):
+            retry_cost = np.where(p21 > 0.0, k22 * f2 / np.where(p21 > 0.0, p21, 1.0) + horizon2, np.inf)
+            inner = (1.0 - f0) * horizon0 + f0 * (k02 + retry_cost)
+        out: FloatArray = np.where(f0 <= 0.0, horizon0, inner)
+        return out
+
+    def overhead_ratio_batch(self, T: ArrayLike) -> FloatArray:
+        """``Gamma(T) / T`` elementwise for a vector of candidates."""
+        Tarr = np.atleast_1d(np.asarray(T, dtype=np.float64))
+        out: FloatArray = self.gamma_batch(Tarr) / Tarr
+        return out
 
     def expected_efficiency(self, T: float) -> float:
         """``T / Gamma(T)`` -- expected fraction of time doing useful work."""

@@ -6,20 +6,90 @@ ends -- as ``T -> 0`` every interval pays the fixed checkpoint cost for
 vanishing work, and as ``T -> inf`` the retry term ``K22 * P22 / P21``
 blows up because a failure before ``L + R + T`` becomes certain -- so an
 interior minimum exists whenever the availability distribution has
-unbounded support.  We locate it with bracketing plus Golden Section
-Search, exactly the method the paper cites from Numerical Recipes.
+unbounded support.
+
+Two solvers locate it:
+
+* ``method="golden"`` -- bracketing plus Golden Section Search, exactly
+  the method the paper cites from Numerical Recipes; kept as the
+  reference implementation and the benchmark baseline.
+* ``method="hybrid"`` (the default) -- the vectorised golden/Brent
+  hybrid of :func:`repro.numerics.optimize.minimize_positive_hybrid`:
+  one batched grid pass through
+  :meth:`~repro.core.markov.MarkovIntervalModel.overhead_ratio_batch`
+  brackets the minimum (or a warm-start triple seeded from a nearby
+  solve skips the grid), Brent refines, and a parabolic polish pins
+  ``T_opt`` to ~1e-10 relative so warm, cold and cached solves agree.
+
+Solves are memoised in the process-global
+:class:`~repro.core.solver_cache.SolverCache` keyed on (distribution
+fingerprint, costs, age bucket); see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
+from collections.abc import Iterator
+
+import numpy as np
 
 from repro.core.markov import CheckpointCosts, MarkovIntervalModel
-from repro.distributions.base import AvailabilityDistribution
-from repro.numerics.optimize import minimize_positive_scalar
+from repro.core.solver_cache import SolverCache, active_cache, use_solver_cache
+from repro.distributions.base import AvailabilityDistribution, FloatArray
+from repro.numerics.optimize import minimize_positive_hybrid, minimize_positive_scalar
 
-__all__ = ["OptimalInterval", "optimize_interval", "young_approximation"]
+__all__ = [
+    "OptimalInterval",
+    "default_solver_method",
+    "optimize_interval",
+    "use_solver",
+    "young_approximation",
+]
+
+#: solver methods accepted by :func:`optimize_interval`
+_METHODS = ("hybrid", "golden")
+
+_default_method = "hybrid"
+
+
+def default_solver_method() -> str:
+    """The process-wide solver method used when none is requested."""
+    return _default_method
+
+
+@contextmanager
+def use_solver(
+    *,
+    method: str | None = None,
+    cache: SolverCache | None | bool = True,
+) -> Iterator[None]:
+    """Temporarily override the process solver defaults.
+
+    Parameters
+    ----------
+    method:
+        ``"hybrid"`` or ``"golden"``; ``None`` keeps the current default.
+    cache:
+        ``True`` keeps the currently active cache, ``False``/``None``
+        disables caching inside the block, a :class:`SolverCache`
+        installs that instance.
+    """
+    global _default_method
+    if method is not None and method not in _METHODS:
+        raise ValueError(f"unknown solver method: {method!r}")
+    previous = _default_method
+    if method is not None:
+        _default_method = method
+    try:
+        if cache is True:
+            yield
+        else:
+            with use_solver_cache(cache if isinstance(cache, SolverCache) else None):
+                yield
+    finally:
+        _default_method = previous
 
 
 @dataclass(frozen=True)
@@ -56,6 +126,8 @@ def optimize_interval(
     t_min: float = 1e-3,
     t_max: float | None = None,
     rel_tol: float = 1e-6,
+    warm_start: float | None = None,
+    method: str | None = None,
 ) -> OptimalInterval:
     """Compute ``T_opt`` for a distribution, cost set and elapsed uptime.
 
@@ -74,30 +146,84 @@ def optimize_interval(
         enough that the heavy-tailed optima of the paper's traces are
         interior.
     rel_tol:
-        Relative tolerance of the golden-section refinement.
+        Relative tolerance of the bracket refinement.
+    warm_start:
+        A nearby known solution (typically ``T_opt`` of the previous
+        schedule age); seeds a narrow bracket that skips the global
+        scan.  Correctness is unaffected: if the narrow bracket's
+        refinement would hit an edge, the solver falls back to the full
+        cold path.
+    method:
+        ``"hybrid"`` (vectorised golden/Brent, the default) or
+        ``"golden"`` (the paper's reference path); ``None`` uses the
+        process default (see :func:`use_solver`).
     """
-    model = MarkovIntervalModel(distribution, costs, age)
-    guess = young_approximation(distribution, costs, age)
+    if method is None:
+        method = _default_method
+    elif method not in _METHODS:
+        raise ValueError(f"unknown solver method: {method!r}")
     if t_max is None:
         mrl = float(distribution.mean_residual_life(age))
         if not math.isfinite(mrl) or mrl <= 0.0:
             mrl = max(distribution.mean(), 1.0)
         t_max = min(max(1e4 * mrl, 1e6), 1e9)
+
+    cache = active_cache()
+    key = None
+    if cache is not None:
+        key = SolverCache.key(
+            distribution.fingerprint(),
+            costs.checkpoint,
+            costs.recovery,
+            costs.latency,
+            age,
+            t_min,
+            t_max,
+            rel_tol,
+            method,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+
+    model = MarkovIntervalModel(distribution, costs, age)
+    guess = young_approximation(distribution, costs, age)
     guess = min(max(guess, t_min * 2.0), t_max / 2.0)
 
     def objective(T: float) -> float:
         ratio = model.overhead_ratio(T)
         return ratio if math.isfinite(ratio) else 1e300
 
-    result = minimize_positive_scalar(
-        objective, guess=guess, lo=t_min, hi=t_max, rel_tol=rel_tol
-    )
-    g = model.gamma(result.x)
-    return OptimalInterval(
-        T_opt=result.x,
+    if method == "golden":
+        result = minimize_positive_scalar(
+            objective, guess=guess, lo=t_min, hi=t_max, rel_tol=rel_tol
+        )
+    else:
+
+        def objective_batch(T: FloatArray) -> FloatArray:
+            ratios = model.overhead_ratio_batch(T)
+            out: FloatArray = np.where(np.isfinite(ratios), ratios, 1e300)
+            return out
+
+        result = minimize_positive_hybrid(
+            objective,
+            func_batch=objective_batch,
+            guess=guess,
+            warm_start=warm_start,
+            lo=t_min,
+            hi=t_max,
+            rel_tol=rel_tol,
+        )
+    x = min(max(result.x, t_min), t_max)
+    g = model.gamma(x)
+    opt = OptimalInterval(
+        T_opt=x,
         gamma=g,
         overhead_ratio=result.fx,
-        expected_efficiency=result.x / g if math.isfinite(g) and g > 0 else 0.0,
+        expected_efficiency=x / g if math.isfinite(g) and g > 0 else 0.0,
         age=age,
         converged=result.converged,
     )
+    if cache is not None and key is not None:
+        cache.put(key, opt)
+    return opt

@@ -192,6 +192,14 @@ class CheckpointSchedule:
                 raise OverflowError("schedule age overflowed")
             if reg is not None:
                 reg.inc("schedule.solves")
+            # cross-age warm start: T_opt varies slowly along the age
+            # chain (that is what converge_rel_tol exploits), so seed
+            # the bracket for age k+1 from T_opt(k).  The solver falls
+            # back to the full cold bracket if the seed misleads, so
+            # this is purely a performance hint.
+            warm = self._intervals[-1].T_opt if self._intervals else None
+            if warm is not None and reg is not None:
+                reg.observe("schedule.warm_depth", idx)
             wall0 = time.perf_counter()
             opt = optimize_interval(
                 self.distribution,
@@ -199,6 +207,7 @@ class CheckpointSchedule:
                 age=age,
                 t_min=self._t_min,
                 t_max=self._t_max,
+                warm_start=warm,
             )
             if trace is not None:
                 # the solve is instantaneous in sim time (a zero-width

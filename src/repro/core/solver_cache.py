@@ -1,0 +1,236 @@
+"""A process-global, bounded LRU cache for schedule solves.
+
+The pool sweep re-solves identical ``(distribution, costs, age)``
+instances constantly: every replay of a machine rebuilds its
+:class:`~repro.core.schedule.CheckpointSchedule` from scratch, repeated
+sweeps and sensitivity studies revisit the same fitted models, and the
+ablation benches replay the same traces several times over.  Since
+``T_opt`` is a pure function of the solve inputs, those repeats are pure
+waste -- this module memoises them.
+
+Keys are ``(distribution fingerprint, C, R, L, age bucket, t_min,
+t_max, rel_tol, method)``:
+
+* the **fingerprint** (see
+  :meth:`~repro.distributions.base.AvailabilityDistribution.fingerprint`)
+  identifies a distribution by family and parameters, so two
+  ``Weibull(0.43, 3409.0)`` instances fitted in different processes hit
+  the same entry;
+* the **age bucket** quantises the elapsed uptime to 1e-9 seconds --
+  exact for the repeated identical age chains the schedule produces,
+  while collapsing sub-nanosecond float dust.  The quantum is far below
+  the 1e-9 *relative* ``T_opt`` equivalence budget of the golden-master
+  tests (``d T_opt / d age`` is O(1) for every family in the suite);
+* the solver ``method`` keeps legacy golden-section results from being
+  served to hybrid queries (they agree only to the solver tolerance,
+  not to the cache's exactness contract).
+
+The cache is **per process** (like the metrics registry) and explicitly
+mergeable across processes: each sweep worker ships
+:meth:`SolverCache.as_dict` back with its results and the parent folds
+it in with :meth:`SolverCache.merge_dict`, so a second sweep in the same
+parent process starts warm even for work done in workers.  Hits, misses
+and evictions are reported through the active metrics registry
+(``opt.cache.hits`` / ``opt.cache.misses`` / ``opt.cache.evictions``)
+and therefore merge across workers exactly like every other counter.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import active as _metrics
+
+if TYPE_CHECKING:
+    from repro.core.optimizer import OptimalInterval
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "SolverCache",
+    "SolverCacheKey",
+    "active_cache",
+    "configure_cache",
+    "use_solver_cache",
+]
+
+#: cache keys are nested tuples of primitives (hashable and
+#: pickle/JSON-representable)
+SolverCacheKey = tuple[Any, ...]
+
+#: default entry bound: ~100 bytes/entry, so the default cache tops out
+#: around a few MB -- enough for hundreds of (machine, model, cost)
+#: schedules without ever mattering for memory
+DEFAULT_CAPACITY = 8192
+
+#: age-bucket quantum (seconds); see the module docstring
+AGE_QUANTUM_DIGITS = 9
+
+
+def _freeze(obj: Any) -> Any:
+    """Recursively convert lists to tuples (JSON round-trip support)."""
+    if isinstance(obj, list | tuple):
+        return tuple(_freeze(v) for v in obj)
+    return obj
+
+
+class SolverCache:
+    """Bounded LRU mapping of solve keys to :class:`OptimalInterval`."""
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[SolverCacheKey, OptimalInterval] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(
+        fingerprint: tuple[Any, ...],
+        checkpoint: float,
+        recovery: float,
+        latency: float,
+        age: float,
+        t_min: float,
+        t_max: float,
+        rel_tol: float,
+        method: str,
+    ) -> SolverCacheKey:
+        """The canonical cache key for one solve instance."""
+        return (
+            fingerprint,
+            float(checkpoint),
+            float(recovery),
+            float(latency),
+            round(float(age), AGE_QUANTUM_DIGITS),
+            float(t_min),
+            float(t_max),
+            float(rel_tol),
+            method,
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: SolverCacheKey) -> "OptimalInterval | None":
+        entry = self._entries.get(key)
+        reg = _metrics()
+        if entry is None:
+            self.misses += 1
+            if reg is not None:
+                reg.inc("opt.cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if reg is not None:
+            reg.inc("opt.cache.hits")
+        return entry
+
+    def put(self, key: SolverCacheKey, value: "OptimalInterval") -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+            reg = _metrics()
+            if reg is not None:
+                reg.inc("opt.cache.evictions")
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: SolverCacheKey) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[SolverCacheKey]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    # snapshots: the metrics-registry merge protocol, for solve results
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """A snapshot of the cache contents plus its traffic stats.
+
+        Entries appear in LRU order (least recent first) so a merge into
+        an empty cache preserves the eviction order.  Keys are nested
+        tuples of primitives; values are the plain-dict form of
+        :class:`OptimalInterval`.
+        """
+        return {
+            "schema": "repro.opt.solver_cache/1",
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": [[list(k), asdict(v)] for k, v in self._entries.items()],
+        }
+
+    def merge_dict(self, data: dict[str, Any], *, stats: bool = True) -> int:
+        """Fold a snapshot in; existing entries win.  Returns the number
+        of entries actually inserted.
+
+        ``stats=False`` merges the entries but not the hit/miss/eviction
+        counters -- for repeated snapshots of a long-lived cache (the
+        sweep workers ship their cumulative cache once per task), where
+        adding the counters each time would multi-count them.
+        """
+        from repro.core.optimizer import OptimalInterval
+
+        inserted = 0
+        for raw_key, raw_value in data.get("entries", []):
+            key = _freeze(raw_key)
+            if key in self._entries:
+                continue
+            self.put(key, OptimalInterval(**raw_value))
+            inserted += 1
+        if stats:
+            self.hits += int(data.get("hits", 0))
+            self.misses += int(data.get("misses", 0))
+            self.evictions += int(data.get("evictions", 0))
+        return inserted
+
+    def merge(self, other: "SolverCache") -> int:
+        return self.merge_dict(other.as_dict())
+
+
+# ----------------------------------------------------------------------
+# the process-global default cache (enabled out of the box: memoised
+# results are bit-identical to recomputation, so there is no behaviour
+# change -- only fewer solves)
+# ----------------------------------------------------------------------
+_active: SolverCache | None = SolverCache()
+
+
+def active_cache() -> SolverCache | None:
+    """The process-global solver cache, or ``None`` when disabled."""
+    return _active
+
+
+def configure_cache(cache: SolverCache | None) -> SolverCache | None:
+    """Install ``cache`` as the process default (``None`` disables)."""
+    global _active
+    _active = cache
+    return _active
+
+
+@contextmanager
+def use_solver_cache(cache: SolverCache | None) -> Iterator[SolverCache | None]:
+    """Temporarily swap the process-global cache (tests, benches)."""
+    global _active
+    previous = _active
+    _active = cache
+    try:
+        yield cache
+    finally:
+        _active = previous

@@ -87,6 +87,29 @@ class AvailabilityDistribution(abc.ABC):
     def params(self) -> dict[str, float | tuple[float, ...]]:
         """The fitted/constructed parameters, keyed by name."""
 
+    def fingerprint(self) -> tuple[object, ...]:
+        """A hashable identity of this distribution: family + parameters.
+
+        Two instances with equal fingerprints represent the same
+        mathematical distribution, so solver-cache entries keyed on the
+        fingerprint are shared across instances (and across processes,
+        once worker snapshots are merged).  Families whose behaviour is
+        not fully determined by :meth:`params` (e.g. the empirical
+        distribution, parameterised by a whole data vector) must
+        override this.  Distributions are treated as immutable after
+        construction; the fingerprint is memoised on first use.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached  # type: ignore[no-any-return]
+        items = tuple(
+            (k, tuple(float(x) for x in v) if isinstance(v, tuple) else float(v))
+            for k, v in sorted(self.params().items())
+        )
+        fp = (type(self).__name__, items)
+        self.__dict__["_fingerprint"] = fp
+        return fp
+
     # ------------------------------------------------------------------
     # derived quantities with sensible defaults
     # ------------------------------------------------------------------

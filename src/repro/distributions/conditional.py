@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
+from repro.numerics.quadrature import gauss_legendre
 
 __all__ = ["ConditionalDistribution"]
 
@@ -75,8 +76,6 @@ class ConditionalDistribution(AvailabilityDistribution):
         if self._surv_age < _DEEP_TAIL_SURV:
             # the difference form below degenerates to noise/S(age) in the
             # deep tail; integrate the stable conditional survival instead
-            from repro.numerics.quadrature import gauss_legendre
-
             upper = 1.0
             while float(self.sf(upper)) > 1e-12 and upper < 1e15:
                 upper *= 2.0
@@ -91,8 +90,6 @@ class ConditionalDistribution(AvailabilityDistribution):
         # E[(X - age)^2 | X > age] by quadrature on the conditional sf:
         # Var = 2 int_0^inf x S_c(x) dx - mean^2.  We integrate to a far
         # quantile to bound the truncation error.
-        from repro.numerics.quadrature import gauss_legendre
-
         upper = float(self.quantile(1.0 - 1e-10))
         if not np.isfinite(upper) or upper <= 0.0:
             upper = max(self.mean() * 50.0, 1.0)
@@ -143,8 +140,6 @@ class ConditionalDistribution(AvailabilityDistribution):
         ``int_0^x S_age(t) dt - x * S_age(x)``, which only touches the
         well-conditioned conditional survival function.
         """
-        from repro.numerics.quadrature import gauss_legendre
-
         integral = gauss_legendre(
             lambda t: np.asarray(self.sf(t)), 0.0, x, order=64, panels=16
         )

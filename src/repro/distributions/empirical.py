@@ -7,6 +7,8 @@ experiments.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.distributions.base import ArrayLike, AvailabilityDistribution, FloatArray, ScalarOrArray
@@ -58,6 +60,20 @@ class EmpiricalDistribution(AvailabilityDistribution):
 
     def params(self) -> dict[str, float]:
         return {"n": float(self.n)}
+
+    def fingerprint(self) -> tuple[object, ...]:
+        """ECDFs are parameterised by the whole sample, not by
+        ``params()``; hash the data so distinct traces never share
+        solver-cache entries."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached  # type: ignore[no-any-return]
+        fp = (
+            type(self).__name__,
+            (("crc32", float(zlib.crc32(self.values.tobytes()))), ("n", float(self.n))),
+        )
+        self.__dict__["_fingerprint"] = fp
+        return fp
 
     def partial_expectation(self, x: ArrayLike) -> ScalarOrArray:
         arr = np.asarray(x, dtype=np.float64)

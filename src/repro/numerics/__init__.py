@@ -15,11 +15,14 @@ Golden Section Search):
 """
 
 from repro.numerics.optimize import (
+    BatchObjective,
     Bracket,
     BracketError,
     GoldenSectionResult,
     bracket_minimum,
+    brent_minimize,
     golden_section_minimize,
+    minimize_positive_hybrid,
     minimize_positive_scalar,
 )
 from repro.numerics.quadrature import (
@@ -35,6 +38,7 @@ from repro.numerics.rootfind import (
 )
 
 __all__ = [
+    "BatchObjective",
     "Bracket",
     "BracketError",
     "GoldenSectionResult",
@@ -43,9 +47,11 @@ __all__ = [
     "adaptive_simpson",
     "bisect",
     "bracket_minimum",
+    "brent_minimize",
     "gauss_legendre",
     "gauss_legendre_nodes",
     "golden_section_minimize",
+    "minimize_positive_hybrid",
     "minimize_positive_scalar",
     "newton_safeguarded",
 ]

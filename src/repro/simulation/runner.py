@@ -14,19 +14,29 @@ Table 3 (network load) protocol:
 
 Machines are independent, so the sweep optionally fans out across
 processes (``n_workers``) with a plain ``ProcessPoolExecutor`` -- the
-work is CPU-bound golden-section optimisation, which releases no GIL.
+work is CPU-bound interval optimisation, which releases no GIL.  The
+fan-out is two-phase: each machine's models are fitted exactly once (one
+fit task per machine), then every ``(machine, model)`` replay is
+dispatched as its own dynamically scheduled task carrying only the
+fitted distribution and the replay durations -- not the raw trace -- so
+slow replays (heavy-tailed fits solve many more schedules) no longer
+convoy behind a static chunk assignment.  Worker solver caches are
+shipped back and folded into the parent's, so later sweeps in the same
+process start warm; see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from collections.abc import Sequence
 from typing import Any
 
 import numpy as np
 
+from repro.core.solver_cache import active_cache as _active_cache
+from repro.distributions.base import AvailabilityDistribution
 from repro.distributions.fitting import MODEL_NAMES, fit_model
 from repro.obs.metrics import MetricsRegistry, active as _metrics, use as _use_metrics
 from repro.obs.tracing import (
@@ -81,31 +91,61 @@ class SweepSettings:
             raise ValueError(f"unknown replay mode: {self.replay!r}")
 
 
+def _fit_machine(
+    trace: AvailabilityTrace, settings: SweepSettings
+) -> list[tuple[str, AvailabilityDistribution]]:
+    """Fit every candidate model to one machine's training prefix.
+
+    All models share one deterministic per-machine EM stream (crc32, not
+    ``hash()``: the latter is salted per interpreter) consumed in
+    ``model_names`` order, so pool results are reproducible regardless
+    of worker scheduling *and* of whether fitting happens in the parent
+    or in a worker.
+    """
+    train, _test = trace.split(settings.n_train)
+    machine_key = zlib.crc32(trace.machine_id.encode("utf-8"))
+    rng = np.random.default_rng(np.random.SeedSequence([settings.em_seed, machine_key]))
+    return [(name, fit_model(name, train, rng=rng)) for name in settings.model_names]
+
+
+def _replay_durations(trace: AvailabilityTrace, settings: SweepSettings) -> np.ndarray:
+    _train, test = trace.split(settings.n_train)
+    return trace.durations if settings.replay == "full" else test
+
+
+def _replay_model(
+    dist: AvailabilityDistribution,
+    replay: np.ndarray,
+    machine_id: str,
+    model_name: str,
+    settings: SweepSettings,
+) -> list[SimulationResult]:
+    """Replay one fitted (machine, model) pair across the cost sweep."""
+    results: list[SimulationResult] = []
+    for cost in settings.checkpoint_costs:
+        config = replace(settings.base_config, checkpoint_cost=float(cost))
+        results.append(
+            simulate_trace(
+                dist,
+                replay,
+                config,
+                machine_id=machine_id,
+                model_name=model_name,
+            )
+        )
+    return results
+
+
 def simulate_machine(
     trace: AvailabilityTrace, settings: SweepSettings
 ) -> list[SimulationResult]:
     """Fit models to one machine's training prefix and run its sweep."""
-    train, test = trace.split(settings.n_train)
-    replay = trace.durations if settings.replay == "full" else test
-    # a deterministic per-machine EM stream (crc32, not hash(): the
-    # latter is salted per interpreter) so pool results are reproducible
-    # regardless of worker scheduling
-    machine_key = zlib.crc32(trace.machine_id.encode("utf-8"))
-    rng = np.random.default_rng(np.random.SeedSequence([settings.em_seed, machine_key]))
+    replay = _replay_durations(trace, settings)
     results: list[SimulationResult] = []
-    for model_name in settings.model_names:
-        dist = fit_model(model_name, train, rng=rng)
-        for cost in settings.checkpoint_costs:
-            config = replace(settings.base_config, checkpoint_cost=float(cost))
-            results.append(
-                simulate_trace(
-                    dist,
-                    replay,
-                    config,
-                    machine_id=trace.machine_id,
-                    model_name=model_name,
-                )
-            )
+    for model_name, dist in _fit_machine(trace, settings):
+        results.extend(
+            _replay_model(dist, replay, trace.machine_id, model_name, settings)
+        )
     return results
 
 
@@ -148,33 +188,51 @@ class PoolSweep:
         return tuple(seen)
 
 
-def _simulate_machine_star(
-    args: tuple[AvailabilityTrace, SweepSettings, bool, bool],
-) -> tuple[list[SimulationResult], dict[str, Any] | None, dict[str, Any] | None]:
-    """Worker entry point: one machine's sweep, plus (when the parent is
+def _fit_machine_star(
+    args: tuple[AvailabilityTrace, SweepSettings],
+) -> list[tuple[str, AvailabilityDistribution]]:
+    """Worker entry point for the fit phase: one machine, all models."""
+    trace, settings = args
+    return _fit_machine(trace, settings)
+
+
+def _replay_model_star(
+    args: tuple[AvailabilityDistribution, np.ndarray, str, str, SweepSettings, bool, bool],
+) -> tuple[
+    list[SimulationResult],
+    dict[str, Any] | None,
+    dict[str, Any] | None,
+    dict[str, Any] | None,
+]:
+    """Worker entry point for the replay phase: one fitted (machine,
+    model) pair across the cost sweep, plus (when the parent is
     collecting metrics and/or a trace) snapshots of what the work
     recorded.
 
-    Worker processes do not inherit the parent's registry or recorder,
-    so each call records into private ones and ships their
-    ``as_dict()`` back with the results; the parent folds the snapshots
-    into its own.
+    Worker processes do not inherit the parent's registry, recorder or
+    solver cache, so each call records into private metrics/trace sinks
+    and ships their ``as_dict()`` back with the results; the worker's
+    process-global solver cache is snapshot too, so the parent's cache
+    ends a sweep holding every solve done anywhere in the fan-out.
     """
-    trace, settings, collect_metrics, collect_trace = args
+    dist, replay, machine_id, model_name, settings, collect_metrics, collect_trace = args
     metrics_snapshot: dict[str, Any] | None = None
     trace_snapshot: dict[str, Any] | None = None
     if not collect_metrics and not collect_trace:
-        return simulate_machine(trace, settings), None, None
-    with _use_metrics() as reg:
-        if collect_trace:
-            with _use_trace() as rec:
-                results = simulate_machine(trace, settings)
-            trace_snapshot = rec.as_dict()
-        else:
-            results = simulate_machine(trace, settings)
-    if collect_metrics:
-        metrics_snapshot = reg.as_dict()
-    return results, metrics_snapshot, trace_snapshot
+        results = _replay_model(dist, replay, machine_id, model_name, settings)
+    else:
+        with _use_metrics() as reg:
+            if collect_trace:
+                with _use_trace() as rec:
+                    results = _replay_model(dist, replay, machine_id, model_name, settings)
+                trace_snapshot = rec.as_dict()
+            else:
+                results = _replay_model(dist, replay, machine_id, model_name, settings)
+        if collect_metrics:
+            metrics_snapshot = reg.as_dict()
+    cache = _active_cache()
+    cache_snapshot = cache.as_dict() if cache is not None else None
+    return results, metrics_snapshot, trace_snapshot, cache_snapshot
 
 
 def simulate_pool(
@@ -199,24 +257,53 @@ def simulate_pool(
     if parent_reg is not None:
         parent_reg.inc("sim.pool.sweeps")
         parent_reg.inc("sim.pool.machines", len(traces))
+    parent_cache = _active_cache()
     if n_workers and n_workers > 1 and len(traces) > 1:
         if parent_reg is not None:
             parent_reg.set_gauge("sim.pool.workers", n_workers)
+        collect = (parent_reg is not None, parent_trace is not None)
         with ProcessPoolExecutor(max_workers=n_workers) as pool_exec:
-            chunks = pool_exec.map(
-                _simulate_machine_star,
-                [
-                    (t, settings, parent_reg is not None, parent_trace is not None)
-                    for t in traces
-                ],
-                chunksize=max(1, len(traces) // (n_workers * 4)),
-            )
-            for chunk, metrics_snapshot, trace_snapshot in chunks:
-                all_results.extend(chunk)
-                if metrics_snapshot is not None and parent_reg is not None:
-                    parent_reg.merge_dict(metrics_snapshot)
-                if trace_snapshot is not None and parent_trace is not None:
-                    parent_trace.merge_dict(trace_snapshot)
+            # phase 1: one fit task per machine.  Each fit is submitted
+            # individually (dynamic dispatch, no static chunks) so an
+            # expensive EM fit on one machine never delays the replays
+            # of machines that finished fitting early: phase 2 tasks for
+            # a machine are enqueued the moment its fits complete.
+            fit_futures: dict[Future[list[tuple[str, AvailabilityDistribution]]], int] = {
+                pool_exec.submit(_fit_machine_star, (t, settings)): i
+                for i, t in enumerate(traces)
+            }
+            replay_futures: dict[tuple[int, int], Future[Any]] = {}
+            pending = set(fit_futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    mi = fit_futures[fut]
+                    trace = traces[mi]
+                    replay = _replay_durations(trace, settings)
+                    for mj, (model_name, dist) in enumerate(fut.result()):
+                        replay_futures[(mi, mj)] = pool_exec.submit(
+                            _replay_model_star,
+                            (dist, replay, trace.machine_id, model_name, settings, *collect),
+                        )
+            # collect in deterministic (machine, model) order so results
+            # and snapshot merges are independent of worker scheduling
+            for mi in range(len(traces)):
+                for mj in range(len(settings.model_names)):
+                    chunk, metrics_snapshot, trace_snapshot, cache_snapshot = (
+                        replay_futures[(mi, mj)].result()
+                    )
+                    all_results.extend(chunk)
+                    if metrics_snapshot is not None and parent_reg is not None:
+                        parent_reg.merge_dict(metrics_snapshot)
+                    if trace_snapshot is not None and parent_trace is not None:
+                        parent_trace.merge_dict(trace_snapshot)
+                    if cache_snapshot is not None and parent_cache is not None:
+                        # traffic stats stay out: each worker snapshot is
+                        # cumulative over its process lifetime, so adding
+                        # them per task would multi-count, and the hit /
+                        # miss counters already arrive via the metrics
+                        # snapshot above
+                        parent_cache.merge_dict(cache_snapshot, stats=False)
     else:
         if parent_reg is not None:
             parent_reg.set_gauge("sim.pool.workers", 1)

@@ -1,0 +1,199 @@
+"""Tests for the process-global LRU solver cache."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    CheckpointCosts,
+    OptimalInterval,
+    SolverCache,
+    active_cache,
+    optimize_interval,
+    use_solver,
+    use_solver_cache,
+)
+from repro.core.solver_cache import DEFAULT_CAPACITY
+from repro.distributions import Exponential, Weibull
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.obs.metrics import use as use_metrics
+
+
+def _interval(t=100.0):
+    return OptimalInterval(
+        T_opt=t,
+        gamma=t * 1.1,
+        overhead_ratio=1.1,
+        expected_efficiency=1.0 / 1.1,
+        age=0.0,
+        converged=True,
+    )
+
+
+def _key(i, method="hybrid"):
+    return SolverCache.key(
+        ("Exponential", (("rate", 0.001),)),
+        100.0,
+        100.0,
+        10.0,
+        float(i),
+        1e-3,
+        1e7,
+        1e-6,
+        method,
+    )
+
+
+class TestLRU:
+    def test_put_get_roundtrip(self):
+        cache = SolverCache(capacity=4)
+        cache.put(_key(0), _interval())
+        assert cache.get(_key(0)) == _interval()
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = SolverCache(capacity=4)
+        assert cache.get(_key(0)) is None
+        assert cache.misses == 1
+
+    def test_capacity_evicts_least_recent(self):
+        cache = SolverCache(capacity=2)
+        cache.put(_key(0), _interval(1.0))
+        cache.put(_key(1), _interval(2.0))
+        cache.put(_key(2), _interval(3.0))
+        assert len(cache) == 2
+        assert _key(0) not in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = SolverCache(capacity=2)
+        cache.put(_key(0), _interval(1.0))
+        cache.put(_key(1), _interval(2.0))
+        cache.get(_key(0))  # 0 is now most recent
+        cache.put(_key(2), _interval(3.0))
+        assert _key(0) in cache
+        assert _key(1) not in cache
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SolverCache(capacity=0)
+
+    def test_default_capacity(self):
+        assert SolverCache().capacity == DEFAULT_CAPACITY
+
+
+class TestKey:
+    def test_age_quantised_to_nanoseconds(self):
+        assert _key(1.0) == SolverCache.key(
+            ("Exponential", (("rate", 0.001),)),
+            100.0, 100.0, 10.0, 1.0 + 1e-12, 1e-3, 1e7, 1e-6, "hybrid",
+        )
+
+    def test_method_distinguishes_entries(self):
+        assert _key(0, "hybrid") != _key(0, "golden")
+
+    def test_costs_distinguish_entries(self):
+        a = SolverCache.key(("E", ()), 100.0, 1.0, 1.0, 0.0, 1e-3, 1e7, 1e-6, "hybrid")
+        b = SolverCache.key(("E", ()), 200.0, 1.0, 1.0, 0.0, 1e-3, 1e7, 1e-6, "hybrid")
+        assert a != b
+
+
+class TestSnapshots:
+    def test_as_dict_merge_dict_roundtrip(self):
+        cache = SolverCache(capacity=8)
+        for i in range(3):
+            cache.put(_key(i), _interval(float(i + 1)))
+        cache.get(_key(0))
+        cache.get(_key(9))  # a miss
+        snap = cache.as_dict()
+        assert snap["schema"] == "repro.opt.solver_cache/1"
+        other = SolverCache(capacity=8)
+        inserted = other.merge_dict(snap)
+        assert inserted == 3
+        assert other.get(_key(1)) == _interval(2.0)
+        assert other.misses == cache.misses + 0  # stats merged, then our get hit
+
+    def test_json_round_trip(self):
+        cache = SolverCache()
+        cache.put(_key(0), _interval())
+        snap = json.loads(json.dumps(cache.as_dict()))
+        other = SolverCache()
+        assert other.merge_dict(snap) == 1
+        assert other.get(_key(0)) == _interval()
+
+    def test_existing_entries_win(self):
+        a = SolverCache()
+        a.put(_key(0), _interval(111.0))
+        b = SolverCache()
+        b.put(_key(0), _interval(222.0))
+        assert a.merge_dict(b.as_dict()) == 0
+        assert a.get(_key(0)) == _interval(111.0)
+
+    def test_stats_false_merges_entries_only(self):
+        a = SolverCache()
+        b = SolverCache()
+        b.put(_key(0), _interval())
+        b.get(_key(0))
+        assert a.merge_dict(b.as_dict(), stats=False) == 1
+        assert a.hits == 0 and a.misses == 0
+        assert _key(0) in a
+
+    def test_merge_object(self):
+        a, b = SolverCache(), SolverCache()
+        b.put(_key(0), _interval())
+        assert a.merge(b) == 1
+
+
+class TestFingerprints:
+    def test_equal_params_share_fingerprint(self):
+        assert Weibull(0.43, 3409.0).fingerprint() == Weibull(0.43, 3409.0).fingerprint()
+
+    def test_distinct_params_distinct_fingerprint(self):
+        assert Exponential(1e-3).fingerprint() != Exponential(2e-3).fingerprint()
+
+    def test_distinct_families_distinct_fingerprint(self):
+        # same parameter values, different family names
+        assert Weibull(1.0, 1000.0).fingerprint() != Exponential(1.0 / 1000.0).fingerprint()
+
+    def test_empirical_hashes_data(self):
+        a = EmpiricalDistribution([1.0, 2.0, 3.0])
+        b = EmpiricalDistribution([1.0, 2.0, 4.0])
+        c = EmpiricalDistribution([1.0, 2.0, 3.0])
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == c.fingerprint()
+
+
+class TestOptimizerIntegration:
+    DIST = Weibull(0.43, 3409.0)
+    COSTS = CheckpointCosts.symmetric(110.0)
+
+    def test_second_solve_hits(self):
+        with use_solver_cache(SolverCache()) as cache:
+            first = optimize_interval(self.DIST, self.COSTS, age=100.0)
+            assert cache.misses == 1 and cache.hits == 0
+            second = optimize_interval(self.DIST, self.COSTS, age=100.0)
+            assert cache.hits == 1
+            assert second == first
+
+    def test_equal_instances_share_entries(self):
+        with use_solver_cache(SolverCache()) as cache:
+            first = optimize_interval(Weibull(0.43, 3409.0), self.COSTS)
+            second = optimize_interval(Weibull(0.43, 3409.0), self.COSTS)
+            assert cache.hits == 1
+            assert second == first
+
+    def test_cache_disabled_inside_use_solver(self):
+        with use_solver(cache=False):
+            assert active_cache() is None
+            optimize_interval(self.DIST, self.COSTS)
+
+    def test_metrics_recorded(self):
+        with use_solver_cache(SolverCache()), use_metrics() as reg:
+            optimize_interval(self.DIST, self.COSTS)
+            optimize_interval(self.DIST, self.COSTS)
+        counters = reg.as_dict()["counters"]
+        assert counters["opt.cache.misses"] == 1.0
+        assert counters["opt.cache.hits"] == 1.0
+
+    def test_global_cache_enabled_by_default(self):
+        assert active_cache() is not None

@@ -8,7 +8,9 @@ from repro.numerics import (
     Bracket,
     BracketError,
     bracket_minimum,
+    brent_minimize,
     golden_section_minimize,
+    minimize_positive_hybrid,
     minimize_positive_scalar,
 )
 
@@ -157,3 +159,129 @@ class TestClampedRefinement:
         res = minimize_positive_scalar(f, guess=2.0, lo=lo, hi=hi)
         assert res.fx == pytest.approx(3.0, abs=1e-6)
         assert res.x == pytest.approx(700.0, rel=1e-6)
+
+
+class TestBrentMinimize:
+    def _bracket(self, func, a, b):
+        return bracket_minimum(func, a, b)
+
+    def test_quadratic(self):
+        def f(x):
+            return (x - 3.0) ** 2 + 1.0
+
+        res = brent_minimize(f, self._bracket(f, 0.0, 1.0))
+        assert res.converged
+        assert res.x == pytest.approx(3.0, abs=1e-6)
+        assert res.fx == pytest.approx(1.0, abs=1e-10)
+
+    def test_fewer_evaluations_than_golden(self):
+        def f(x):
+            return (math.log(x) - 2.0) ** 2 + 0.5
+
+        bracket = self._bracket(f, 1.0, 2.0)
+        golden = golden_section_minimize(f, bracket, rel_tol=1e-8)
+        brent = brent_minimize(f, bracket, rel_tol=1e-8)
+        assert brent.x == pytest.approx(golden.x, rel=1e-6)
+        assert brent.iterations < golden.iterations / 2
+
+    def test_nonsmooth_still_converges(self):
+        def f(x):
+            return abs(x - 5.0) + 0.1
+
+        res = brent_minimize(f, self._bracket(f, 0.5, 1.0))
+        assert res.converged
+        assert res.x == pytest.approx(5.0, abs=1e-4)
+
+    def test_iteration_cap_reported(self):
+        def f(x):
+            return (x - 2.0) ** 2
+
+        res = brent_minimize(f, self._bracket(f, 0.1, 0.2), max_iter=2)
+        assert not res.converged
+
+
+class TestMinimizePositiveHybrid:
+    F_MIN = math.exp(2.0)
+
+    @staticmethod
+    def _f(x):
+        return (math.log(x) - 2.0) ** 2 + 0.5
+
+    @staticmethod
+    def _f_batch(xs):
+        import numpy as np
+
+        return (np.log(xs) - 2.0) ** 2 + 0.5
+
+    def test_cold_path_accurate(self):
+        res = minimize_positive_hybrid(
+            self._f, func_batch=self._f_batch, guess=1.0, lo=1e-3, hi=1e5
+        )
+        assert res.converged
+        # the parabolic polish trades a small systematic bias (identical
+        # for every entry path, so equivalence is unaffected) for
+        # repeatability; absolute accuracy is O(h^2) ~ 1e-6 relative
+        assert res.x == pytest.approx(self.F_MIN, rel=1e-5)
+
+    def test_scalar_fallback_matches_batched(self):
+        a = minimize_positive_hybrid(self._f, func_batch=self._f_batch, guess=1.0, lo=1e-3, hi=1e5)
+        b = minimize_positive_hybrid(self._f, guess=1.0, lo=1e-3, hi=1e5)
+        assert a.x == pytest.approx(b.x, rel=1e-9)
+
+    def test_warm_start_matches_cold(self):
+        cold = minimize_positive_hybrid(
+            self._f, func_batch=self._f_batch, guess=1.0, lo=1e-3, hi=1e5
+        )
+        warm = minimize_positive_hybrid(
+            self._f,
+            func_batch=self._f_batch,
+            guess=1.0,
+            warm_start=cold.x * 1.01,
+            lo=1e-3,
+            hi=1e5,
+        )
+        assert warm.x == pytest.approx(cold.x, rel=1e-9)
+
+    def test_warm_start_counts_fewer_passes(self):
+        from repro.obs.metrics import use as use_metrics
+
+        with use_metrics() as reg:
+            minimize_positive_hybrid(
+                self._f, func_batch=self._f_batch, guess=1.0, lo=1e-3, hi=1e5
+            )
+        cold_passes = reg.as_dict()["counters"]["numerics.hybrid.passes"]
+        with use_metrics() as reg:
+            minimize_positive_hybrid(
+                self._f,
+                func_batch=self._f_batch,
+                guess=1.0,
+                warm_start=self.F_MIN * 1.001,
+                lo=1e-3,
+                hi=1e5,
+            )
+        counters = reg.as_dict()["counters"]
+        assert counters["opt.warm.hits"] == 1.0
+        assert counters["numerics.hybrid.passes"] < cold_passes
+
+    def test_bad_warm_seed_falls_back_to_cold(self):
+        from repro.obs.metrics import use as use_metrics
+
+        with use_metrics() as reg:
+            res = minimize_positive_hybrid(
+                self._f,
+                func_batch=self._f_batch,
+                guess=1.0,
+                warm_start=self.F_MIN * 500.0,
+                lo=1e-3,
+                hi=1e5,
+            )
+        assert res.x == pytest.approx(self.F_MIN, rel=1e-5)
+        assert reg.as_dict()["counters"]["opt.warm.fallbacks"] == 1.0
+
+    def test_monotone_objective_falls_back_to_scalar(self):
+        res = minimize_positive_hybrid(lambda x: x, guess=1.0, lo=1e-3, hi=1e3)
+        assert res.x == pytest.approx(1e-3, rel=1e-6)
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_positive_hybrid(self._f, guess=1.0, lo=10.0, hi=1.0)

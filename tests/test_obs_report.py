@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.core import active_cache
 from repro.obs.metrics import MetricsRegistry, disable
 from repro.obs.report import (
     SCHEMA,
@@ -22,7 +23,7 @@ from repro.obs.report import (
 
 def _registry():
     reg = MetricsRegistry()
-    reg.inc("numerics.golden.iterations", 123.0)
+    reg.inc("numerics.hybrid.passes", 123.0)
     reg.set_gauge("sim.pool.workers", 2.0)
     reg.observe("sim.replay_seconds", 0.25)
     return reg
@@ -44,7 +45,7 @@ class TestReportRoundTrip:
         loaded = load_report(str(path))
         assert loaded == report
         assert loaded["schema"] == SCHEMA
-        assert loaded["metrics"]["counters"]["numerics.golden.iterations"] == 123.0
+        assert loaded["metrics"]["counters"]["numerics.hybrid.passes"] == 123.0
 
     def test_dumps_is_canonical(self):
         report = build_report(_registry(), command="x")
@@ -65,7 +66,7 @@ class TestReportRoundTrip:
     def test_render_mentions_every_metric(self):
         text = render_report(build_report(_registry(), command="fig3"))
         assert "run report" in text
-        assert "numerics.golden.iterations" in text
+        assert "numerics.hybrid.passes" in text
         assert "sim.pool.workers" in text
         assert "sim.replay_seconds" in text
 
@@ -213,6 +214,9 @@ class TestDiffCli:
 
 class TestCliMetrics:
     def test_sweep_records_hot_layer_counters(self, tmp_path):
+        cache = active_cache()
+        if cache is not None:
+            cache.clear()  # hot-layer counters require cache-cold solves
         out = tmp_path / "metrics.json"
         code, _ = run_cli(
             "fig3", "--machines", "4", "--observations", "35", "--metrics", str(out)
@@ -222,7 +226,9 @@ class TestCliMetrics:
         report = load_report(str(out))
         counters = report["metrics"]["counters"]
         # optimizer, schedule and replay layers must all have fired
-        assert counters["numerics.golden.iterations"] > 0
+        assert counters["numerics.hybrid.passes"] > 0
+        assert counters["numerics.brent.iterations"] > 0
+        assert counters["opt.cache.misses"] > 0
         assert counters["schedule.solves"] > 0
         assert (
             counters.get("schedule.reuses.memoryless", 0)
@@ -255,12 +261,15 @@ class TestCliMetrics:
         assert report["metrics"]["gauges"]["live.machines"] == 8.0
 
     def test_report_subcommand_round_trips(self, tmp_path):
+        cache = active_cache()
+        if cache is not None:
+            cache.clear()  # the report must show cache-cold solver work
         out = tmp_path / "metrics.json"
         run_cli("fig3", "--machines", "3", "--observations", "35", "--metrics", str(out))
         code, text = run_cli("report", str(out))
         assert code == 0
         assert "run report" in text
-        assert "numerics.golden.iterations" in text
+        assert "numerics.hybrid.passes" in text
         code, text = run_cli("report", str(out), "--json")
         assert code == 0
         assert json.loads(text) == load_report(str(out))

@@ -86,3 +86,15 @@ class TestPoolSweep:
         a = serial.metric_matrix("hyperexp2", "efficiency")
         b = parallel.metric_matrix("hyperexp2", "efficiency")
         assert np.allclose(a, b)
+
+    def test_more_workers_than_machines(self, pool):
+        # regression guard for the old static ``map(chunksize=...)``
+        # heuristic, which degenerated when the pool was smaller than
+        # the worker count; dynamic dispatch must handle it untroubled
+        traces = list(pool)[:2]
+        serial = simulate_pool(traces, SMALL_SETTINGS, n_workers=1)
+        wide = simulate_pool(traces, SMALL_SETTINGS, n_workers=6)
+        a = serial.metric_matrix("weibull", "efficiency")
+        b = wide.metric_matrix("weibull", "efficiency")
+        assert np.allclose(a, b)
+        assert wide.machines() == serial.machines()

@@ -1,0 +1,137 @@
+"""Golden-master equivalence of the solver fast paths.
+
+The hybrid solver's warm starts, batched evaluation and result caching
+are pure performance devices: every path must reproduce the cold solve
+to <= 1e-9 *relative* in ``T_opt`` (the parabolic polish pins the
+abscissa far below the bracket tolerance, so independently started
+solves land on the same point).  The suite sweeps the paper's model
+families from age 0 into the deep conditional tail.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CheckpointCosts,
+    MarkovIntervalModel,
+    SolverCache,
+    optimize_interval,
+    use_solver,
+    use_solver_cache,
+)
+from repro.distributions import Exponential, Hyperexponential, Weibull
+
+REL_BUDGET = 1e-9
+
+COSTS = CheckpointCosts.symmetric(110.0)
+
+#: (distribution, ages from job start into the deep conditional tail)
+CASES = {
+    "exp": (Exponential(1.0 / 5000.0), (0.0, 500.0, 5000.0, 1e6)),
+    "weib-heavy": (Weibull(0.43, 3409.0), (0.0, 340.0, 3409.0, 34090.0, 4e6)),
+    "hyper2": (
+        Hyperexponential([0.5, 0.5], [1.0 / 100.0, 1.0 / 9000.0]),
+        (0.0, 90.0, 9000.0, 2e5),
+    ),
+    "hyper3": (
+        Hyperexponential([0.3, 0.5, 0.2], [1.0 / 50.0, 1.0 / 2000.0, 1.0 / 20000.0]),
+        (0.0, 200.0, 20000.0, 4e5),
+    ),
+}
+
+
+def _cold(dist, age):
+    with use_solver_cache(None):
+        return optimize_interval(dist, COSTS, age=age)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+class TestGoldenMaster:
+    def test_warm_matches_cold(self, name):
+        dist, ages = CASES[name]
+        seed = None
+        for age in ages:
+            cold = _cold(dist, age)
+            if seed is not None:
+                with use_solver_cache(None):
+                    warm = optimize_interval(dist, COSTS, age=age, warm_start=seed)
+                assert warm.T_opt == pytest.approx(cold.T_opt, rel=REL_BUDGET)
+            seed = cold.T_opt
+
+    def test_bad_seed_matches_cold(self, name):
+        dist, ages = CASES[name]
+        cold = _cold(dist, ages[0])
+        for bad in (cold.T_opt * 50.0, cold.T_opt / 50.0):
+            with use_solver_cache(None):
+                warm = optimize_interval(dist, COSTS, age=ages[0], warm_start=bad)
+            assert warm.T_opt == pytest.approx(cold.T_opt, rel=REL_BUDGET)
+
+    def test_cached_matches_cold(self, name):
+        dist, ages = CASES[name]
+        for age in ages:
+            cold = _cold(dist, age)
+            with use_solver_cache(SolverCache()) as cache:
+                optimize_interval(dist, COSTS, age=age)
+                cached = optimize_interval(dist, COSTS, age=age)
+                assert cache.hits == 1
+            assert cached.T_opt == pytest.approx(cold.T_opt, rel=REL_BUDGET)
+
+    def test_hybrid_agrees_with_golden_reference(self, name):
+        dist, ages = CASES[name]
+        for age in ages:
+            hybrid = _cold(dist, age)
+            with use_solver(method="golden", cache=False):
+                golden = optimize_interval(dist, COSTS, age=age)
+            # the two refine to the *solver* tolerance, not the polish's
+            assert hybrid.T_opt == pytest.approx(golden.T_opt, rel=5e-5)
+            assert hybrid.overhead_ratio == pytest.approx(golden.overhead_ratio, rel=1e-8)
+            # the fast path never lands on a worse objective value
+            assert hybrid.overhead_ratio <= golden.overhead_ratio * (1.0 + 1e-12)
+
+
+_dists = st.sampled_from([dist for dist, _ in CASES.values()])
+_ages = st.sampled_from([0.0, 77.0, 5000.0, 40000.0])
+_Ts = st.lists(
+    st.floats(min_value=1e-2, max_value=1e6), min_size=1, max_size=8
+)
+
+
+class TestBatchedObjective:
+    @given(_dists, _ages, _Ts)
+    @settings(max_examples=150, deadline=None)
+    def test_batch_matches_scalar_pointwise(self, dist, age, Ts):
+        model = MarkovIntervalModel(dist, COSTS, age)
+        batch = model.overhead_ratio_batch(np.asarray(Ts))
+        for t, b in zip(Ts, batch, strict=True):
+            scalar = model.overhead_ratio(t)
+            if math.isfinite(scalar):
+                assert b == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+            else:
+                assert not math.isfinite(b)
+
+    @given(_dists, _ages, _Ts)
+    @settings(max_examples=100, deadline=None)
+    def test_gamma_batch_matches_scalar(self, dist, age, Ts):
+        model = MarkovIntervalModel(dist, COSTS, age)
+        batch = model.gamma_batch(np.asarray(Ts))
+        for t, b in zip(Ts, batch, strict=True):
+            scalar = model.gamma(t)
+            if math.isfinite(scalar):
+                assert b == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+            else:
+                assert not math.isfinite(b)
+
+    def test_batch_rejects_nonpositive(self):
+        model = MarkovIntervalModel(Exponential(1e-3), COSTS, 0.0)
+        with pytest.raises(ValueError):
+            model.gamma_batch(np.asarray([100.0, -1.0]))
+
+    def test_scalar_input_gives_length_one(self):
+        model = MarkovIntervalModel(Exponential(1e-3), COSTS, 0.0)
+        out = model.overhead_ratio_batch(123.0)
+        assert out.shape == (1,)
+        assert float(out[0]) == pytest.approx(model.overhead_ratio(123.0), rel=1e-12)
