@@ -1,0 +1,112 @@
+"""Fail CI when the serve bench regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_serve_regression.py BASELINE CURRENT [--max-regression 0.20]
+
+Compares the freshly generated ``BENCH_serve.json`` (CURRENT) against
+the committed one (BASELINE).  The gates are the *deterministic*
+headlines -- wall-clock QPS and latency vary with the machine, so they
+are printed for humans but never gated:
+
+* ``batching.solves_per_request`` may exceed the baseline by at most
+  ``--max-regression`` (default 20%): the micro-batcher must keep
+  collapsing duplicate in-flight queries into shared solves.
+* ``equivalence_max_rel_dev`` must stay <= 1e-12: the served T_opt is
+  bit-identical to a direct optimizer call, so a serving change that
+  silently perturbs results also fails.
+* ``warm_start.initial_hit_rate`` must strictly exceed
+  ``cold_start.initial_hit_rate``: snapshot warm-loading has to keep
+  paying for itself.
+
+Exit status: 0 on pass, 1 on regression, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "repro.bench.serve/1"
+REL_BUDGET = 1e-12
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a serve bench artifact (schema={data.get('schema')!r})")
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_serve.json")
+    parser.add_argument("current", help="freshly generated BENCH_serve.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional increase in solves per request (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = _load(args.baseline)
+        current = _load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    base_spr = float(baseline["batching"]["solves_per_request"])
+    curr_spr = float(current["batching"]["solves_per_request"])
+    limit = base_spr * (1.0 + args.max_regression)
+    rel_dev = float(current["equivalence_max_rel_dev"])
+    cold_rate = float(current["cold_start"]["initial_hit_rate"])
+    warm_rate = float(current["warm_start"]["initial_hit_rate"])
+
+    closed = current["closed_loop"]
+    open_loop = current["open_loop"]
+    print(f"solves per request: baseline {base_spr:.4f}, current {curr_spr:.4f} (limit {limit:.4f})")
+    print(f"served-vs-direct max relative deviation: {rel_dev:.3e}")
+    print(f"initial cache-hit rate: cold {cold_rate:.3f} -> warm {warm_rate:.3f}")
+    print(
+        f"closed loop (informational): {closed['qps']:.0f} QPS, "
+        f"p99 {closed['latency_ms']['p99']:.2f} ms"
+    )
+    print(
+        f"open loop (informational): offered {open_loop['qps_offered']:.0f} / "
+        f"achieved {open_loop['qps_achieved']:.0f} QPS, "
+        f"p99 {open_loop['latency_ms']['p99']:.2f} ms"
+    )
+
+    ok = True
+    if curr_spr > limit:
+        print(
+            f"REGRESSION: solves per request rose {curr_spr / base_spr - 1.0:+.1%} "
+            f"(> {args.max_regression:.0%} allowed)",
+            file=sys.stderr,
+        )
+        ok = False
+    if rel_dev > REL_BUDGET:
+        print(
+            f"REGRESSION: served T_opt deviates {rel_dev:.3e} from direct solves "
+            f"(budget {REL_BUDGET:.0e})",
+            file=sys.stderr,
+        )
+        ok = False
+    if warm_rate <= cold_rate:
+        print(
+            f"REGRESSION: warm restart hit rate {warm_rate:.3f} does not beat "
+            f"cold start {cold_rate:.3f} -- snapshot warm-loading is broken",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print("serve bench within budget")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

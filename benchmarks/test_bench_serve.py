@@ -1,0 +1,79 @@
+"""Serving-layer benchmark: the daemon under closed- and open-loop load.
+
+Drives a real :class:`~repro.serve.server.ScheduleServer` over localhost
+TCP with the deterministic multi-tenant query mix from
+:mod:`repro.serve.bench` and writes ``BENCH_serve.json`` (committed,
+uploaded as a CI artifact, and guarded by
+``benchmarks/check_serve_regression.py``):
+
+* ``batching.solves_per_request``: the headline batching win.  The query
+  mix draws most ages from a small bucket set, so the micro-batcher's
+  group-and-dedup should answer many requests per optimizer call.  This
+  is deterministic given the seed (the batch *boundaries* vary with
+  timing, but dedup happens against the solver cache too, so the solve
+  count is pinned by the number of distinct queries).
+* ``equivalence_max_rel_dev``: served T_opt vs direct scalar solves on a
+  sample of the stream.  Must be 0 (bitwise) -- batching is a dispatch
+  device, not a different solver.
+* ``warm_start.initial_hit_rate`` vs ``cold_start.initial_hit_rate``:
+  the warm daemon loads the cold run's snapshot and must start with a
+  strictly higher cache-hit rate.
+* QPS / latency percentiles for both loops: reported for humans,
+  not gated (wall-clock is machine-dependent).
+"""
+
+import json
+
+from repro.serve.bench import BENCH_SCHEMA, BenchConfig, run_bench
+
+REL_BUDGET = 1e-12
+
+CONFIG = BenchConfig(
+    requests=1200,
+    clients=8,
+    rate_qps=1200.0,
+    open_loop_requests=800,
+    seed=2005,
+)
+
+
+def test_bench_serve(benchmark, tmp_path):
+    artifact = run_bench(CONFIG, str(tmp_path / "serve.snapshot.json"))
+
+    with open("BENCH_serve.json", "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    assert artifact["schema"] == BENCH_SCHEMA
+
+    # every request answered, none failed
+    assert artifact["closed_loop"]["requests"] == CONFIG.requests
+    assert artifact["open_loop"]["requests"] == CONFIG.open_loop_requests
+    assert artifact["open_loop"]["errors"] == 0
+
+    # the batching headline: strictly fewer solves than requests
+    batching = artifact["batching"]
+    assert batching["queries"] == CONFIG.requests
+    assert batching["solves_per_request"] < 1.0, batching
+    assert batching["collapsed"] > 0, batching
+
+    # served results are bit-identical to direct solves
+    assert artifact["equivalence_max_rel_dev"] <= REL_BUDGET, artifact
+
+    # a warm restart answers its first queries from the snapshot
+    cold = artifact["cold_start"]["initial_hit_rate"]
+    warm = artifact["warm_start"]["initial_hit_rate"]
+    assert artifact["warm_start"]["snapshot_entries_loaded"] > 0, artifact
+    assert warm > cold, (cold, warm)
+
+    # throughput sanity (very loose: CI machines vary wildly)
+    assert artifact["closed_loop"]["qps"] > 50.0, artifact["closed_loop"]
+
+    smoke = BenchConfig(
+        requests=200, clients=4, rate_qps=500.0, open_loop_requests=100, seed=2005
+    )
+    benchmark.pedantic(
+        lambda: run_bench(smoke, str(tmp_path / "bench.snapshot.json")),
+        rounds=2,
+        iterations=1,
+    )

@@ -25,10 +25,27 @@ from repro.experiments.synthetic_study import run_synthetic_study
 from repro.experiments.validation import validate_simulation
 from repro.traces.synthetic import SyntheticPoolConfig
 
-__all__ = ["build_parser", "main"]
+__all__ = ["TOOL_COMMANDS", "build_parser", "main"]
 
 _SWEEP_COMMANDS = ("table1", "table3", "fig3", "fig4")
 _LIVE_COMMANDS = ("table4", "table5")
+
+#: tool subcommands with their own option surfaces, dispatched before
+#: the experiment parser sees the arguments.  Keys appear in ``--help``
+#: (tests enforce this); values are one-line summaries.
+TOOL_COMMANDS: dict[str, str] = {
+    "lint": "run the reprolint static-analysis pass (docs/ANALYSIS.md)",
+    "report": "pretty-print or --diff --metrics run reports",
+    "trace": "inspect --trace event logs: summary/filter/timeline/export",
+    "serve": "run the async schedule-query daemon (docs/SERVING.md)",
+    "bench-serve": "load-generate against the daemon; emits BENCH_serve.json",
+}
+
+
+def _tool_epilog() -> str:
+    lines = ["tool subcommands (each has its own --help):"]
+    lines += [f"  {name:<12} {summary}" for name, summary in TOOL_COMMANDS.items()]
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Overhead of Checkpointing in Cycle-harvesting Cluster "
             "Environments' (CLUSTER 2005)."
         ),
+        epilog=_tool_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "command",
@@ -60,11 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
             "future-work extensions, 'fitstudy' the §3.1 goodness-of-fit "
             "table, 'convergence' the efficiency-convergence diagnostic, "
             "'storage-study' the incremental/compressed checkpoint storage "
-            "sweep at the Table 4 campus point); 'repro lint [paths]' runs "
-            "the reprolint static-analysis pass (see docs/ANALYSIS.md); "
-            "'repro report FILE' pretty-prints a --metrics run report and "
-            "'repro report --diff A B' diffs two of them; 'repro trace ...' "
-            "inspects --trace event logs (see docs/OBSERVABILITY.md)"
+            "sweep at the Table 4 campus point); the tool subcommands "
+            "below (lint, report, trace, serve, bench-serve) have their "
+            "own option surfaces"
         ),
     )
     parser.add_argument("--machines", type=int, default=120, help="pool size for the sweep experiments")
@@ -181,21 +198,37 @@ def _emit(text: str, out_path: str | None, sink) -> None:
             fh.write(text + "\n")
 
 
+def _dispatch_tool(command: str, argv: list[str], stdout) -> int:
+    """Run one :data:`TOOL_COMMANDS` entry (imports stay lazy: the serve
+    and analysis stacks must not burden a plain table regeneration)."""
+    if command == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv, stdout=stdout)
+    if command == "report":
+        return _report_main(argv, stdout=stdout)
+    if command == "trace":
+        from repro.obs.tracing.cli import main as trace_main
+
+        return trace_main(argv, stdout=stdout)
+    if command == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv, stdout=stdout)
+    if command == "bench-serve":
+        from repro.serve.cli import bench_main
+
+        return bench_main(argv, stdout=stdout)
+    raise ValueError(f"unregistered tool command: {command!r}")  # pragma: no cover
+
+
 def main(argv: list[str] | None = None, *, stdout=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv[:1] == ["lint"]:
-        # the static-analysis front end has its own option surface;
-        # dispatch before the experiment parser sees the arguments
-        from repro.analysis.cli import main as lint_main
-
-        return lint_main(argv[1:], stdout=stdout)
-    if argv[:1] == ["report"]:
-        return _report_main(argv[1:], stdout=stdout)
-    if argv[:1] == ["trace"]:
-        from repro.obs.tracing.cli import main as trace_main
-
-        return trace_main(argv[1:], stdout=stdout)
+    if argv and argv[0] in TOOL_COMMANDS:
+        # tool front ends own their option surface; dispatch before the
+        # experiment parser sees the arguments
+        return _dispatch_tool(argv[0], argv[1:], stdout)
     args = build_parser().parse_args(argv)
     sink = stdout if stdout is not None else sys.stdout
     if args.out:

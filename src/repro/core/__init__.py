@@ -18,6 +18,7 @@ from repro.core.optimizer import (
     OptimalInterval,
     default_solver_method,
     optimize_interval,
+    optimize_intervals_batch,
     use_solver,
     young_approximation,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "configure_cache",
     "default_solver_method",
     "optimize_interval",
+    "optimize_intervals_batch",
     "use_solver",
     "use_solver_cache",
     "young_approximation",

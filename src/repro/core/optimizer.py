@@ -44,6 +44,7 @@ __all__ = [
     "OptimalInterval",
     "default_solver_method",
     "optimize_interval",
+    "optimize_intervals_batch",
     "use_solver",
     "young_approximation",
 ]
@@ -227,3 +228,54 @@ def optimize_interval(
     if cache is not None and key is not None:
         cache.put(key, opt)
     return opt
+
+
+def optimize_intervals_batch(
+    distribution: AvailabilityDistribution,
+    costs: CheckpointCosts,
+    ages: "Iterable[float]",
+    *,
+    t_min: float = 1e-3,
+    t_max: float | None = None,
+    rel_tol: float = 1e-6,
+    method: str | None = None,
+) -> list[OptimalInterval]:
+    """Solve one (distribution, costs) pair at many elapsed uptimes.
+
+    This is the dispatch primitive behind the ``repro serve``
+    micro-batcher: a burst of concurrent queries that share a fitted
+    model and cost set collapses to **one solve per distinct age** --
+    duplicate ages (the common case for a pool manager polling many
+    machines at the same bucketed uptime) are answered from the first
+    solve of the burst, and each distinct age takes a single vectorised
+    hybrid pass (one :meth:`~repro.core.markov.MarkovIntervalModel.\
+overhead_ratio_batch` grid evaluation plus Brent refinement) rather
+    than a golden-section evaluation chain.
+
+    Every returned interval is **bitwise identical** to what the scalar
+    :func:`optimize_interval` returns for the same arguments: distinct
+    ages are routed through exactly that function (same cache, same
+    warm-start-free cold path), and duplicates reuse the identical
+    result object.  The equivalence suite
+    (``tests/test_serve_equivalence.py``) gates this.
+
+    Results are returned in input order.
+    """
+    resolved: dict[float, OptimalInterval] = {}
+    out: list[OptimalInterval] = []
+    for age in ages:
+        a = float(age)
+        opt = resolved.get(a)
+        if opt is None:
+            opt = optimize_interval(
+                distribution,
+                costs,
+                age=a,
+                t_min=t_min,
+                t_max=t_max,
+                rel_tol=rel_tol,
+                method=method,
+            )
+            resolved[a] = opt
+        out.append(opt)
+    return out

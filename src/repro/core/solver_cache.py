@@ -50,6 +50,8 @@ if TYPE_CHECKING:
 
 __all__ = [
     "DEFAULT_CAPACITY",
+    "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_VERSION",
     "SolverCache",
     "SolverCacheKey",
     "active_cache",
@@ -68,6 +70,19 @@ DEFAULT_CAPACITY = 8192
 
 #: age-bucket quantum (seconds); see the module docstring
 AGE_QUANTUM_DIGITS = 9
+
+#: schema identifier of the snapshot dict produced by
+#: :meth:`SolverCache.as_dict`.  The trailing segment is the format
+#: version, also carried explicitly in the snapshot's ``version`` field;
+#: :meth:`SolverCache.merge_dict` rejects snapshots whose schema or
+#: version does not match, so a daemon warm-loading a disk snapshot from
+#: a future (or foreign) writer fails loudly instead of silently
+#: mis-parsing entries.
+SNAPSHOT_SCHEMA = "repro.opt.solver_cache/1"
+
+#: current snapshot format version (bump together with the schema suffix
+#: on any incompatible change to the entry layout)
+SNAPSHOT_VERSION = 1
 
 
 def _freeze(obj: Any) -> Any:
@@ -168,7 +183,8 @@ class SolverCache:
         :class:`OptimalInterval`.
         """
         return {
-            "schema": "repro.opt.solver_cache/1",
+            "schema": SNAPSHOT_SCHEMA,
+            "version": SNAPSHOT_VERSION,
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
@@ -184,15 +200,42 @@ class SolverCache:
         counters -- for repeated snapshots of a long-lived cache (the
         sweep workers ship their cumulative cache once per task), where
         adding the counters each time would multi-count them.
+
+        Raises :class:`ValueError` when ``data`` is not a solver-cache
+        snapshot, carries an unknown schema, or was written by a newer
+        format version -- a daemon warm-loading a stale or foreign file
+        must fail loudly rather than populate the cache with garbage.
+        (Version-1 snapshots written before the explicit ``version``
+        field are still accepted: the schema string pins the format.)
         """
         from repro.core.optimizer import OptimalInterval
 
+        schema = data.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"not a solver-cache snapshot: expected schema {SNAPSHOT_SCHEMA!r}, "
+                f"got {schema!r}"
+            )
+        version = int(data.get("version", SNAPSHOT_VERSION))
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported solver-cache snapshot version {version} "
+                f"(this build reads version {SNAPSHOT_VERSION}); regenerate the "
+                "snapshot with SolverCache.as_dict()"
+            )
         inserted = 0
-        for raw_key, raw_value in data.get("entries", []):
-            key = _freeze(raw_key)
-            if key in self._entries:
-                continue
-            self.put(key, OptimalInterval(**raw_value))
+        for index, item in enumerate(data.get("entries", [])):
+            try:
+                raw_key, raw_value = item
+                key = _freeze(raw_key)
+                if key in self._entries:
+                    continue
+                entry = OptimalInterval(**raw_value)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"malformed solver-cache snapshot entry {index}: {exc}"
+                ) from exc
+            self.put(key, entry)
             inserted += 1
         if stats:
             self.hits += int(data.get("hits", 0))

@@ -1,0 +1,270 @@
+"""Command-line front ends: ``repro serve`` and ``repro bench-serve``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, TextIO
+
+from repro.serve.bench import (
+    BenchConfig,
+    demo_registry,
+    run_against,
+    run_bench,
+)
+from repro.serve.models import distribution_from_spec
+from repro.serve.protocol import costs_from_payload
+from repro.serve.registry import TenantRegistry
+from repro.serve.server import ScheduleServer, ServerConfig
+
+__all__ = ["bench_main", "serve_main"]
+
+
+def _load_pools_file(path: str, registry: TenantRegistry) -> int:
+    """Register pools from a JSON file: a list of
+    ``{"pool":..., "model": {...}, "costs": {...}}`` objects."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise SystemExit(f"error: {path}: pools file must hold a JSON array")
+    for i, item in enumerate(data):
+        if not isinstance(item, dict) or not isinstance(item.get("pool"), str):
+            raise SystemExit(f"error: {path}: entry {i} needs a 'pool' name")
+        try:
+            distribution = distribution_from_spec(item.get("model") or {})
+            costs = costs_from_payload(item.get("costs"))
+        except ValueError as exc:
+            raise SystemExit(f"error: {path}: entry {i}: {exc}") from exc
+        registry.register(item["pool"], distribution, costs)
+    return len(data)
+
+
+def serve_main(argv: list[str], stdout: TextIO | None = None) -> int:
+    """``repro serve [--port N] [--stdio] [--snapshot PATH] ...``"""
+    parser = argparse.ArgumentParser(
+        prog="repro-checkpoint serve",
+        description=(
+            "Run the async schedule-query daemon: JSON-lines requests over "
+            "TCP (or stdio), micro-batched solving, solver-cache snapshots "
+            "for warm restarts.  Protocol reference: docs/SERVING.md."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    parser.add_argument("--port", type=int, default=7355, help="TCP port (0 = ephemeral)")
+    parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve requests from stdin to stdout instead of TCP (tests, scripting)",
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window in milliseconds (default 2.0)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=256, help="flush once this many queries pend"
+    )
+    parser.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        default=None,
+        help="solver-cache snapshot file: warm-loaded at startup, rewritten periodically and at shutdown",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds between periodic snapshots (default 30)",
+    )
+    parser.add_argument(
+        "--pools",
+        metavar="FILE",
+        default=None,
+        help="preload tenant pools from a JSON file (list of {pool, model, costs})",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="preload the paper's demo pools (campus-exp/-weibull/-hyper2)",
+    )
+    args = parser.parse_args(argv)
+    sink = stdout if stdout is not None else sys.stdout
+
+    registry = demo_registry() if args.demo else TenantRegistry()
+    if args.pools:
+        _load_pools_file(args.pools, registry)
+    if args.batch_window_ms < 0:
+        raise SystemExit("error: --batch-window-ms must be >= 0")
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            batch_window_s=args.batch_window_ms / 1e3,
+            max_batch=args.max_batch,
+            snapshot_path=args.snapshot,
+            snapshot_interval_s=args.snapshot_interval,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    server = ScheduleServer(config, registry=registry)
+
+    import asyncio
+
+    if args.stdio:
+        asyncio.run(server.run_stdio(sys.stdin, sink if stdout is not None else sys.stdout))
+        return 0
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"[repro serve] listening on {config.host}:{server.port} "
+            f"(pools: {len(registry)}, warm-loaded: {server.warm_loaded_entries} entries)",
+            file=sink,
+            flush=True,
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
+            print("[repro serve] stopped", file=sink, flush=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass  # clean Ctrl-C: the finally block above already stopped the server
+    return 0
+
+
+def bench_main(argv: list[str], stdout: TextIO | None = None) -> int:
+    """``repro bench-serve [--out BENCH_serve.json] [--connect HOST:PORT]``"""
+    parser = argparse.ArgumentParser(
+        prog="repro-checkpoint bench-serve",
+        description=(
+            "Load-generate against the schedule-query daemon: closed- and "
+            "open-loop arrivals, QPS and p50/p95/p99 latency, batching "
+            "effectiveness, and the cold-vs-warm restart comparison.  "
+            "Writes the BENCH_serve.json artifact gated by "
+            "benchmarks/check_serve_regression.py."
+        ),
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write the JSON artifact here"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=2000, help="closed-loop request count"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, help="closed-loop concurrent connections"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=1500.0, help="open-loop offered QPS"
+    )
+    parser.add_argument(
+        "--open-requests", type=int, default=1500, help="open-loop request count"
+    )
+    parser.add_argument("--seed", type=int, default=2005, help="query-stream seed")
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=2.0, help="server batching window (ms)"
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="open-loop load against an already-running daemon instead of the in-process bench",
+    )
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="with --connect: send a shutdown op after the run (CI smoke)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        default=None,
+        help="snapshot file used by the warm-restart phase (default: <out>.snapshot or a temp file)",
+    )
+    args = parser.parse_args(argv)
+    sink = stdout if stdout is not None else sys.stdout
+
+    if args.batch_window_ms < 0:
+        raise SystemExit("error: --batch-window-ms must be >= 0")
+    try:
+        config = BenchConfig(
+            requests=args.requests,
+            clients=args.clients,
+            rate_qps=args.rate,
+            open_loop_requests=args.open_requests,
+            seed=args.seed,
+            batch_window_s=args.batch_window_ms / 1e3,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    if args.connect:
+        host, sep, port_text = args.connect.rpartition(":")
+        if not sep or not port_text.isdigit():
+            raise SystemExit("error: --connect expects HOST:PORT")
+        summary = run_against(
+            host or "127.0.0.1", int(port_text), config, shutdown=args.shutdown
+        )
+        _print_summary("open loop (external daemon)", summary, sink)
+        if summary["errors"]:
+            print(f"error: {summary['errors']} request(s) failed", file=sys.stderr)
+            return 1
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+        return 0
+
+    snapshot_path = args.snapshot
+    if snapshot_path is None:
+        import tempfile
+
+        snapshot_path = (
+            f"{args.out}.snapshot"
+            if args.out
+            else tempfile.NamedTemporaryFile(suffix=".snapshot.json", delete=False).name
+        )
+    artifact = run_bench(config, snapshot_path)
+    _print_artifact(artifact, sink)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+        print(f"[artifact written to {args.out}]", file=sink)
+    return 0
+
+
+def _print_summary(title: str, summary: dict[str, Any], sink: TextIO) -> None:
+    lat = summary["latency_ms"]
+    qps = summary.get("qps", summary.get("qps_achieved", 0.0))
+    print(
+        f"{title}: {summary['requests']} requests, {qps:.0f} QPS | "
+        f"latency ms p50 {lat['p50']:.2f}  p95 {lat['p95']:.2f}  p99 {lat['p99']:.2f}",
+        file=sink,
+    )
+
+
+def _print_artifact(artifact: dict[str, Any], sink: TextIO) -> None:
+    _print_summary("closed loop (cold)", artifact["closed_loop"], sink)
+    _print_summary("closed loop (warm)", artifact["warm_start"]["closed_loop"], sink)
+    _print_summary("open loop", artifact["open_loop"], sink)
+    batching = artifact["batching"]
+    print(
+        f"batching: {batching['batches']} batches, mean size "
+        f"{batching['mean_batch_size']:.1f}, {batching['solves_per_request']:.3f} "
+        f"solves/request ({batching['collapsed']} queries collapsed)",
+        file=sink,
+    )
+    print(
+        f"cache: cold initial hit rate {artifact['cold_start']['initial_hit_rate']:.3f} "
+        f"-> warm {artifact['warm_start']['initial_hit_rate']:.3f} "
+        f"({artifact['warm_start']['snapshot_entries_loaded']} entries warm-loaded)",
+        file=sink,
+    )
+    print(
+        f"equivalence: max |T_opt dev| {artifact['equivalence_max_rel_dev']:.3e} relative",
+        file=sink,
+    )

@@ -1,0 +1,103 @@
+"""Wire-format codec for availability models.
+
+The serving protocol describes a fitted availability distribution as a
+JSON *model spec*::
+
+    {"family": "weibull", "params": {"shape": 0.43, "scale": 3409.0}}
+
+Every closed-form family the fitters produce is representable; the
+``params`` keys are exactly the constructor keyword arguments (which by
+construction match :meth:`~repro.distributions.base.\
+AvailabilityDistribution.params`), so ``distribution_to_spec`` /
+``distribution_from_spec`` round-trip losslessly.  The empirical
+distribution is deliberately *not* servable: its parameter is a whole
+data vector, which does not belong in a per-request wire format --
+tenants ship the fitted parametric model instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.distributions.base import AvailabilityDistribution
+from repro.distributions.exponential import Exponential
+from repro.distributions.hyperexponential import Hyperexponential
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.pareto import Pareto
+from repro.distributions.weibull import Weibull
+
+__all__ = ["FAMILIES", "distribution_from_spec", "distribution_to_spec"]
+
+#: servable family name -> constructor
+FAMILIES: dict[str, type[AvailabilityDistribution]] = {
+    "exponential": Exponential,
+    "weibull": Weibull,
+    "hyperexponential": Hyperexponential,
+    "lognormal": LogNormal,
+    "pareto": Pareto,
+}
+
+
+def _coerce_param(name: str, value: Any) -> float | list[float]:
+    """Validate one parameter value: a finite number or a list of them."""
+    if isinstance(value, bool):
+        raise ValueError(f"model parameter {name!r} must be numeric, got {value!r}")
+    if isinstance(value, int | float):
+        return float(value)
+    if isinstance(value, list | tuple):
+        out = []
+        for i, v in enumerate(value):
+            if isinstance(v, bool) or not isinstance(v, int | float):
+                raise ValueError(
+                    f"model parameter {name!r}[{i}] must be numeric, got {v!r}"
+                )
+            out.append(float(v))
+        return out
+    raise ValueError(
+        f"model parameter {name!r} must be a number or list of numbers, got {value!r}"
+    )
+
+
+def distribution_from_spec(spec: Mapping[str, Any]) -> AvailabilityDistribution:
+    """Build a distribution from a model spec, with precise error messages.
+
+    Raises :class:`ValueError` for anything malformed: unknown family,
+    missing/extra/non-numeric parameters, or parameter values the family
+    constructor itself rejects.
+    """
+    if not isinstance(spec, Mapping):
+        raise ValueError(f"model spec must be an object, got {type(spec).__name__}")
+    family = spec.get("family")
+    if not isinstance(family, str) or family not in FAMILIES:
+        known = ", ".join(sorted(FAMILIES))
+        raise ValueError(f"unknown model family {family!r} (known: {known})")
+    params = spec.get("params")
+    if not isinstance(params, Mapping):
+        raise ValueError(f"model spec for {family!r} needs a 'params' object")
+    kwargs = {str(k): _coerce_param(str(k), v) for k, v in params.items()}
+    try:
+        return FAMILIES[family](**kwargs)
+    except TypeError as exc:
+        # wrong/missing keyword arguments: report what the family expects
+        raise ValueError(f"bad parameters for family {family!r}: {exc}") from exc
+    except ValueError as exc:
+        raise ValueError(f"bad parameters for family {family!r}: {exc}") from exc
+
+
+def distribution_to_spec(distribution: AvailabilityDistribution) -> dict[str, Any]:
+    """The JSON-ready model spec of a servable distribution.
+
+    Raises :class:`ValueError` for families outside :data:`FAMILIES`
+    (e.g. empirical or conditional wrappers).
+    """
+    if distribution.name not in FAMILIES:
+        raise ValueError(
+            f"distribution family {distribution.name!r} is not servable "
+            f"(servable: {', '.join(sorted(FAMILIES))})"
+        )
+    params = {
+        k: list(v) if isinstance(v, tuple) else float(v)
+        for k, v in distribution.params().items()
+    }
+    return {"family": distribution.name, "params": params}

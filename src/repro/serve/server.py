@@ -1,0 +1,491 @@
+"""The ``repro serve`` daemon: an asyncio schedule-query service.
+
+A single-process, dependency-free asyncio server that turns the
+checkpoint-interval optimizer into infrastructure: JSON-lines requests
+over TCP (or stdio for tests and scripting), answered through the
+micro-batcher so concurrent queries share solver work, with the
+process-global solver cache persisted to disk so restarts begin hot.
+
+Layering::
+
+    transport (TCP connections / stdio loop)
+        -> ScheduleServer.handle_request   (op dispatch, admin ops)
+            -> MicroBatcher.submit         (solve path: batching window)
+                -> optimize_intervals_batch (grouped, deduplicated)
+                    -> SolverCache          (process-global, snapshotted)
+
+Connections are *pipelined*: each request line spawns its own task and
+responses are written as they complete (out of order; clients match on
+``id``).  That is what gives the micro-batcher concurrent in-flight
+queries to batch even over a single connection.
+
+Metrics (``serve.*``, catalogued in ``docs/OBSERVABILITY.md``) and one
+``serve``/``request`` trace span per request report what the daemon is
+doing; ``docs/SERVING.md`` documents the protocol and lifecycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, TextIO
+
+from repro.core.solver_cache import active_cache
+from repro.obs.metrics import active as _metrics
+from repro.obs.tracing import active as _trace_active
+from repro.serve.batcher import MicroBatcher, SolveQuery
+from repro.serve.models import distribution_from_spec, distribution_to_spec
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    costs_from_payload,
+    costs_to_payload,
+    dumps,
+    error_response,
+    interval_to_payload,
+    ok_response,
+    parse_request,
+)
+from repro.serve.registry import TenantRegistry, UnknownPoolError
+from repro.serve.snapshot import SnapshotError, load_cache_snapshot, save_cache_snapshot
+
+__all__ = ["ScheduleServer", "ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Static configuration of one :class:`ScheduleServer`.
+
+    ``port=0`` binds an ephemeral port (the bound port is published as
+    :attr:`ScheduleServer.port` once started -- used by tests and the
+    in-process bench).  ``snapshot_interval_s`` only matters when
+    ``snapshot_path`` is set.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    batch_window_s: float = 0.002
+    max_batch: int = 256
+    snapshot_path: str | None = None
+    snapshot_interval_s: float = 30.0
+    t_min: float = 1e-3
+    rel_tol: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.batch_window_s < 0:
+            raise ValueError(f"batch window must be >= 0, got {self.batch_window_s}")
+        if self.max_batch < 1:
+            raise ValueError(f"max batch must be >= 1, got {self.max_batch}")
+        if self.snapshot_interval_s <= 0:
+            raise ValueError(
+                f"snapshot interval must be positive, got {self.snapshot_interval_s}"
+            )
+        if self.t_min <= 0:
+            raise ValueError(f"t_min must be positive, got {self.t_min}")
+        if self.rel_tol <= 0:
+            raise ValueError(f"rel_tol must be positive, got {self.rel_tol}")
+
+
+class ScheduleServer:
+    """The daemon: registry + batcher + snapshot lifecycle + transports."""
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        registry: TenantRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.registry = registry if registry is not None else TenantRegistry()
+        self._epoch = time.perf_counter()
+        self.batcher = MicroBatcher(
+            window_s=self.config.batch_window_s,
+            max_batch=self.config.max_batch,
+            clock=self._now,
+        )
+        self.port: int | None = None if self.config.port == 0 else self.config.port
+        self.requests = 0
+        self.errors = 0
+        self.warm_loaded_entries = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._stop: asyncio.Event | None = None
+        self._snapshot_task: asyncio.Task[None] | None = None
+        self._connections: dict[asyncio.Task[None], asyncio.StreamWriter] = {}
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        """Wall-clock seconds since the server object was created (the
+        trace timeline of the daemon)."""
+        return time.perf_counter() - self._epoch
+
+    def warm_load(self) -> int:
+        """Load the configured snapshot into the active solver cache.
+
+        Returns the number of entries inserted; a missing or invalid
+        snapshot file is a *cold start*, not an error (the daemon logs
+        it via ``serve.snapshot.load_failures`` and serves anyway).
+        """
+        path = self.config.snapshot_path
+        if path is None:
+            return 0
+        try:
+            self.warm_loaded_entries = load_cache_snapshot(path)
+        except SnapshotError:
+            reg = _metrics()
+            if reg is not None:
+                reg.inc("serve.snapshot.load_failures")
+            self.warm_loaded_entries = 0
+        return self.warm_loaded_entries
+
+    def snapshot_now(self, path: str | None = None) -> int:
+        """Write a snapshot to ``path`` (default: the configured path)."""
+        target = path if path is not None else self.config.snapshot_path
+        if target is None:
+            raise SnapshotError(
+                "no snapshot path configured (start with --snapshot or pass 'path')"
+            )
+        return save_cache_snapshot(target)
+
+    # ------------------------------------------------------------------
+    # request handling (transport-independent)
+    # ------------------------------------------------------------------
+    async def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Answer one parsed request object."""
+        request_id = request.get("id")
+        reg = _metrics()
+        trace = _trace_active()
+        started = self._now()
+        self.requests += 1
+        if reg is not None:
+            reg.inc("serve.requests")
+        op = str(request.get("op"))
+        try:
+            response = await self._dispatch(op, request, request_id)
+        except ProtocolError as exc:
+            response = error_response(request_id, exc.code, exc.message)
+        except UnknownPoolError as exc:
+            response = error_response(request_id, "unknown-pool", str(exc))
+        except (ValueError, OverflowError, ArithmeticError) as exc:
+            # solver/domain failures: the query was structurally fine but
+            # unanswerable (e.g. age beyond the distribution's support)
+            response = error_response(request_id, "solver-error", str(exc))
+        if not response.get("ok", False):
+            self.errors += 1
+            if reg is not None:
+                reg.inc("serve.errors")
+        if reg is not None:
+            reg.observe("serve.request_seconds", self._now() - started)
+            reg.inc(f"serve.op.{op}" if op in _OP_COUNTERS else "serve.op.invalid")
+        if trace is not None:
+            trace.span(
+                "serve",
+                "request",
+                started,
+                self._now() - started,
+                args={"op": op, "ok": bool(response.get("ok", False))},
+            )
+        return response
+
+    async def handle_line(self, line: str) -> dict[str, Any]:
+        """Parse one request line and answer it (stdio / test helper)."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.requests += 1
+            self.errors += 1
+            reg = _metrics()
+            if reg is not None:
+                reg.inc("serve.requests")
+                reg.inc("serve.errors")
+            return error_response(None, exc.code, exc.message)
+        return await self.handle_request(request)
+
+    async def _dispatch(
+        self, op: str, request: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        if op == "ping":
+            return ok_response(request_id, pong=True, schema=PROTOCOL_SCHEMA)
+        if op == "solve":
+            return await self._op_solve(request, request_id)
+        if op == "register":
+            return self._op_register(request, request_id)
+        if op == "unregister":
+            pool = self._pool_name(request)
+            self.registry.unregister(pool)
+            return ok_response(request_id, pool=pool, unregistered=True)
+        if op == "pools":
+            return ok_response(
+                request_id,
+                pools=[
+                    {
+                        "pool": entry.name,
+                        "model": distribution_to_spec(entry.distribution),
+                        "costs": costs_to_payload(entry.costs),
+                    }
+                    for entry in self.registry.entries()
+                ],
+            )
+        if op == "stats":
+            return ok_response(request_id, stats=self.stats())
+        if op == "snapshot":
+            path = request.get("path")
+            if path is not None and not isinstance(path, str):
+                raise ProtocolError("bad-request", "'path' must be a string")
+            try:
+                entries = self.snapshot_now(path)
+            except SnapshotError as exc:
+                return error_response(request_id, "snapshot-failed", str(exc))
+            target = path if path is not None else self.config.snapshot_path
+            return ok_response(request_id, entries=entries, path=target)
+        if op == "shutdown":
+            if self._stop is not None:
+                self._stop.set()
+            return ok_response(request_id, stopping=True)
+        raise ProtocolError("unknown-op", f"unknown op {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pool_name(request: dict[str, Any]) -> str:
+        pool = request.get("pool")
+        if not isinstance(pool, str) or not pool:
+            raise ProtocolError("bad-request", "'pool' must be a non-empty string")
+        return pool
+
+    async def _op_solve(self, request: dict[str, Any], request_id: Any) -> dict[str, Any]:
+        age = request.get("age")
+        if isinstance(age, bool) or not isinstance(age, int | float):
+            raise ProtocolError("bad-request", f"'age' must be numeric, got {age!r}")
+        if age < 0:
+            raise ProtocolError("bad-request", f"'age' must be non-negative, got {age}")
+        pool = request.get("pool")
+        model = request.get("model")
+        if pool is not None and model is not None:
+            raise ProtocolError(
+                "bad-request", "give either 'pool' or an inline 'model', not both"
+            )
+        if pool is not None:
+            entry = self.registry.get(self._pool_name(request))
+            distribution = entry.distribution
+            costs = costs_from_payload(request.get("costs"), entry.costs)
+        elif model is not None:
+            try:
+                distribution = distribution_from_spec(model)
+            except ValueError as exc:
+                raise ProtocolError("bad-model", str(exc)) from exc
+            costs = costs_from_payload(request.get("costs"))
+        else:
+            raise ProtocolError(
+                "bad-request", "a solve needs a 'pool' name or an inline 'model'"
+            )
+        query = SolveQuery(
+            distribution=distribution,
+            costs=costs,
+            age=float(age),
+            t_min=self.config.t_min,
+            rel_tol=self.config.rel_tol,
+        )
+        result = await self.batcher.submit(query)
+        return ok_response(request_id, result=interval_to_payload(result))
+
+    def _op_register(self, request: dict[str, Any], request_id: Any) -> dict[str, Any]:
+        pool = self._pool_name(request)
+        model = request.get("model")
+        if model is None:
+            raise ProtocolError("bad-request", "register needs a 'model' spec")
+        try:
+            distribution = distribution_from_spec(model)
+        except ValueError as exc:
+            raise ProtocolError("bad-model", str(exc)) from exc
+        costs = costs_from_payload(request.get("costs"))
+        replaced = self.registry.register(pool, distribution, costs)
+        return ok_response(request_id, pool=pool, replaced=replaced)
+
+    def stats(self) -> dict[str, Any]:
+        """The daemon's cumulative accounting (the ``stats`` op body)."""
+        cache = active_cache()
+        cache_stats: dict[str, Any] = {"enabled": cache is not None}
+        if cache is not None:
+            cache_stats.update(
+                entries=len(cache),
+                capacity=cache.capacity,
+                hits=cache.hits,
+                misses=cache.misses,
+                evictions=cache.evictions,
+            )
+        return {
+            "schema": PROTOCOL_SCHEMA,
+            "uptime_s": self._now(),
+            "requests": self.requests,
+            "errors": self.errors,
+            "pools": len(self.registry),
+            "batch": self.batcher.stats.as_dict(),
+            "cache": cache_stats,
+            "warm_loaded_entries": self.warm_loaded_entries,
+        }
+
+    # ------------------------------------------------------------------
+    # transports
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One TCP client: pipelined JSON-lines until EOF."""
+        # track the connection so stop() can close the transport under a
+        # handler still parked in readline (it then sees EOF and exits;
+        # cancelling instead is noisy on 3.11, bpo streams callback)
+        current = asyncio.current_task()
+        if current is not None:
+            self._connections[current] = writer
+        reg = _metrics()
+        if reg is not None:
+            reg.inc("serve.connections.opened")
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task[None]] = set()
+
+        async def respond(line: str) -> None:
+            response = await self.handle_line(line)
+            payload = (dumps(response) + "\n").encode()
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except ValueError:
+                    # line exceeded the stream limit (MAX_LINE_BYTES);
+                    # the framing is lost, so drop the connection
+                    break
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                task = asyncio.ensure_future(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            if current is not None:
+                self._connections.pop(current, None)
+            if reg is not None:
+                reg.inc("serve.connections.closed")
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except OSError:
+                pass  # the client is already gone; nothing left to flush
+
+    async def start(self) -> None:
+        """Bind the TCP listener, warm-load the snapshot, start the
+        periodic snapshot task.  Returns once the server is accepting."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._stop = asyncio.Event()
+        self.warm_load()
+        self._server = await asyncio.start_server(
+            self.handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES + 1024,
+        )
+        sockets = self._server.sockets
+        if sockets:
+            self.port = int(sockets[0].getsockname()[1])
+        if self.config.snapshot_path is not None:
+            self._snapshot_task = asyncio.ensure_future(self._snapshot_loop())
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.snapshot_interval_s)
+            try:
+                self.snapshot_now()
+            except SnapshotError:
+                # already counted via serve.snapshot.errors; a full disk
+                # must not kill the serving loop
+                continue
+
+    async def wait_stopped(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        if self._stop is None:
+            raise RuntimeError("server not started")
+        await self._stop.wait()
+
+    def request_stop(self) -> None:
+        if self._stop is not None:
+            self._stop.set()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the batcher, final snapshot, close."""
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            self._snapshot_task = None
+        self.batcher.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            # connections still parked in readline: close their
+            # transports (the handlers see EOF and exit) and reap them
+            for conn_writer in self._connections.values():
+                conn_writer.close()
+            await asyncio.gather(*self._connections, return_exceptions=True)
+            self._connections.clear()
+        if self.config.snapshot_path is not None:
+            try:
+                self.snapshot_now()
+            except SnapshotError:
+                pass  # counted in serve.snapshot.errors; shutdown proceeds
+        if self._stop is not None:
+            self._stop.set()
+
+    async def serve_forever(self) -> None:
+        """The daemon main: start, serve until shutdown, clean up."""
+        await self.start()
+        try:
+            await self.wait_stopped()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    async def run_stdio(self, lines: "Any", out: TextIO) -> int:
+        """Serve requests from an iterable of text lines (tests, CLI
+        ``--stdio``): strictly sequential, one response line per request.
+
+        Returns the number of requests served.  A ``shutdown`` op ends
+        the loop early.
+        """
+        self._stop = asyncio.Event()
+        self.warm_load()
+        served = 0
+        for line in lines:
+            text = line.strip()
+            if not text:
+                continue
+            response = await self.handle_line(text)
+            print(dumps(response), file=out, flush=True)
+            served += 1
+            if self._stop.is_set():
+                break
+        self.batcher.drain()
+        if self.config.snapshot_path is not None:
+            try:
+                self.snapshot_now()
+            except SnapshotError:
+                pass  # counted in serve.snapshot.errors
+        return served
+
+
+#: ops that get a per-op counter (anything else counts as invalid)
+_OP_COUNTERS = frozenset(
+    ("ping", "solve", "register", "unregister", "pools", "stats", "snapshot", "shutdown")
+)

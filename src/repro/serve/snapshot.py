@@ -1,0 +1,104 @@
+"""Disk snapshots of the solver cache: warm restarts for the daemon.
+
+A long-running daemon accumulates thousands of solved ``T_opt`` entries
+in the process-global :class:`~repro.core.solver_cache.SolverCache`.
+Restarting it cold throws that work away and every tenant pays full
+solve latency again until the cache repopulates.  These helpers persist
+the cache's :meth:`~repro.core.solver_cache.SolverCache.as_dict`
+snapshot (schema ``repro.opt.solver_cache/1``, explicitly versioned) to
+a JSON file and fold it back in at startup, so a restarted daemon
+answers its first requests from cache.
+
+Writes are atomic -- the snapshot is written to a sibling temp file and
+:func:`os.replace`d into place -- so a crash mid-write leaves the
+previous snapshot intact, and a reader never observes a torn file.
+Loading validates the schema/version and raises
+:class:`SnapshotError` with the underlying cause on any mismatch or
+corruption; the caller decides whether a bad snapshot is fatal (explicit
+``snapshot`` op) or a cold start (daemon boot with ``--snapshot``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.core.solver_cache import SolverCache, active_cache
+from repro.obs.metrics import active as _metrics
+
+__all__ = ["SnapshotError", "load_cache_snapshot", "save_cache_snapshot"]
+
+
+class SnapshotError(RuntimeError):
+    """A cache snapshot could not be written, read or validated."""
+
+
+def _resolve(cache: SolverCache | None) -> SolverCache:
+    resolved = cache if cache is not None else active_cache()
+    if resolved is None:
+        raise SnapshotError(
+            "no solver cache is active (the process-global cache is disabled)"
+        )
+    return resolved
+
+
+def save_cache_snapshot(path: str, cache: SolverCache | None = None) -> int:
+    """Atomically write ``cache`` (default: the active global cache) to
+    ``path``; returns the number of entries written."""
+    resolved = _resolve(cache)
+    data = resolved.as_dict()
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(data, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+    except OSError as exc:
+        reg = _metrics()
+        if reg is not None:
+            reg.inc("serve.snapshot.errors")
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass  # best-effort cleanup; the real error is re-raised below
+        raise SnapshotError(f"cannot write snapshot {path!r}: {exc}") from exc
+    entries: list[Any] = data["entries"]
+    reg = _metrics()
+    if reg is not None:
+        reg.inc("serve.snapshot.saves")
+        reg.observe("serve.snapshot.entries_saved", len(entries))
+    return len(entries)
+
+
+def load_cache_snapshot(
+    path: str, cache: SolverCache | None = None, *, stats: bool = False
+) -> int:
+    """Merge a snapshot file into ``cache`` (default: the active global
+    cache); returns the number of entries inserted.
+
+    ``stats`` is off by default: a warm-loading daemon wants the
+    *entries*, not the previous process's hit/miss history polluting its
+    own counters.
+    """
+    resolved = _resolve(cache)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"snapshot {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SnapshotError(
+            f"snapshot {path!r} must hold a JSON object, got {type(data).__name__}"
+        )
+    try:
+        inserted = resolved.merge_dict(data, stats=stats)
+    except ValueError as exc:
+        raise SnapshotError(f"snapshot {path!r} rejected: {exc}") from exc
+    reg = _metrics()
+    if reg is not None:
+        reg.inc("serve.snapshot.loads")
+        reg.observe("serve.snapshot.entries_loaded", inserted)
+    return inserted

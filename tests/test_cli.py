@@ -1,10 +1,11 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import TOOL_COMMANDS, build_parser, main
 
 
 def run_cli(*argv):
@@ -22,6 +23,64 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table9"])
+
+
+class TestToolSubcommands:
+    """Every tool subcommand must be registered and documented."""
+
+    def test_every_tool_subcommand_in_help(self):
+        help_text = build_parser().format_help()
+        for name, summary in TOOL_COMMANDS.items():
+            assert name in help_text, f"{name!r} missing from repro --help"
+            assert summary in help_text, f"{name!r} summary missing from repro --help"
+
+    def test_expected_tool_set(self):
+        assert set(TOOL_COMMANDS) == {"lint", "report", "trace", "serve", "bench-serve"}
+
+    @pytest.mark.parametrize("name", sorted(TOOL_COMMANDS))
+    def test_each_tool_has_its_own_help(self, name, capsys):
+        # each tool owns its argv: `repro <tool> --help` must print the
+        # tool's usage (SystemExit 0 from its own argparse), not the
+        # experiment parser's
+        with pytest.raises(SystemExit) as err:
+            main([name, "--help"], stdout=io.StringIO())
+        assert err.value.code == 0
+        usage = capsys.readouterr().out
+        assert name in usage
+
+    def test_serve_stdio_dispatch(self, capsys):
+        stdin = io.StringIO(json.dumps({"op": "ping", "id": 1}) + "\n")
+        import sys
+
+        old = sys.stdin
+        sys.stdin = stdin
+        try:
+            buf = io.StringIO()
+            code = main(["serve", "--stdio"], stdout=buf)
+        finally:
+            sys.stdin = old
+        assert code == 0
+        response = json.loads(buf.getvalue().splitlines()[0])
+        assert response == {
+            "ok": True,
+            "id": 1,
+            "pong": True,
+            "schema": "repro.serve/1",
+        }
+
+    def test_bench_serve_rejects_bad_connect(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["bench-serve", "--connect", "nonsense"], stdout=io.StringIO())
+
+    def test_bench_serve_rejects_bad_config(self):
+        with pytest.raises(SystemExit, match="error"):
+            main(["bench-serve", "--requests", "0"], stdout=io.StringIO())
+
+    def test_lint_still_dispatches(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code = main(["lint", str(clean)], stdout=io.StringIO())
+        assert code == 0
 
 
 class TestCommands:

@@ -13,7 +13,7 @@ from repro.core import (
     use_solver,
     use_solver_cache,
 )
-from repro.core.solver_cache import DEFAULT_CAPACITY
+from repro.core.solver_cache import DEFAULT_CAPACITY, SNAPSHOT_SCHEMA, SNAPSHOT_VERSION
 from repro.distributions import Exponential, Weibull
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.obs.metrics import use as use_metrics
@@ -142,6 +142,54 @@ class TestSnapshots:
         a, b = SolverCache(), SolverCache()
         b.put(_key(0), _interval())
         assert a.merge(b) == 1
+
+
+class TestSnapshotVersioning:
+    def test_snapshot_carries_schema_and_version(self):
+        snap = SolverCache().as_dict()
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["version"] == SNAPSHOT_VERSION
+
+    def test_version_round_trips_through_json(self):
+        cache = SolverCache()
+        cache.put(_key(0), _interval())
+        snap = json.loads(json.dumps(cache.as_dict()))
+        assert snap["version"] == SNAPSHOT_VERSION
+        other = SolverCache()
+        assert other.merge_dict(snap) == 1
+
+    def test_wrong_schema_rejected(self):
+        snap = SolverCache().as_dict()
+        snap["schema"] = "repro.obs.metrics/1"
+        with pytest.raises(ValueError, match="not a solver-cache snapshot"):
+            SolverCache().merge_dict(snap)
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ValueError, match="not a solver-cache snapshot"):
+            SolverCache().merge_dict({"entries": []})
+
+    def test_future_version_rejected_with_clear_error(self):
+        snap = SolverCache().as_dict()
+        snap["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported solver-cache snapshot version"):
+            SolverCache().merge_dict(snap)
+
+    def test_forward_compat_missing_version_accepted(self):
+        # snapshots written before the explicit version field carry the
+        # same schema string, which pins the format
+        cache = SolverCache()
+        cache.put(_key(0), _interval())
+        snap = cache.as_dict()
+        del snap["version"]
+        other = SolverCache()
+        assert other.merge_dict(snap) == 1
+        assert other.get(_key(0)) == _interval()
+
+    def test_malformed_entry_names_its_index(self):
+        snap = SolverCache().as_dict()
+        snap["entries"] = [[list(_key(0)), {"bogus_field": 1.0}]]
+        with pytest.raises(ValueError, match="malformed solver-cache snapshot entry 0"):
+            SolverCache().merge_dict(snap)
 
 
 class TestFingerprints:

@@ -1,0 +1,181 @@
+"""Tests for the micro-batcher: grouping, dedup, windows, errors."""
+
+import asyncio
+
+import pytest
+
+from repro.core import CheckpointCosts, SolverCache, optimize_interval, use_solver_cache
+from repro.distributions import Exponential, Weibull
+from repro.obs.metrics import use as use_metrics
+from repro.serve.batcher import MicroBatcher, SolveQuery
+
+WEIBULL = Weibull(0.43, 3409.0)
+EXP = Exponential(1.0 / 5000.0)
+COSTS = CheckpointCosts.symmetric(110.0)
+
+
+def _query(dist=WEIBULL, age=0.0, costs=COSTS):
+    return SolveQuery(distribution=dist, costs=costs, age=age)
+
+
+class TestSolveQuery:
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _query(age=-1.0)
+
+    def test_group_key_ignores_age(self):
+        assert _query(age=1.0).group_key() == _query(age=2.0).group_key()
+
+    def test_group_key_separates_models_and_costs(self):
+        assert _query(dist=WEIBULL).group_key() != _query(dist=EXP).group_key()
+        assert (
+            _query(costs=COSTS).group_key()
+            != _query(costs=CheckpointCosts.symmetric(55.0)).group_key()
+        )
+
+
+class TestConfig:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="batch window"):
+            MicroBatcher(window_s=-1.0)
+
+    def test_zero_max_batch_rejected(self):
+        with pytest.raises(ValueError, match="max batch"):
+            MicroBatcher(max_batch=0)
+
+
+class TestBatching:
+    def test_concurrent_queries_share_one_batch(self):
+        async def run():
+            batcher = MicroBatcher(window_s=0.001)
+            ages = [0.0, 100.0, 0.0, 100.0, 250.0]
+            results = await asyncio.gather(
+                *(batcher.submit(_query(age=a)) for a in ages)
+            )
+            return batcher.stats, results, ages
+
+        with use_solver_cache(SolverCache()):
+            stats, results, ages = asyncio.run(run())
+        assert stats.queries == 5
+        assert stats.batches == 1
+        assert stats.groups == 1
+        assert stats.solves == 3  # distinct ages
+        assert stats.collapsed == 2  # duplicates answered for free
+        for age, result in zip(ages, results, strict=True):
+            assert result.age == age
+        # duplicate ages got the identical object-level answer
+        assert results[0] == results[2]
+        assert results[1] == results[3]
+
+    def test_mixed_groups_in_one_batch(self):
+        async def run():
+            batcher = MicroBatcher(window_s=0.001)
+            queries = [
+                _query(dist=WEIBULL, age=0.0),
+                _query(dist=EXP, age=0.0),
+                _query(dist=WEIBULL, age=50.0),
+            ]
+            await asyncio.gather(*(batcher.submit(q) for q in queries))
+            return batcher.stats
+
+        with use_solver_cache(SolverCache()):
+            stats = asyncio.run(run())
+        assert stats.batches == 1
+        assert stats.groups == 2
+        assert stats.solves == 3
+
+    def test_max_batch_flushes_immediately(self):
+        async def run():
+            batcher = MicroBatcher(window_s=60.0, max_batch=3)
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    *(batcher.submit(_query(age=float(i))) for i in range(3))
+                ),
+                timeout=5.0,
+            )
+            return batcher.stats, results
+
+        with use_solver_cache(SolverCache()):
+            stats, results = asyncio.run(run())
+        # a 60 s window would have timed out; max_batch forced the flush
+        assert stats.batches == 1
+        assert len(results) == 3
+
+    def test_sequential_bursts_make_separate_batches(self):
+        async def run():
+            batcher = MicroBatcher(window_s=0.0)
+            await batcher.submit(_query(age=0.0))
+            await batcher.submit(_query(age=1.0))
+            return batcher.stats
+
+        with use_solver_cache(SolverCache()):
+            stats = asyncio.run(run())
+        assert stats.batches == 2
+
+    def test_batched_results_bitwise_equal_scalar(self):
+        ages = [0.0, 10.0, 100.0, 1000.0, 10.0]
+
+        async def run():
+            batcher = MicroBatcher(window_s=0.001)
+            return await asyncio.gather(*(batcher.submit(_query(age=a)) for a in ages))
+
+        with use_solver_cache(None):
+            batched = asyncio.run(run())
+            direct = [optimize_interval(WEIBULL, COSTS, age=a) for a in ages]
+        for served, reference in zip(batched, direct, strict=True):
+            assert served.T_opt == reference.T_opt  # bitwise
+            assert served == reference
+
+    def test_drain_flushes_pending(self):
+        async def run():
+            batcher = MicroBatcher(window_s=60.0)
+            task = asyncio.ensure_future(batcher.submit(_query(age=0.0)))
+            await asyncio.sleep(0)  # let submit() enqueue
+            assert batcher.pending == 1
+            batcher.drain()
+            result = await asyncio.wait_for(task, timeout=5.0)
+            return batcher.pending, result
+
+        with use_solver_cache(SolverCache()):
+            pending, result = asyncio.run(run())
+        assert pending == 0
+        assert result.converged
+
+
+class TestErrors:
+    def test_bad_group_fails_its_waiters_only(self):
+        # age beyond the Weibull support is fine; an unbounded Pareto
+        # mean is not -- use a distribution/cost combo that raises
+        bad = _query(dist=WEIBULL, age=float("inf"))
+
+        async def run():
+            batcher = MicroBatcher(window_s=0.001)
+            results = await asyncio.gather(
+                batcher.submit(bad),
+                batcher.submit(_query(dist=EXP, age=0.0)),
+                return_exceptions=True,
+            )
+            return batcher.stats, results
+
+        with use_solver_cache(SolverCache()):
+            stats, results = asyncio.run(run())
+        assert isinstance(results[0], Exception)
+        assert not isinstance(results[1], Exception)
+        assert results[1].converged
+        assert stats.errors == 1
+
+
+class TestMetrics:
+    def test_batch_counters(self):
+        async def run():
+            batcher = MicroBatcher(window_s=0.001)
+            await asyncio.gather(
+                *(batcher.submit(_query(age=a)) for a in (0.0, 0.0, 7.0))
+            )
+
+        with use_solver_cache(SolverCache()), use_metrics() as reg:
+            asyncio.run(run())
+        data = reg.as_dict()
+        assert data["counters"]["serve.batch.count"] == 1.0
+        assert data["counters"]["serve.batch.collapsed"] == 1.0
+        assert data["histograms"]["serve.batch.size"]["count"] == 1

@@ -1,0 +1,135 @@
+"""Concurrent access to the process-global solver cache under asyncio.
+
+The daemon solves on the event loop, so the cache sees interleaved --
+but never truly parallel -- access from many in-flight queries.  These
+tests pin the accounting contract: after any storm of concurrent
+batched queries, ``hits + misses`` equals the number of cache lookups,
+the entry count never exceeds capacity, and the eviction counter
+explains exactly the difference between insertions and retained
+entries.
+"""
+
+import asyncio
+
+from repro.core import CheckpointCosts, SolverCache, use_solver_cache
+from repro.distributions import Exponential, Weibull
+from repro.obs.metrics import use as use_metrics
+from repro.serve.batcher import MicroBatcher, SolveQuery
+
+WEIBULL = Weibull(0.43, 3409.0)
+EXP = Exponential(1.0 / 5000.0)
+COSTS = CheckpointCosts.symmetric(110.0)
+
+
+def _query(dist, age):
+    return SolveQuery(distribution=dist, costs=COSTS, age=age)
+
+
+async def _storm(batcher, queries):
+    return await asyncio.gather(*(batcher.submit(q) for q in queries))
+
+
+class TestCounterConsistency:
+    def test_hits_plus_misses_equals_lookups(self):
+        # 40 queries over 8 distinct (model, age) pairs, submitted in
+        # overlapping waves: every solve consults the cache exactly once
+        queries = [
+            _query(WEIBULL if i % 2 else EXP, float((i // 2 % 4) * 100))
+            for i in range(40)
+        ]
+
+        async def run():
+            batcher = MicroBatcher(window_s=0.001, max_batch=16)
+            await _storm(batcher, queries[:20])
+            await _storm(batcher, queries[20:])
+            return batcher.stats
+
+        with use_solver_cache(SolverCache()) as cache:
+            stats = asyncio.run(run())
+        assert stats.queries == 40
+        # dedup collapses duplicates *within* a batch; each remaining
+        # distinct solve does one cache lookup
+        assert cache.hits + cache.misses == stats.solves
+        # 8 distinct (distribution, age) pairs -> exactly 8 cold misses
+        assert cache.misses == 8
+        assert len(cache) == 8
+        assert cache.evictions == 0
+
+    def test_waves_hit_after_first_wave(self):
+        queries = [_query(EXP, float(i % 5)) for i in range(25)]
+
+        async def run():
+            batcher = MicroBatcher(window_s=0.001, max_batch=100)
+            first = await _storm(batcher, queries)
+            second = await _storm(batcher, queries)
+            return first, second
+
+        with use_solver_cache(SolverCache()) as cache:
+            first, second = asyncio.run(run())
+        assert cache.misses == 5  # first wave, one per distinct age
+        assert cache.hits == 5  # second wave re-solves from cache
+        assert first == second
+
+    def test_eviction_accounting_under_pressure(self):
+        # capacity 4, 10 distinct ages in one storm: insertions beyond
+        # capacity must be explained exactly by the eviction counter
+        queries = [_query(EXP, float(i * 50)) for i in range(10)]
+
+        async def run():
+            batcher = MicroBatcher(window_s=0.0, max_batch=1)  # one solve per batch
+            await _storm(batcher, queries)
+
+        with use_solver_cache(SolverCache(capacity=4)) as cache:
+            asyncio.run(run())
+        assert cache.misses == 10
+        assert len(cache) == 4
+        assert cache.evictions == 10 - 4
+
+    def test_interleaved_tenants_do_not_cross_pollute(self):
+        async def run():
+            batcher = MicroBatcher(window_s=0.001)
+            results = await _storm(
+                batcher,
+                [_query(WEIBULL, 100.0), _query(EXP, 100.0)] * 3,
+            )
+            return results
+
+        with use_solver_cache(SolverCache()) as cache:
+            results = asyncio.run(run())
+        assert cache.misses == 2  # one per distribution
+        # same age, different models: the answers must differ
+        assert results[0].T_opt != results[1].T_opt
+        assert results[0] == results[2] == results[4]
+        assert results[1] == results[3] == results[5]
+
+    def test_metrics_registry_matches_cache_counters(self):
+        queries = [_query(EXP, float(i % 3)) for i in range(12)]
+
+        async def run():
+            batcher = MicroBatcher(window_s=0.0, max_batch=1)
+            await _storm(batcher, queries)
+
+        with use_solver_cache(SolverCache()) as cache, use_metrics() as reg:
+            asyncio.run(run())
+        counters = reg.as_dict()["counters"]
+        assert counters["opt.cache.hits"] == float(cache.hits)
+        assert counters["opt.cache.misses"] == float(cache.misses)
+        assert cache.hits + cache.misses == 12
+
+    def test_concurrent_storms_share_one_cache(self):
+        # two batchers (two "connections") racing on the global cache:
+        # total lookups must still reconcile
+        queries_a = [_query(EXP, float(i % 4)) for i in range(16)]
+        queries_b = [_query(WEIBULL, float(i % 4)) for i in range(16)]
+
+        async def run():
+            a = MicroBatcher(window_s=0.001, max_batch=4)
+            b = MicroBatcher(window_s=0.001, max_batch=4)
+            await asyncio.gather(_storm(a, queries_a), _storm(b, queries_b))
+            return a.stats, b.stats
+
+        with use_solver_cache(SolverCache()) as cache:
+            stats_a, stats_b = asyncio.run(run())
+        assert cache.hits + cache.misses == stats_a.solves + stats_b.solves
+        assert cache.misses == 8  # 4 ages x 2 models
+        assert len(cache) == 8

@@ -1,0 +1,165 @@
+"""Golden-master equivalence of the served solve path.
+
+The acceptance bar for the serving layer: for any mixed stream of
+queries, the T_opt a client receives from the daemon -- through the
+protocol codec, the micro-batcher's grouping/dedup and
+``optimize_intervals_batch`` -- must be *bitwise identical* to calling
+:func:`repro.core.optimize_interval` directly (the batched path is a
+dispatch device, never a different solver).  The sweep mirrors
+``tests/test_solver_equivalence.py``: the paper's model families from
+age 0 into the deep conditional tail, plus an interleaved multi-tenant
+stream over real TCP.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import (
+    CheckpointCosts,
+    SolverCache,
+    optimize_interval,
+    use_solver_cache,
+)
+from repro.core.optimizer import optimize_intervals_batch
+from repro.distributions import Exponential, Hyperexponential, Weibull
+from repro.serve.registry import TenantRegistry
+from repro.serve.server import ScheduleServer, ServerConfig
+
+REL_BUDGET = 1e-12  # the served path must be exact, not merely close
+
+COSTS = CheckpointCosts.symmetric(110.0)
+
+#: (distribution, ages from job start into the deep conditional tail)
+CASES = {
+    "exp": (Exponential(1.0 / 5000.0), (0.0, 500.0, 5000.0, 1e6)),
+    "weib-heavy": (Weibull(0.43, 3409.0), (0.0, 340.0, 3409.0, 34090.0, 4e6)),
+    "hyper2": (
+        Hyperexponential([0.5, 0.5], [1.0 / 100.0, 1.0 / 9000.0]),
+        (0.0, 90.0, 9000.0, 2e5),
+    ),
+    "hyper3": (
+        Hyperexponential([0.3, 0.5, 0.2], [1.0 / 50.0, 1.0 / 2000.0, 1.0 / 20000.0]),
+        (0.0, 200.0, 20000.0, 4e5),
+    ),
+}
+
+
+def _registry():
+    registry = TenantRegistry()
+    for name, (dist, _) in CASES.items():
+        registry.register(name, dist, COSTS)
+    return registry
+
+
+def _direct(dist, age):
+    with use_solver_cache(None):
+        return optimize_interval(dist, COSTS, age=age)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+class TestBatchApiEquivalence:
+    def test_batch_matches_scalar_bitwise(self, name):
+        dist, ages = CASES[name]
+        with use_solver_cache(None):
+            batched = optimize_intervals_batch(dist, COSTS, ages)
+            direct = [optimize_interval(dist, COSTS, age=a) for a in ages]
+        for served, reference in zip(batched, direct, strict=True):
+            assert served.T_opt == reference.T_opt  # bitwise
+            assert served == reference
+
+    def test_duplicate_ages_get_identical_results(self, name):
+        dist, ages = CASES[name]
+        doubled = list(ages) + list(ages)
+        with use_solver_cache(None):
+            batched = optimize_intervals_batch(dist, COSTS, doubled)
+        n = len(ages)
+        for i in range(n):
+            assert batched[i] == batched[n + i]
+
+    def test_cached_batch_matches_cold(self, name):
+        dist, ages = CASES[name]
+        cold = [_direct(dist, a) for a in ages]
+        with use_solver_cache(SolverCache()):
+            warm = optimize_intervals_batch(dist, COSTS, ages)
+            again = optimize_intervals_batch(dist, COSTS, ages)
+        for served, reference in zip(warm, cold, strict=True):
+            assert served.T_opt == reference.T_opt
+        assert again == warm
+
+
+class TestServedStreamEquivalence:
+    def _mixed_stream(self):
+        """Every (case, age) pair, interleaved across tenants, with
+        duplicates -- the adversarial shape for grouping and dedup."""
+        stream = []
+        for name, (_, ages) in sorted(CASES.items()):
+            for age in ages:
+                stream.append((name, age))
+        # interleave: round-robin across tenants, then repeat the
+        # first half so duplicates ride alongside fresh queries
+        stream = sorted(stream, key=lambda pair: pair[1])
+        return stream + stream[: len(stream) // 2]
+
+    def test_served_T_opt_identical_to_direct(self):
+        stream = self._mixed_stream()
+
+        async def session():
+            server = ScheduleServer(
+                ServerConfig(batch_window_s=0.005), registry=_registry()
+            )
+            await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            # pipeline the whole stream so the batcher sees real groups
+            for i, (pool, age) in enumerate(stream):
+                payload = {"op": "solve", "id": i, "pool": pool, "age": age}
+                writer.write((json.dumps(payload) + "\n").encode())
+            await writer.drain()
+            responses = {}
+            for _ in stream:
+                response = json.loads(await reader.readline())
+                responses[response["id"]] = response
+            writer.close()
+            await writer.wait_closed()
+            stats = server.batcher.stats
+            await server.stop()
+            return responses, stats
+
+        with use_solver_cache(SolverCache()):
+            responses, stats = asyncio.run(session())
+
+        assert stats.queries == len(stream)
+        assert stats.collapsed > 0  # the duplicates actually deduped
+        for i, (pool, age) in enumerate(stream):
+            response = responses[i]
+            assert response["ok"], response
+            reference = _direct(CASES[pool][0], age)
+            served = response["result"]["T_opt"]
+            if served != reference.T_opt:  # bitwise first, budget fallback
+                assert served == pytest.approx(reference.T_opt, rel=REL_BUDGET)
+            assert response["result"]["gamma"] == pytest.approx(
+                reference.gamma, rel=REL_BUDGET
+            )
+            assert response["result"]["age"] == age
+
+    def test_stdio_stream_equivalence(self):
+        stream = self._mixed_stream()
+        lines = [
+            json.dumps({"op": "solve", "id": i, "pool": pool, "age": age})
+            for i, (pool, age) in enumerate(stream)
+        ]
+        import io
+
+        out = io.StringIO()
+        with use_solver_cache(SolverCache()):
+            server = ScheduleServer(
+                ServerConfig(batch_window_s=0.0), registry=_registry()
+            )
+            served = asyncio.run(server.run_stdio(lines, out))
+        assert served == len(stream)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        for response, (pool, age) in zip(responses, stream, strict=True):
+            assert response["ok"]
+            reference = _direct(CASES[pool][0], age)
+            assert response["result"]["T_opt"] == reference.T_opt  # bitwise

@@ -1,0 +1,86 @@
+"""Tests for the serve model-spec codec."""
+
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+    Pareto,
+    Weibull,
+)
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.serve.models import FAMILIES, distribution_from_spec, distribution_to_spec
+
+ROUND_TRIP = [
+    Exponential(1.0 / 5000.0),
+    Weibull(0.43, 3409.0),
+    Hyperexponential([0.5, 0.5], [1.0 / 100.0, 1.0 / 9000.0]),
+    LogNormal(7.0, 1.2),
+    Pareto(1.5, 100.0),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dist", ROUND_TRIP, ids=lambda d: d.name)
+    def test_spec_round_trips_fingerprint(self, dist):
+        spec = distribution_to_spec(dist)
+        rebuilt = distribution_from_spec(spec)
+        assert rebuilt.fingerprint() == dist.fingerprint()
+
+    @pytest.mark.parametrize("dist", ROUND_TRIP, ids=lambda d: d.name)
+    def test_spec_is_json_shaped(self, dist):
+        import json
+
+        spec = distribution_to_spec(dist)
+        assert json.loads(json.dumps(spec)) == spec
+        assert spec["family"] in FAMILIES
+
+    def test_every_family_is_registered(self):
+        assert set(FAMILIES) == {
+            "exponential",
+            "weibull",
+            "hyperexponential",
+            "lognormal",
+            "pareto",
+        }
+
+
+class TestErrors:
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown model family"):
+            distribution_from_spec({"family": "gaussian", "params": {}})
+
+    def test_missing_params(self):
+        with pytest.raises(ValueError, match="needs a 'params' object"):
+            distribution_from_spec({"family": "weibull"})
+
+    def test_wrong_param_names(self):
+        with pytest.raises(ValueError, match="bad parameters for family 'weibull'"):
+            distribution_from_spec({"family": "weibull", "params": {"k": 1.0}})
+
+    def test_non_numeric_param(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            distribution_from_spec({"family": "weibull", "params": {"shape": "a", "scale": 1.0}})
+
+    def test_bool_param_rejected(self):
+        with pytest.raises(ValueError, match="must be numeric"):
+            distribution_from_spec({"family": "exponential", "params": {"lam": True}})
+
+    def test_non_numeric_list_element(self):
+        with pytest.raises(ValueError, match=r"'probs'\[1\] must be numeric"):
+            distribution_from_spec(
+                {"family": "hyperexponential", "params": {"probs": [0.5, "x"], "rates": [1.0, 2.0]}}
+            )
+
+    def test_constructor_domain_errors_surface(self):
+        with pytest.raises(ValueError, match="bad parameters for family 'exponential'"):
+            distribution_from_spec({"family": "exponential", "params": {"lam": -1.0}})
+
+    def test_non_object_spec(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            distribution_from_spec(["weibull"])
+
+    def test_empirical_not_servable(self):
+        with pytest.raises(ValueError, match="not servable"):
+            distribution_to_spec(EmpiricalDistribution([1.0, 2.0, 3.0]))

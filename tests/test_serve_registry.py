@@ -1,0 +1,78 @@
+"""Tests for the per-tenant model registry."""
+
+import pytest
+
+from repro.core import CheckpointCosts
+from repro.distributions import Exponential, Weibull
+from repro.obs.metrics import use as use_metrics
+from repro.serve.registry import PoolEntry, TenantRegistry, UnknownPoolError
+
+COSTS = CheckpointCosts.symmetric(110.0)
+
+
+class TestRegister:
+    def test_register_and_get(self):
+        registry = TenantRegistry()
+        dist = Weibull(0.43, 3409.0)
+        assert registry.register("campus", dist, COSTS) is False
+        entry = registry.get("campus")
+        assert entry == PoolEntry("campus", dist, COSTS)
+        assert "campus" in registry
+        assert len(registry) == 1
+
+    def test_replace_on_conflict(self):
+        registry = TenantRegistry()
+        registry.register("campus", Exponential(1e-3), COSTS)
+        replaced = registry.register("campus", Weibull(0.43, 3409.0), COSTS)
+        assert replaced is True
+        assert registry.get("campus").distribution.name == "weibull"
+        assert len(registry) == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            TenantRegistry().register("", Exponential(1e-3), COSTS)
+
+    def test_entries_sorted_by_name(self):
+        registry = TenantRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.register(name, Exponential(1e-3), COSTS)
+        assert [e.name for e in registry.entries()] == ["alpha", "mid", "zeta"]
+
+
+class TestUnregister:
+    def test_unregister_removes(self):
+        registry = TenantRegistry()
+        registry.register("campus", Exponential(1e-3), COSTS)
+        registry.unregister("campus")
+        assert "campus" not in registry
+        assert len(registry) == 0
+
+    def test_unknown_pool_lists_known(self):
+        registry = TenantRegistry()
+        registry.register("campus", Exponential(1e-3), COSTS)
+        with pytest.raises(UnknownPoolError, match="unknown pool 'lab'.*campus"):
+            registry.get("lab")
+
+    def test_unknown_pool_when_empty(self):
+        with pytest.raises(UnknownPoolError, match="none registered"):
+            TenantRegistry().unregister("lab")
+
+    def test_unknown_pool_message_is_readable(self):
+        # KeyError repr()s its argument by default; ours must not
+        err = UnknownPoolError("lab", ["campus"])
+        assert str(err) == "unknown pool 'lab' (known: campus)"
+
+
+class TestMetrics:
+    def test_lifecycle_counters(self):
+        with use_metrics() as reg:
+            registry = TenantRegistry()
+            registry.register("a", Exponential(1e-3), COSTS)
+            registry.register("b", Exponential(1e-3), COSTS)
+            registry.register("a", Weibull(0.43, 3409.0), COSTS)
+            registry.unregister("b")
+        data = reg.as_dict()
+        assert data["counters"]["serve.registry.registered"] == 2.0
+        assert data["counters"]["serve.registry.updated"] == 1.0
+        assert data["counters"]["serve.registry.unregistered"] == 1.0
+        assert data["gauges"]["serve.registry.pools"] == 1.0
