@@ -4,7 +4,8 @@ The paper's headline comparison (efficiency vs. network load) is only as
 good as the numerics behind it: a seedless RNG in a trace replay, a
 float ``==`` in a hazard guard, or seconds added to megabytes corrupts
 Table 4 without any test failing loudly.  This package machine-checks
-those domain invariants with small AST visitors, one per rule:
+those domain invariants in two tiers.  Per-file rules run one AST at a
+time:
 
 ========  ==============================================================
 ``RL001``  RNG discipline (no global/seedless NumPy randomness)
@@ -13,27 +14,56 @@ those domain invariants with small AST visitors, one per rule:
 ``RL004``  ``*Config`` dataclasses must validate numeric fields
 ``RL005``  distribution subclasses must implement a consistent surface
 ``RL006``  broad / silent exception handling in library code
+``RL103``  module-global mutable state mutated from ``async def``
+========  ==============================================================
+
+Project rules see the whole tree at once (call graph, string surfaces,
+docs) and catch what no single file shows:
+
+========  ==============================================================
+``RL101``  blocking I/O reachable from ``async def`` (event-loop stall)
+``RL102``  un-awaited coroutines and dropped ``create_task`` handles
+``RL201``  metric names in code vs the docs/OBSERVABILITY.md catalogue
+``RL202``  serve op surface: protocol vs dispatch vs docs/SERVING.md
+``RL203``  CLI tool subcommands must be documented in README/docs
 ========  ==============================================================
 
 Run it as ``repro lint [paths ...]`` (or ``python -m repro.analysis``);
-findings can be suppressed per line with ``# reprolint: ignore[RLxxx]``
-and rules enabled/disabled via ``[tool.reprolint]`` in pyproject.toml.
-See ``docs/ANALYSIS.md`` for the full rule catalogue.
+findings can be suppressed per line with ``# reprolint: ignore[RLxxx]``,
+rules configured via ``[tool.reprolint]`` in pyproject.toml, output
+rendered as text, JSON or SARIF 2.1.0, known debt carried in a
+``--baseline`` file, and warm runs accelerated with ``--cache``.  See
+``docs/ANALYSIS.md`` for the full catalogue and workflows.
 """
 
 from __future__ import annotations
 
+from repro.analysis.baseline import Baseline, write_baseline
+from repro.analysis.cache import LintCache
 from repro.analysis.config import LintConfig, load_config
-from repro.analysis.engine import lint_file, lint_paths
+from repro.analysis.engine import LintRun, lint_file, lint_paths, lint_project
 from repro.analysis.findings import Finding
-from repro.analysis.rules import REGISTRY, Rule
+from repro.analysis.output import render_findings
+from repro.analysis.project import FileIndex, ProjectContext, extract_file_index
+from repro.analysis.rules import PROJECT_REGISTRY, REGISTRY, ProjectRule, Rule
 
 __all__ = [
+    "Baseline",
+    "FileIndex",
     "Finding",
+    "LintCache",
     "LintConfig",
+    "LintRun",
+    "PROJECT_REGISTRY",
+    "ProjectContext",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
+    "extract_file_index",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "load_config",
+    "render_findings",
+    "write_baseline",
 ]

@@ -1,0 +1,118 @@
+"""Baseline suppression files: land new rules without a big-bang cleanup.
+
+A baseline is a committed JSON inventory of known findings.  ``repro
+lint --baseline FILE`` subtracts it from the current run, so only *new*
+findings fail the gate; entries whose finding no longer occurs are
+reported as stale so the file shrinks as debt is paid down, and a
+baseline run still exits 0 on stale entries (pruning is hygiene, not an
+emergency).
+
+Matching is deliberately line-insensitive: an entry is
+``(path, code, message, count)``, so reformatting a file does not
+invalidate its baseline, while a *new* instance of an already-baselined
+finding (count exceeded) does fail.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "write_baseline"]
+
+BASELINE_SCHEMA = "repro.analysis.baseline/1"
+
+
+def _key(path: str, code: str, message: str) -> tuple[str, str, str]:
+    return (Path(path).as_posix(), code, message)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One known finding family: same file, code and message."""
+
+    path: str
+    code: str
+    message: str
+    count: int = 1
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline file."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"baseline {path} is not a {BASELINE_SCHEMA} document"
+            )
+        raw_entries = data.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise ValueError(f"baseline {path}: entries must be a list")
+        entries = []
+        for raw in raw_entries:
+            if not isinstance(raw, dict):
+                raise ValueError(f"baseline {path}: malformed entry {raw!r}")
+            entries.append(
+                BaselineEntry(
+                    path=str(raw["path"]),
+                    code=str(raw["code"]),
+                    message=str(raw["message"]),
+                    count=int(raw.get("count", 1)),
+                )
+            )
+        return cls(entries=tuple(entries))
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, stale-baseline-entries).
+
+        Each entry absorbs up to ``count`` matching findings; the rest
+        are new.  Entries that absorb nothing are stale.
+        """
+        budget: Counter[tuple[str, str, str]] = Counter()
+        for entry in self.entries:
+            budget[_key(entry.path, entry.code, entry.message)] += entry.count
+        used: Counter[tuple[str, str, str]] = Counter()
+        fresh: list[Finding] = []
+        for finding in findings:
+            key = _key(finding.path, finding.code, finding.message)
+            if used[key] < budget[key]:
+                used[key] += 1
+            else:
+                fresh.append(finding)
+        stale = [
+            entry
+            for entry in self.entries
+            if used[_key(entry.path, entry.code, entry.message)] == 0
+        ]
+        return fresh, stale
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write a baseline covering ``findings``; returns the entry count."""
+    counts: Counter[tuple[str, str, str]] = Counter(
+        _key(f.path, f.code, f.message) for f in findings
+    )
+    entries = [
+        {"path": p, "code": c, "message": m, "count": n}
+        for (p, c, m), n in sorted(counts.items())
+    ]
+    document = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,170 @@
+"""Content-hash incremental result cache for reprolint.
+
+Per-file work (parsing, per-file rules, index extraction) is cached
+keyed by the sha256 of the file's bytes, under a run *signature* that
+folds in everything else the result depends on: the rule catalogue, the
+index schema version, and the effective configuration.  Change a rule,
+bump :data:`~repro.analysis.project.INDEX_VERSION`, or edit
+``[tool.reprolint]`` and the whole cache silently invalidates; edit one
+file and only that file re-runs.  Project passes always run -- they are
+cheap once every :class:`~repro.analysis.project.FileIndex` is in hand,
+and caching them would couple unrelated files' cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+from collections.abc import Sequence
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.project import INDEX_VERSION, FileIndex
+
+__all__ = ["CacheEntry", "LintCache", "run_signature"]
+
+CACHE_SCHEMA = "repro.analysis.cache/1"
+
+
+def file_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def run_signature(config: LintConfig, rule_codes: Sequence[str]) -> str:
+    """Hash of everything (besides file content) a cached result depends on."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "index_version": INDEX_VERSION,
+        "rules": sorted(rule_codes),
+        "select": sorted(config.select),
+        "disable": sorted(config.disable),
+        "exclude": list(config.exclude),
+        "overrides": [
+            {
+                "paths": list(o.paths),
+                "select": sorted(o.select),
+                "disable": sorted(o.disable),
+            }
+            for o in config.overrides
+        ],
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Cached per-file results: findings plus the project-pass index."""
+
+    digest: str
+    findings: tuple[Finding, ...]
+    index: FileIndex | None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "code": f.code,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+            "index": self.index.to_json() if self.index is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CacheEntry":
+        raw_index = data.get("index")
+        return cls(
+            digest=str(data["digest"]),
+            findings=tuple(
+                Finding(
+                    path=str(f["path"]),
+                    line=int(f["line"]),
+                    col=int(f["col"]),
+                    code=str(f["code"]),
+                    message=str(f["message"]),
+                )
+                for f in data["findings"]
+            ),
+            index=FileIndex.from_json(raw_index) if raw_index is not None else None,
+        )
+
+
+@dataclass
+class LintCache:
+    """The on-disk cache: one JSON file, one entry per linted file."""
+
+    path: Path
+    signature: str
+    entries: dict[str, CacheEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    _dirty: bool = False
+
+    @classmethod
+    def open(cls, path: Path, *, config: LintConfig, rule_codes: Sequence[str]) -> "LintCache":
+        """Load the cache at ``path``; mismatched signature or a corrupt
+        file yields an empty cache (never an error -- the cache is an
+        optimisation, not a gate)."""
+        signature = run_signature(config, rule_codes)
+        cache = cls(path=path, signature=signature)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return cache
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != CACHE_SCHEMA
+            or data.get("signature") != signature
+        ):
+            return cache
+        try:
+            for posix, raw in data.get("entries", {}).items():
+                cache.entries[str(posix)] = CacheEntry.from_json(raw)
+        except (KeyError, TypeError, ValueError):
+            cache.entries.clear()
+        return cache
+
+    def lookup(self, posix_path: str, digest: str) -> CacheEntry | None:
+        entry = self.entries.get(posix_path)
+        if entry is not None and entry.digest == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        posix_path: str,
+        digest: str,
+        findings: Sequence[Finding],
+        index: FileIndex | None,
+    ) -> None:
+        self.entries[posix_path] = CacheEntry(
+            digest=digest, findings=tuple(findings), index=index
+        )
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist the cache; best-effort (failures are not lint errors)."""
+        if not self._dirty and self.path.exists():
+            return
+        document = {
+            "schema": CACHE_SCHEMA,
+            "signature": self.signature,
+            "entries": {posix: entry.to_json() for posix, entry in sorted(self.entries.items())},
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(document, sort_keys=True) + "\n", encoding="utf-8")
+        except OSError:  # pragma: no cover - disk-full/read-only CI is not a lint failure
+            pass

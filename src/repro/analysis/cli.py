@@ -1,8 +1,9 @@
 """``repro lint`` — the command-line front end of reprolint.
 
-Exit codes follow the usual linter convention: ``0`` clean, ``1`` when
-findings were emitted, ``2`` on usage errors (unknown rule code,
-malformed ``[tool.reprolint]`` table, no files matched).
+Exit codes follow the usual linter convention: ``0`` clean (or every
+finding covered by the baseline), ``1`` when new findings were emitted,
+``2`` on usage errors (unknown rule code, malformed ``[tool.reprolint]``
+table, no files matched, bad baseline file).
 """
 
 from __future__ import annotations
@@ -12,9 +13,12 @@ import sys
 from pathlib import Path
 from typing import TextIO
 
+from repro.analysis.baseline import Baseline, write_baseline
+from repro.analysis.cache import LintCache
 from repro.analysis.config import LintConfig, load_config
-from repro.analysis.engine import iter_python_files, lint_paths
-from repro.analysis.rules import REGISTRY
+from repro.analysis.engine import lint_project
+from repro.analysis.output import FORMATS, render_findings
+from repro.analysis.rules import PROJECT_REGISTRY, REGISTRY
 
 __all__ = ["build_parser", "main"]
 
@@ -24,15 +28,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description=(
             "Domain-aware static analysis for the checkpoint-scheduling stack: "
-            "RNG discipline, float equality, unit mixing, config validation, "
-            "distribution contracts and exception hygiene.  See docs/ANALYSIS.md."
+            "per-file rules (RNG discipline, float equality, unit mixing, config "
+            "validation, distribution contracts, exception hygiene, async-global "
+            "mutation) plus project-wide passes (event-loop blocking chains, "
+            "dropped coroutines, metrics/op/CLI contract drift).  "
+            "See docs/ANALYSIS.md."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
+        default=[],
+        help="files or directories to lint (default: [tool.reprolint] default_paths, else src)",
     )
     parser.add_argument(
         "--select",
@@ -56,6 +63,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore [tool.reprolint] in pyproject.toml",
     )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: text; sarif is SARIF 2.1.0)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the rendered findings to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="subtract the findings recorded in this baseline file; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=None,
+        help="incremental result cache file; unchanged files are not re-analysed",
+    )
     return parser
 
 
@@ -70,9 +108,15 @@ def _parse_codes(raw: str | None, known: frozenset[str], flag: str) -> frozenset
 
 
 def _print_rules(sink: TextIO) -> None:
+    print("per-file rules:", file=sink)
     for rule in REGISTRY:
         print(f"{rule.code}  {rule.summary}", file=sink)
         doc = (type(rule).__doc__ or "").strip().splitlines()[0]
+        print(f"       {doc}", file=sink)
+    print("project rules:", file=sink)
+    for project_rule in PROJECT_REGISTRY:
+        print(f"{project_rule.code}  {project_rule.summary}", file=sink)
+        doc = (type(project_rule).__doc__ or "").strip().splitlines()[0]
         print(f"       {doc}", file=sink)
 
 
@@ -82,7 +126,9 @@ def main(argv: list[str] | None = None, *, stdout: TextIO | None = None) -> int:
     if args.rules:
         _print_rules(sink)
         return 0
-    known = frozenset(rule.code for rule in REGISTRY)
+    known = frozenset(rule.code for rule in REGISTRY) | frozenset(
+        rule.code for rule in PROJECT_REGISTRY
+    )
     try:
         if args.no_config:
             config = LintConfig()
@@ -90,25 +136,64 @@ def main(argv: list[str] | None = None, *, stdout: TextIO | None = None) -> int:
             config = load_config(Path(args.paths[0]) if args.paths else None, known)
         select = _parse_codes(args.select, known, "--select")
         disable = _parse_codes(args.disable, known, "--disable")
+        baseline = Baseline.load(Path(args.baseline)) if args.baseline else None
     except ValueError as exc:
         print(f"repro lint: error: {exc}", file=sink)
         return 2
-    if select:
-        config = LintConfig(select=select, disable=config.disable | disable, exclude=config.exclude)
-    elif disable:
-        config = LintConfig(select=config.select, disable=config.disable | disable, exclude=config.exclude)
-    files = iter_python_files(args.paths)
-    if not files:
-        print(f"repro lint: error: no Python files under {args.paths}", file=sink)
+    if select or disable:
+        config = LintConfig(
+            select=select if select else config.select,
+            disable=config.disable | disable,
+            exclude=config.exclude,
+            default_paths=config.default_paths,
+            overrides=config.overrides,
+        )
+    paths = args.paths or list(config.default_paths)
+    cache = None
+    if args.cache:
+        cache = LintCache.open(Path(args.cache), config=config, rule_codes=sorted(known))
+    run = lint_project(paths, config=config, cache=cache)
+    if cache is not None:
+        cache.save()
+    if not run.files:
+        print(f"repro lint: error: no Python files under {paths}", file=sink)
         return 2
-    findings = lint_paths(args.paths, config=config)
-    for finding in findings:
-        print(finding.render(), file=sink)
-    if findings:
-        print(f"repro lint: {len(findings)} finding(s) in {len(files)} file(s)", file=sink)
-        return 1
-    print(f"repro lint: clean ({len(files)} file(s))", file=sink)
-    return 0
+    if args.write_baseline:
+        count = write_baseline(Path(args.write_baseline), run.findings)
+        print(
+            f"repro lint: wrote baseline {args.write_baseline} "
+            f"({count} entr{'y' if count == 1 else 'ies'} covering {len(run.findings)} finding(s))",
+            file=sink,
+        )
+        return 0
+    findings = run.findings
+    stale_notes: list[str] = []
+    if baseline is not None:
+        findings, stale = baseline.apply(findings)
+        stale_notes = [
+            f"repro lint: note: stale baseline entry {entry.path}: {entry.code} {entry.message!r}"
+            for entry in stale
+        ]
+    rendered = render_findings(findings, args.fmt)
+    if args.output:
+        Path(args.output).write_text(
+            rendered + ("\n" if rendered and not rendered.endswith("\n") else ""),
+            encoding="utf-8",
+        )
+    elif rendered:
+        print(rendered, file=sink)
+    if args.fmt == "text" or args.output:
+        for note in stale_notes:
+            print(note, file=sink)
+        reused = f", {run.reused} reused from cache" if cache is not None else ""
+        if findings:
+            print(
+                f"repro lint: {len(findings)} finding(s) in {len(run.files)} file(s){reused}",
+                file=sink,
+            )
+        else:
+            print(f"repro lint: clean ({len(run.files)} file(s){reused})", file=sink)
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

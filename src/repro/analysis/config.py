@@ -3,18 +3,27 @@
 Supported keys::
 
     [tool.reprolint]
-    select  = ["RL001", "RL002"]   # run only these rules
-    disable = ["RL003"]            # run everything except these
-    exclude = ["experiments/"]     # path fragments skipped entirely
+    select        = ["RL001", "RL002"]  # run only these rules
+    disable       = ["RL003"]           # run everything except these
+    exclude       = ["experiments/"]    # path fragments skipped entirely
+    default_paths = ["src", "tests"]    # linted when the CLI gets no paths
+
+    [[tool.reprolint.overrides]]        # relaxed selection per directory
+    paths   = ["tests/", "benchmarks/"]
+    disable = ["RL001"]
 
 ``select`` and ``disable`` compose: a rule runs when it is in ``select``
-(or ``select`` is empty) and not in ``disable``.  Unknown rule codes are
+(or ``select`` is empty) and not in ``disable``.  Each ``overrides``
+table then tightens the decision for files whose path contains one of
+its ``paths`` fragments -- a file under ``tests/`` runs the base rule
+set minus the override's ``disable`` (and restricted to the override's
+``select`` when given).  Unknown rule codes and unknown keys are
 rejected so a typo cannot silently disable a gate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -23,21 +32,45 @@ try:  # pragma: no cover - tomllib ships with >= 3.11; config is optional below 
 except ImportError:  # pragma: no cover
     tomllib = None  # type: ignore[assignment]
 
-__all__ = ["LintConfig", "load_config"]
+__all__ = ["LintConfig", "RuleOverride", "load_config"]
+
+
+@dataclass(frozen=True)
+class RuleOverride:
+    """A per-directory refinement of the rule selection."""
+
+    paths: tuple[str, ...]
+    select: frozenset[str] = frozenset()
+    disable: frozenset[str] = frozenset()
+
+    def matches(self, posix_path: str) -> bool:
+        return any(fragment in posix_path for fragment in self.paths)
 
 
 @dataclass(frozen=True)
 class LintConfig:
-    """Which rules run, and which paths are skipped."""
+    """Which rules run where, and which paths are skipped."""
 
     select: frozenset[str] = frozenset()
     disable: frozenset[str] = frozenset()
     exclude: tuple[str, ...] = ()
+    default_paths: tuple[str, ...] = ("src",)
+    overrides: tuple[RuleOverride, ...] = ()
 
-    def rule_enabled(self, code: str) -> bool:
+    def rule_enabled(self, code: str, posix_path: str | None = None) -> bool:
         if self.select and code not in self.select:
             return False
-        return code not in self.disable
+        if code in self.disable:
+            return False
+        if posix_path is not None:
+            for override in self.overrides:
+                if not override.matches(posix_path):
+                    continue
+                if override.select and code not in override.select:
+                    return False
+                if code in override.disable:
+                    return False
+        return True
 
     def path_excluded(self, posix_path: str) -> bool:
         return any(fragment in posix_path for fragment in self.exclude)
@@ -58,6 +91,27 @@ def _string_list(raw: Any, key: str) -> list[str]:
     return list(raw)
 
 
+def _parse_override(raw: Any, known: frozenset[str], position: int) -> RuleOverride:
+    label = f"overrides[{position}]"
+    if not isinstance(raw, dict):
+        raise ValueError(f"[tool.reprolint] {label} must be a table, got {raw!r}")
+    unknown_keys = set(raw) - {"paths", "select", "disable"}
+    if unknown_keys:
+        raise ValueError(f"unknown [tool.reprolint] {label} keys: {sorted(unknown_keys)}")
+    paths = tuple(_string_list(raw.get("paths", []), f"{label}.paths"))
+    if not paths:
+        raise ValueError(f"[tool.reprolint] {label} needs a non-empty paths list")
+    return RuleOverride(
+        paths=paths,
+        select=_validate_codes(
+            _string_list(raw.get("select", []), f"{label}.select"), known, f"{label}.select"
+        ),
+        disable=_validate_codes(
+            _string_list(raw.get("disable", []), f"{label}.disable"), known, f"{label}.disable"
+        ),
+    )
+
+
 def load_config(start: Path | None = None, known_codes: frozenset[str] | None = None) -> LintConfig:
     """Load ``[tool.reprolint]`` from the nearest pyproject.toml.
 
@@ -66,9 +120,11 @@ def load_config(start: Path | None = None, known_codes: frozenset[str] | None = 
     (no ``tomllib``) all fall back to the defaults: every rule enabled.
     """
     if known_codes is None:
-        from repro.analysis.rules import REGISTRY
+        from repro.analysis.rules import PROJECT_REGISTRY, REGISTRY
 
-        known_codes = frozenset(rule.code for rule in REGISTRY)
+        known_codes = frozenset(rule.code for rule in REGISTRY) | frozenset(
+            rule.code for rule in PROJECT_REGISTRY
+        )
     if tomllib is None:  # pragma: no cover
         return LintConfig()
     base = (start or Path.cwd()).resolve()
@@ -82,9 +138,18 @@ def load_config(start: Path | None = None, known_codes: frozenset[str] | None = 
             table = data.get("tool", {}).get("reprolint", {})
             if not isinstance(table, dict):
                 raise ValueError("[tool.reprolint] must be a table")
-            unknown_keys = set(table) - {"select", "disable", "exclude"}
+            unknown_keys = set(table) - {
+                "select",
+                "disable",
+                "exclude",
+                "default_paths",
+                "overrides",
+            }
             if unknown_keys:
                 raise ValueError(f"unknown [tool.reprolint] keys: {sorted(unknown_keys)}")
+            raw_overrides = table.get("overrides", [])
+            if not isinstance(raw_overrides, list):
+                raise ValueError("[tool.reprolint] overrides must be an array of tables")
             return LintConfig(
                 select=_validate_codes(
                     _string_list(table.get("select", []), "select"), known_codes, "select"
@@ -93,5 +158,12 @@ def load_config(start: Path | None = None, known_codes: frozenset[str] | None = 
                     _string_list(table.get("disable", []), "disable"), known_codes, "disable"
                 ),
                 exclude=tuple(_string_list(table.get("exclude", []), "exclude")),
+                default_paths=tuple(
+                    _string_list(table.get("default_paths", ["src"]), "default_paths")
+                ),
+                overrides=tuple(
+                    _parse_override(raw, known_codes, i)
+                    for i, raw in enumerate(raw_overrides)
+                ),
             )
     return LintConfig()

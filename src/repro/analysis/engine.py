@@ -20,15 +20,23 @@ from __future__ import annotations
 import ast
 import re
 import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable, Sequence
 
+from repro.analysis.cache import LintCache, file_digest
 from repro.analysis.config import LintConfig
 from repro.analysis.findings import Finding
-from repro.analysis.rules import REGISTRY, Rule
+from repro.analysis.project import (
+    FileIndex,
+    ProjectContext,
+    extract_file_index,
+    find_project_root,
+)
+from repro.analysis.rules import PROJECT_REGISTRY, REGISTRY, ProjectRule, Rule
 from repro.analysis.rules.base import ModuleContext
 
-__all__ = ["iter_python_files", "lint_file", "lint_paths"]
+__all__ = ["LintRun", "iter_python_files", "lint_file", "lint_paths", "lint_project"]
 
 #: finding code used for files that fail to parse
 PARSE_ERROR_CODE = "RL000"
@@ -123,7 +131,7 @@ def lint_file(
     suppressions = _suppressions(source)
     findings: list[Finding] = []
     for rule in rules if rules is not None else REGISTRY:
-        if not config.rule_enabled(rule.code) or not rule.applies_to(posix):
+        if not config.rule_enabled(rule.code, posix) or not rule.applies_to(posix):
             continue
         for finding in rule.check(module):
             if not _suppressed(finding, suppressions):
@@ -137,9 +145,170 @@ def lint_paths(
     config: LintConfig | None = None,
     rules: Iterable[Rule] | None = None,
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``; findings in path order."""
+    """Lint every Python file under ``paths``; findings in path order.
+
+    Per-file rules only; :func:`lint_project` adds the project passes.
+    """
     rule_list = tuple(rules) if rules is not None else REGISTRY
     findings: list[Finding] = []
     for path in iter_python_files(paths):
         findings.extend(lint_file(path, rule_list, config=config))
     return findings
+
+
+@dataclass
+class LintRun:
+    """The outcome of one :func:`lint_project` run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: list[Path] = field(default_factory=list)
+    #: files whose per-file results came straight from the cache
+    reused: int = 0
+
+
+def _index_rest_of_src(
+    root: Path | None,
+    linted: Sequence[Path],
+    config: LintConfig,
+    indexes: dict[str, FileIndex],
+    sources: dict[str, str],
+) -> None:
+    """Index (but do not lint) the ``src/`` files outside the linted set.
+
+    The contract passes (RL2xx) reconcile code surfaces against project
+    documents; when only a subdirectory is linted they must still see
+    the full code surface, or every catalogue row backed by an unlinted
+    file looks dead.  Per-file rules do not run here -- these files only
+    contribute :class:`FileIndex` facts (and their suppression comments,
+    so project findings honour them).
+    """
+    if root is None:
+        return
+    src_dir = root / "src"
+    if not src_dir.is_dir():
+        return
+    linted_resolved = {path.resolve() for path in linted}
+    for extra in sorted(src_dir.rglob("*.py")):
+        if extra.resolve() in linted_resolved:
+            continue
+        try:
+            posix = extra.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            posix = extra.as_posix()
+        if posix in indexes or config.path_excluded(posix):
+            continue
+        try:
+            source = extra.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(extra))
+        except (OSError, SyntaxError):
+            continue  # unlintable out-of-scope files contribute nothing
+        sources[posix] = source
+        module = ModuleContext(
+            path=posix,
+            posix_path=posix,
+            tree=tree,
+            source_lines=tuple(source.splitlines()),
+        )
+        indexes[posix] = extract_file_index(module)
+
+
+def lint_project(
+    paths: Sequence[str | Path],
+    *,
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] | None = None,
+    project_rules: Iterable[ProjectRule] | None = None,
+    cache: LintCache | None = None,
+) -> LintRun:
+    """Run the full two-tier analysis: per-file rules, then project passes.
+
+    Per-file work (parse, rules, index extraction) is served from
+    ``cache`` for files whose content hash matches; project passes run
+    unconditionally over the assembled :class:`ProjectContext` -- they
+    are cheap once every index is in hand, and their findings depend on
+    cross-file state no single entry could key.
+    """
+    config = config or LintConfig()
+    rule_list = tuple(rules) if rules is not None else REGISTRY
+    project_list = (
+        tuple(project_rules) if project_rules is not None else PROJECT_REGISTRY
+    )
+    run = LintRun()
+    run.files = [
+        path
+        for path in iter_python_files(paths)
+        if not config.path_excluded(path.as_posix())
+    ]
+    root = find_project_root([Path(p) for p in paths])
+    indexes: dict[str, FileIndex] = {}
+    sources: dict[str, str] = {}
+    for path in run.files:
+        posix = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        sources[posix] = source
+        digest = file_digest(source)
+        if cache is not None:
+            entry = cache.lookup(posix, digest)
+            if entry is not None:
+                run.findings.extend(entry.findings)
+                if entry.index is not None:
+                    indexes[posix] = entry.index
+                run.reused += 1
+                continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            parse_finding = Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+            run.findings.append(parse_finding)
+            if cache is not None:
+                cache.store(posix, digest, [parse_finding], None)
+            continue
+        module = ModuleContext(
+            path=str(path),
+            posix_path=posix,
+            tree=tree,
+            source_lines=tuple(source.splitlines()),
+        )
+        suppressions = _suppressions(source)
+        file_findings: list[Finding] = []
+        for rule in rule_list:
+            if not config.rule_enabled(rule.code, posix) or not rule.applies_to(posix):
+                continue
+            for finding in rule.check(module):
+                if not _suppressed(finding, suppressions):
+                    file_findings.append(finding)
+        file_findings.sort()
+        run.findings.extend(file_findings)
+        index = extract_file_index(module)
+        indexes[posix] = index
+        if cache is not None:
+            cache.store(posix, digest, file_findings, index)
+
+    _index_rest_of_src(root, run.files, config, indexes, sources)
+    project = ProjectContext(root=root, indexes=indexes)
+    suppression_cache: dict[str, dict[int, frozenset[str] | None]] = {}
+
+    def suppressions_for(posix: str) -> dict[int, frozenset[str] | None]:
+        if posix not in suppression_cache:
+            source = sources.get(posix)
+            suppression_cache[posix] = _suppressions(source) if source is not None else {}
+        return suppression_cache[posix]
+
+    for project_rule in project_list:
+        for finding in project_rule.check_project(project):
+            posix = Path(finding.path).as_posix()
+            if config.path_excluded(posix):
+                continue
+            if not config.rule_enabled(project_rule.code, posix):
+                continue
+            if posix in sources and _suppressed(finding, suppressions_for(posix)):
+                continue
+            run.findings.append(finding)
+    run.findings.sort()
+    return run

@@ -1,0 +1,36 @@
+"""The per-module primitives shared by every analysis tier.
+
+This is a leaf module: both the rule packages and the project layer
+import from here, so it must not import either of them (the rules
+package pulls in every rule module, and several rules need the project
+layer -- importing upward from here would close that cycle).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["ModuleContext", "dotted_name"]
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """One parsed module as presented to every rule."""
+
+    #: path as given on the command line (used in finding output)
+    path: str
+    #: POSIX-style path used for scope matching ("src/repro/core/markov.py")
+    posix_path: str
+    tree: ast.Module
+    source_lines: tuple[str, ...]
+
+
+def dotted_name(node: ast.expr) -> str:
+    """Best-effort dotted name of an expression (``np.random.seed``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = dotted_name(node.value)
+        return f"{prefix}.{node.attr}" if prefix else node.attr
+    return ""

@@ -1,0 +1,122 @@
+"""Finding output formats: plain text, JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is what CI code
+scanning ingests; the emitted document carries one run with the full
+rule catalogue in ``tool.driver.rules`` and one result per finding.
+Parse errors (``RL000``) surface at ``error`` level, everything else at
+``warning`` -- the exit code, not the level, is the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import PROJECT_REGISTRY, REGISTRY, ProjectRule, Rule
+
+__all__ = ["FORMATS", "render_findings", "render_json", "render_sarif", "render_text"]
+
+FORMATS = ("text", "json", "sarif")
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+#: synthetic catalogue entry for the parse-failure code the engine emits
+_PARSE_RULE = ("RL000", "file does not parse", "Reported when a file cannot be parsed as Python.")
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    return "\n".join(finding.render() for finding in findings)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    document = {
+        "schema": "repro.analysis.findings/1",
+        "count": len(findings),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _rule_catalogue() -> list[tuple[str, str, str]]:
+    """(code, summary, long description) for every known rule code."""
+    catalogue: list[tuple[str, str, str]] = [_PARSE_RULE]
+    rules: list[Rule | ProjectRule] = [*REGISTRY, *PROJECT_REGISTRY]
+    for rule in rules:
+        doc = (type(rule).__doc__ or rule.summary).strip().splitlines()[0]
+        catalogue.append((rule.code, rule.summary, doc))
+    return sorted(catalogue)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    catalogue = _rule_catalogue()
+    rule_index = {code: i for i, (code, _, _) in enumerate(catalogue)}
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.code,
+                "ruleIndex": rule_index.get(finding.code, -1),
+                "level": "error" if finding.code == "RL000" else "warning",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": [
+                            {
+                                "id": code,
+                                "shortDescription": {"text": summary},
+                                "fullDescription": {"text": doc},
+                            }
+                            for code, summary, doc in catalogue
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_findings(findings: Sequence[Finding], fmt: str) -> str:
+    """Render ``findings`` in one of :data:`FORMATS`."""
+    if fmt == "text":
+        return render_text(findings)
+    if fmt == "json":
+        return render_json(findings)
+    if fmt == "sarif":
+        return render_sarif(findings)
+    raise ValueError(f"unknown output format {fmt!r}; known: {FORMATS}")

@@ -1,27 +1,46 @@
 """The reprolint rule registry.
 
-Adding a rule: subclass :class:`~repro.analysis.rules.base.Rule` in a
-module here, give it the next free ``RLxxx`` code, a ``summary`` and a
-docstring (the docstring is the rule's documentation, surfaced by
-``repro lint --rules``), implement ``check``, and append an instance to
-``REGISTRY``.  Then add a positive and a negative fixture to
-``tests/test_analysis_rules.py`` and a row to ``docs/ANALYSIS.md``.
+Adding a per-file rule: subclass
+:class:`~repro.analysis.rules.base.Rule` in a module here, give it the
+next free ``RLxxx`` code, a ``summary`` and a docstring (the docstring
+is the rule's documentation, surfaced by ``repro lint --rules``),
+implement ``check``, and append an instance to ``REGISTRY``.  Project
+rules subclass :class:`~repro.analysis.rules.base.ProjectRule`,
+implement ``check_project`` and go in ``PROJECT_REGISTRY``.  Then add a
+positive and a negative fixture to the test suite and a row to
+``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.rules.base import ModuleContext, Rule
+from repro.analysis.rules.base import ModuleContext, ProjectRule, Rule
+from repro.analysis.rules.concurrency import (
+    AsyncBlockingCallRule,
+    DroppedCoroutineRule,
+    GlobalMutationInAsyncRule,
+)
 from repro.analysis.rules.configs import ConfigValidationRule
+from repro.analysis.rules.contracts import (
+    CliDocsContractRule,
+    MetricsCatalogueRule,
+    ServeOpSurfaceRule,
+)
 from repro.analysis.rules.distributions import DistributionContractRule
 from repro.analysis.rules.exceptions import ExceptionHygieneRule
 from repro.analysis.rules.floats import FloatEqualityRule
 from repro.analysis.rules.rng import RngDisciplineRule
 from repro.analysis.rules.units import UnitMixingRule
 
-__all__ = ["ModuleContext", "REGISTRY", "Rule"]
+__all__ = [
+    "ModuleContext",
+    "PROJECT_REGISTRY",
+    "REGISTRY",
+    "ProjectRule",
+    "Rule",
+]
 
-#: every known rule, in code order; the engine consults the config for
-#: which of these actually run
+#: every known per-file rule, in code order; the engine consults the
+#: config for which of these actually run
 REGISTRY: tuple[Rule, ...] = (
     RngDisciplineRule(),
     FloatEqualityRule(),
@@ -29,4 +48,14 @@ REGISTRY: tuple[Rule, ...] = (
     ConfigValidationRule(),
     DistributionContractRule(),
     ExceptionHygieneRule(),
+    GlobalMutationInAsyncRule(),
+)
+
+#: whole-program passes, run once over the assembled ProjectContext
+PROJECT_REGISTRY: tuple[ProjectRule, ...] = (
+    AsyncBlockingCallRule(),
+    DroppedCoroutineRule(),
+    MetricsCatalogueRule(),
+    ServeOpSurfaceRule(),
+    CliDocsContractRule(),
 )

@@ -1,28 +1,26 @@
-"""Rule base class and the per-module context rules inspect."""
+"""Rule base classes and the per-module context rules inspect."""
 
 from __future__ import annotations
 
 import abc
 import ast
-from dataclasses import dataclass
 from collections.abc import Iterator
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleContext, dotted_name
 
-__all__ = ["ModuleContext", "Rule", "dotted_name", "in_directory", "is_test_path"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.analysis.project import ProjectContext
 
-
-@dataclass(frozen=True)
-class ModuleContext:
-    """One parsed module as presented to every rule."""
-
-    #: path as given on the command line (used in finding output)
-    path: str
-    #: POSIX-style path used for scope matching ("src/repro/core/markov.py")
-    posix_path: str
-    tree: ast.Module
-    source_lines: tuple[str, ...]
+__all__ = [
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "dotted_name",
+    "in_directory",
+    "is_test_path",
+]
 
 
 class Rule(abc.ABC):
@@ -62,14 +60,29 @@ class Rule(abc.ABC):
         )
 
 
-def dotted_name(node: ast.expr) -> str:
-    """Best-effort dotted name of an expression (``np.random.seed``)."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        prefix = dotted_name(node.value)
-        return f"{prefix}.{node.attr}" if prefix else node.attr
-    return ""
+class ProjectRule(abc.ABC):
+    """One named check over the whole project.
+
+    Where :class:`Rule` sees one module at a time, a project rule
+    receives the :class:`~repro.analysis.project.ProjectContext` -- the
+    indexed union of every file in scope plus the project documents --
+    and can therefore check *cross-cutting* invariants: call chains from
+    ``async def`` bodies into blocking I/O, or drift between a string
+    surface in code and its catalogue in docs.  Findings may point at
+    Python files or at documentation files.
+    """
+
+    code: ClassVar[str]
+    summary: ClassVar[str]
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+    def finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(path=path, line=line, col=col, code=self.code, message=message)
 
 
 def in_directory(posix_path: str, directory: str) -> bool:

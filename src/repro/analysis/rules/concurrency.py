@@ -1,0 +1,444 @@
+"""RL101-RL103 — asyncio/concurrency discipline for the serving daemon.
+
+The ``repro serve`` daemon is a single event loop answering a
+1400+-QPS bench load; every millisecond the loop spends inside a
+blocking syscall is a millisecond *every* in-flight request stalls.
+These rules machine-check the three failure modes that matter there:
+
+* **RL101** -- a blocking primitive (``time.sleep``, synchronous
+  file/socket I/O, ``subprocess``) reachable from an ``async def``
+  body, directly or through the project call graph.
+* **RL102** -- a coroutine created and dropped without ``await``, or an
+  ``asyncio.create_task`` / ``ensure_future`` result discarded (the
+  event loop holds only a weak reference; a dropped task can be
+  garbage-collected mid-flight).
+* **RL103** -- module-global mutable state mutated from inside an
+  ``async def`` outside a lock, where a concurrent handler interleaves
+  at every ``await``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    CallSite,
+    FileIndex,
+    FunctionInfo,
+    ProjectContext,
+)
+from repro.analysis.rules.base import (
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    dotted_name,
+    is_test_path,
+)
+
+__all__ = [
+    "AsyncBlockingCallRule",
+    "DroppedCoroutineRule",
+    "GlobalMutationInAsyncRule",
+]
+
+#: call-graph traversal depth bound for RL101/RL102 (a chain deeper than
+#: this is reported at the last resolved hop anyway)
+_MAX_DEPTH = 6
+
+
+class _CallResolver:
+    """Best-effort, name-based call resolution over the project index.
+
+    Resolution is deliberately conservative: a dotted call resolves only
+    when the target is unambiguous --
+
+    * ``self.f`` / ``cls.f``  -> methods named ``f`` in the same file,
+    * bare ``f``              -> a function ``f`` in the same file, else
+      a ``from M import f`` alias pointing at an indexed module,
+    * anything else           -> unresolved (no edge).
+
+    Unresolved calls produce no findings, so the pass under-reports
+    rather than guessing.
+    """
+
+    def __init__(self, project: ProjectContext) -> None:
+        self._project = project
+        self._table = project.function_table()
+        self._imports = {
+            posix: dict(index.imports) for posix, index in project.indexes.items()
+        }
+
+    def resolve(self, posix: str, call: CallSite) -> list[tuple[str, FunctionInfo]]:
+        name = call.name
+        local = self._table.get(posix, {})
+        if name.startswith(("self.", "cls.")):
+            tail = name.split(".", maxsplit=1)[1]
+            if "." in tail:
+                return []
+            return [
+                (posix, info)
+                for info in local.get(tail, [])
+                if "." in info.qualname  # methods only
+            ]
+        if "." not in name:
+            found = [(posix, info) for info in local.get(name, [])]
+            if found:
+                return found
+            target = self._imports.get(posix, {}).get(name)
+            if target is not None:
+                module_dotted, _, symbol = target.partition(":")
+                other = self._project.module_for(module_dotted)
+                if other is not None:
+                    return [
+                        (other, info)
+                        for info in self._table.get(other, {}).get(symbol, [])
+                    ]
+        return []
+
+
+def _blocking_chains(
+    resolver: _CallResolver,
+    posix: str,
+    info: FunctionInfo,
+    *,
+    _depth: int = 0,
+    _seen: frozenset[str] | None = None,
+) -> list[tuple[CallSite, str]]:
+    """Blocking reachability of one function.
+
+    Returns ``(site, description)`` pairs where ``site`` is a call in
+    *this* function's body and ``description`` narrates the rest of the
+    chain down to the blocking primitive.
+    """
+    seen = _seen if _seen is not None else frozenset()
+    key = f"{posix}:{info.qualname}"
+    if key in seen or _depth > _MAX_DEPTH:
+        return []
+    seen = seen | {key}
+    out: list[tuple[CallSite, str]] = [
+        (site, site.note) for site in info.blocking
+    ]
+    for call in info.calls:
+        for target_posix, target in resolver.resolve(posix, call):
+            deeper = _blocking_chains(
+                resolver, target_posix, target, _depth=_depth + 1, _seen=seen
+            )
+            if deeper:
+                # summarise through the first blocking path found
+                _, description = deeper[0]
+                out.append(
+                    (call, f"{target.qualname}(): {description}")
+                )
+                break
+    return out
+
+
+class AsyncBlockingCallRule(ProjectRule):
+    """No blocking calls reachable from ``async def`` bodies in the daemon.
+
+    A synchronous ``open()``/``os.replace()``/``time.sleep()`` executed
+    on the event loop freezes every pipelined connection for its full
+    duration -- at the bench's measured 1447 QPS, a 50 ms snapshot write
+    queues ~70 requests.  The fix is mechanical: hand the blocking work
+    to ``asyncio.to_thread`` (or an executor) and keep only the
+    in-memory state capture on the loop.  The check follows the project
+    call graph (name-resolved, conservative), so blocking I/O buried in
+    a helper two calls down is still attributed to the ``async def``
+    that reaches it.
+    """
+
+    code: ClassVar[str] = "RL101"
+    summary: ClassVar[str] = "blocking I/O or sleep reachable from async def (event-loop stall)"
+    #: directory segments whose async functions are checked
+    scope_dirs: ClassVar[tuple[str, ...]] = ("serve",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        resolver = _CallResolver(project)
+        for scope in self.scope_dirs:
+            for index in project.files_under(scope):
+                if is_test_path(index.posix_path):
+                    continue
+                yield from self._check_file(resolver, index)
+
+    def _check_file(
+        self, resolver: _CallResolver, index: FileIndex
+    ) -> Iterator[Finding]:
+        for info in index.functions:
+            if not info.is_async:
+                continue
+            reported: set[tuple[int, int]] = set()
+            for site, description in _blocking_chains(
+                resolver, index.posix_path, info
+            ):
+                where = (site.line, site.col)
+                if where in reported:
+                    continue
+                reported.add(where)
+                yield Finding(
+                    path=index.display_path,
+                    line=site.line,
+                    col=site.col,
+                    code=self.code,
+                    message=(
+                        f"async {info.qualname}() blocks the event loop: "
+                        f"{site.name}() -> {description}; move the blocking part "
+                        "to asyncio.to_thread or an executor"
+                    ),
+                )
+
+
+#: spawn calls whose returned task must be retained
+_SPAWN_CALLS = frozenset(
+    {
+        "asyncio.create_task",
+        "asyncio.ensure_future",
+        "loop.create_task",
+    }
+)
+
+
+class DroppedCoroutineRule(ProjectRule):
+    """Coroutines must be awaited; task handles must be retained.
+
+    A statement-level call of an ``async def`` creates a coroutine
+    object and throws it away -- the body never runs, and the bug hides
+    until a "was never awaited" warning surfaces in some unrelated log.
+    A statement-level ``asyncio.create_task(...)`` *does* run, but the
+    event loop keeps only a weak reference to the task: with the result
+    dropped, the garbage collector may cancel it mid-flight (asyncio
+    docs, "Important: save a reference").  Either await the call, or
+    keep the task in a collection that outlives it (the daemon's
+    connection handler keeps a ``set`` with a done-callback discard).
+    """
+
+    code: ClassVar[str] = "RL102"
+    summary: ClassVar[str] = "un-awaited coroutine call / dropped create_task result"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        resolver = _CallResolver(project)
+        for posix, index in sorted(project.indexes.items()):
+            if is_test_path(posix):
+                continue
+            has_async = any(info.is_async for info in index.functions)
+            if not has_async:
+                continue
+            module = project.parse_module(index)
+            if module is None:
+                continue
+            yield from self._check_module(resolver, index, module)
+
+    def _check_module(
+        self, resolver: _CallResolver, index: FileIndex, module: ModuleContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            name = dotted_name(call.func)
+            if not name:
+                continue
+            tail = name.rsplit(".", maxsplit=1)[-1]
+            if name in _SPAWN_CALLS or (
+                tail in ("create_task", "ensure_future") and "." in name
+            ):
+                yield Finding(
+                    path=index.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        f"{name}(...) result is dropped; the event loop holds only "
+                        "a weak reference, so the task can be garbage-collected "
+                        "mid-flight -- retain the handle (and discard it when done)"
+                    ),
+                )
+                continue
+            site = CallSite(name=name, line=node.lineno, col=node.col_offset)
+            targets = resolver.resolve(index.posix_path, site)
+            if targets and all(info.is_async for _, info in targets):
+                yield Finding(
+                    path=index.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        f"{name}() is an async def: calling it creates a coroutine "
+                        "that is never awaited (the body never runs); add await "
+                        "or schedule it with asyncio.create_task"
+                    ),
+                )
+
+
+#: attribute calls that mutate their receiver in place
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "appendleft",
+        "popleft",
+    }
+)
+
+#: module-level constructors that produce mutable containers
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "deque", "Counter"}
+)
+
+
+class GlobalMutationInAsyncRule(Rule):
+    """Module-global mutable state must not be mutated from async handlers.
+
+    The daemon's shared singletons -- the process-global solver cache,
+    the metrics registry slot, a tenant table -- are mutated through
+    designated APIs that the single-threaded event loop serialises.  An
+    async handler reaching around those APIs and poking a module-level
+    dict/list/set directly interleaves with every other handler at each
+    ``await`` (and with worker threads once blocking I/O moves off the
+    loop), corrupting state without a traceback.  Mutations inside a
+    ``with``/``async with`` block whose context manager names a lock
+    are exempt -- that is the designated-API shape.
+    """
+
+    code: ClassVar[str] = "RL103"
+    summary: ClassVar[str] = "module-global mutable state mutated inside async def without a lock"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if is_test_path(module.posix_path):
+            return
+        module_globals = _module_level_mutables(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(module, node, module_globals)
+
+    def _check_async_body(
+        self,
+        module: ModuleContext,
+        func: ast.AsyncFunctionDef,
+        module_globals: frozenset[str],
+    ) -> Iterator[Finding]:
+        declared_global: set[str] = set()
+        shadowed: set[str] = set()
+        for node in _walk_skipping_nested_defs(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                # plain rebinding creates a function-local: later in-place
+                # mutations of that name no longer reach the module object
+                shadowed.add(node.id)
+        effective_globals = module_globals - (shadowed - declared_global)
+        for node in _walk_skipping_nested_defs(func):
+            name = _mutated_global(
+                node, effective_globals, frozenset(declared_global)
+            )
+            if name is None or _under_lock(func, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"async {func.name}() mutates module-global {name!r} outside a "
+                "lock/designated API; concurrent handlers interleave at every "
+                "await -- route the mutation through the owning API or guard it",
+            )
+
+
+def _module_level_mutables(tree: ast.Module) -> frozenset[str]:
+    names: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(
+            value, ast.Dict | ast.List | ast.Set | ast.DictComp | ast.ListComp | ast.SetComp
+        ) or (
+            isinstance(value, ast.Call)
+            and dotted_name(value.func).rsplit(".", maxsplit=1)[-1] in _MUTABLE_FACTORIES
+        )
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return frozenset(names)
+
+
+def _walk_skipping_nested_defs(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs (they
+    are visited as functions of their own if async)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _mutated_global(
+    node: ast.AST,
+    module_globals: frozenset[str],
+    declared_global: frozenset[str],
+) -> str | None:
+    """The name of the module-global this statement mutates, if any.
+
+    In-place mutation (``X[...] = ...``, ``X.append(...)``) reaches the
+    module object whether or not ``global X`` was declared; *rebinding*
+    (``X = ...``) only touches the module when the function declared
+    ``global X`` -- otherwise it creates a harmless local shadow.
+    """
+    # GLOBAL[...] = v / del GLOBAL[...]
+    if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store | ast.Del):
+        if isinstance(node.value, ast.Name) and node.value.id in module_globals:
+            return node.value.id
+    # GLOBAL.append(...) and friends
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if (
+            node.func.attr in _MUTATING_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in module_globals
+        ):
+            return node.func.value.id
+    # global X; X = ... (rebinding the module slot itself)
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in declared_global:
+                return target.id
+    if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+        if node.target.id in declared_global:
+            return node.target.id
+    return None
+
+
+def _under_lock(func: ast.AsyncFunctionDef, node: ast.AST) -> bool:
+    """Whether ``node`` sits inside a with-block naming a lock."""
+    for candidate in ast.walk(func):
+        if not isinstance(candidate, ast.With | ast.AsyncWith):
+            continue
+        manages_lock = any(
+            "lock" in dotted_name(item.context_expr.func).lower()
+            if isinstance(item.context_expr, ast.Call)
+            else "lock" in dotted_name(item.context_expr).lower()
+            for item in candidate.items
+        )
+        if not manages_lock:
+            continue
+        for inner in ast.walk(candidate):
+            if inner is node:
+                return True
+    return False

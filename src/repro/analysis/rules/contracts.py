@@ -1,0 +1,355 @@
+"""RL201-RL203 — contract drift between code surfaces and their docs.
+
+The observability and serving layers are *measurement* infrastructure:
+the regression gates, dashboards and the OBSERVABILITY/SERVING docs all
+key on string surfaces (metric names, protocol ops, CLI subcommands)
+that nothing type-checks.  Rename ``serve.requests`` in code and every
+consumer keeps "working" while silently reading zeros.  These project
+passes pin each surface to its catalogue:
+
+* **RL201** -- every metric name recorded in ``src/`` appears in the
+  ``docs/OBSERVABILITY.md`` catalogue, and every catalogue row is
+  backed by a live call site (no dead doc entries).
+* **RL202** -- the serve op surface agrees across
+  ``serve/protocol.py`` (``OPS``), the dispatch in
+  ``serve/server.py``, and the op table in ``docs/SERVING.md``.
+* **RL203** -- every registered CLI tool subcommand
+  (``TOOL_COMMANDS`` in ``repro/cli.py``) is documented in README or
+  ``docs/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from fnmatch import fnmatchcase
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import FileIndex, MetricSite, ProjectContext
+from repro.analysis.rules.base import ModuleContext, ProjectRule, is_test_path
+
+__all__ = [
+    "CliDocsContractRule",
+    "MetricsCatalogueRule",
+    "ServeOpSurfaceRule",
+]
+
+#: catalogue rows look like ``| `layer.thing` | meaning |``; placeholders
+#: like ``serve.op.<op>`` document interpolated families
+_DOC_METRIC_RE = re.compile(r"^\|\s*`(?P<name>[a-z0-9_.<>*]+)`")
+
+
+def _doc_metric_entries(lines: tuple[str, ...]) -> list[tuple[str, int]]:
+    """(pattern, line-number) rows of the metric catalogue section."""
+    entries: list[tuple[str, int]] = []
+    in_catalogue = False
+    for i, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if stripped.startswith("## "):
+            in_catalogue = stripped.lower().startswith("## metric catalogue")
+            continue
+        if not in_catalogue:
+            continue
+        match = _DOC_METRIC_RE.match(stripped)
+        if match:
+            name = match.group("name")
+            pattern = re.sub(r"<[^>]*>", "*", name)
+            entries.append((pattern, i))
+    return entries
+
+
+def _patterns_match(a: str, b: str) -> bool:
+    """Whether two ``*``-bearing dotted patterns can name the same metric."""
+    if fnmatchcase(a, b) or fnmatchcase(b, a):
+        return True
+    # both sides may carry wildcards (code f-string vs doc placeholder):
+    # compare the literal skeletons around the stars
+    return a.split("*") == b.split("*") if "*" in a and "*" in b else False
+
+
+class MetricsCatalogueRule(ProjectRule):
+    """Code metric names and the docs/OBSERVABILITY.md catalogue agree.
+
+    The metric catalogue is the contract every downstream consumer
+    (``repro report --diff``, the CI regression gates, dashboards)
+    reads.  A counter renamed in code but not in the catalogue silently
+    zeroes whatever watches the old name; a catalogue row whose call
+    site was deleted documents a metric that can never fire.  The pass
+    collects every string literal passed to the metrics registry
+    (``reg.inc("...")`` and friends, f-strings becoming ``*`` patterns)
+    across ``src/`` and checks both directions against the catalogue.
+    """
+
+    code: ClassVar[str] = "RL201"
+    summary: ClassVar[str] = "metric names in src/ and the docs/OBSERVABILITY.md catalogue must agree"
+    doc_rel_path: ClassVar[str] = "docs/OBSERVABILITY.md"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        sites: list[tuple[FileIndex, MetricSite]] = []
+        for posix, index in sorted(project.indexes.items()):
+            if is_test_path(posix) or "src" not in posix.split("/"):
+                continue
+            for site in index.metric_sites:
+                sites.append((index, site))
+        if not sites:
+            return  # nothing to reconcile (fixture trees without metrics)
+        lines = project.doc_lines(self.doc_rel_path)
+        doc_display = project.doc_path(self.doc_rel_path)
+        if lines is None:
+            index, site = sites[0]
+            yield self.finding(
+                index.display_path,
+                site.line,
+                site.col,
+                f"metrics are recorded but {self.doc_rel_path} (the metric "
+                "catalogue) does not exist; every metric name must be catalogued",
+            )
+            return
+        doc_entries = _doc_metric_entries(lines)
+        doc_patterns = [pattern for pattern, _ in doc_entries]
+        code_patterns = {site.pattern.replace("{", "*").replace("}", "*") for _, site in sites}
+        for index, site in sites:
+            pattern = site.pattern
+            if not any(_patterns_match(pattern, doc) for doc in doc_patterns):
+                yield self.finding(
+                    index.display_path,
+                    site.line,
+                    site.col,
+                    f"metric {pattern!r} is not in the {self.doc_rel_path} "
+                    "catalogue; add a row (or fix the name drift)",
+                )
+        for doc_pattern, line in doc_entries:
+            if not any(_patterns_match(code, doc_pattern) for code in code_patterns):
+                yield self.finding(
+                    doc_display,
+                    line,
+                    0,
+                    f"catalogue row {doc_pattern!r} has no live call site in src/; "
+                    "delete the dead entry (or restore the metric)",
+                )
+
+
+def _tuple_of_strings(module: ModuleContext, target_name: str) -> tuple[list[tuple[str, int]], int] | None:
+    """String elements of a module-level ``NAME = (...)`` assignment."""
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        named = any(
+            isinstance(t, ast.Name) and t.id == target_name for t in targets
+        )
+        if not named or not isinstance(value, ast.Tuple | ast.List | ast.Set):
+            continue
+        out = [
+            (elt.value, elt.lineno)
+            for elt in value.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        ]
+        return out, stmt.lineno
+    return None
+
+
+def _dispatch_ops(module: ModuleContext, func_name: str) -> tuple[list[tuple[str, int]], int] | None:
+    """String constants compared against ``op`` inside ``func_name``."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef):
+            continue
+        if node.name != func_name:
+            continue
+        ops: list[tuple[str, int]] = []
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Compare):
+                continue
+            sides = [inner.left, *inner.comparators]
+            if not any(isinstance(s, ast.Name) and s.id == "op" for s in sides):
+                continue
+            for side in sides:
+                if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                    ops.append((side.value, inner.lineno))
+        return ops, node.lineno
+    return None
+
+
+def _doc_op_rows(lines: tuple[str, ...]) -> list[tuple[str, int]]:
+    """Rows of the first markdown table whose header column is ``op``."""
+    rows: list[tuple[str, int]] = []
+    in_table = False
+    for i, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_table:
+            if re.match(r"^\|\s*op\s*\|", stripped):
+                in_table = True
+            continue
+        if not stripped.startswith("|"):
+            break
+        match = re.match(r"^\|\s*`(?P<name>[a-z0-9_-]+)`", stripped)
+        if match:
+            rows.append((match.group("name"), i))
+    return rows
+
+
+class ServeOpSurfaceRule(ProjectRule):
+    """protocol ``OPS``, the server dispatch and docs/SERVING.md agree.
+
+    The wire protocol has three independent descriptions: the ``OPS``
+    allow-list that :func:`~repro.serve.protocol.parse_request`
+    validates against, the ``op == "..."`` dispatch ladder in the
+    server, and the op table clients read in ``docs/SERVING.md``.  An op
+    added to one but not the others either 400s at parse time, falls
+    through to ``unknown-op`` after validation, or ships undocumented.
+    The pass extracts all three surfaces and reports every pairwise gap.
+    """
+
+    code: ClassVar[str] = "RL202"
+    summary: ClassVar[str] = "serve op surface: protocol OPS vs server dispatch vs docs/SERVING.md"
+    protocol_suffix: ClassVar[str] = "repro/serve/protocol.py"
+    server_suffix: ClassVar[str] = "repro/serve/server.py"
+    doc_rel_path: ClassVar[str] = "docs/SERVING.md"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        protocol_index = project.find_file(self.protocol_suffix)
+        server_index = project.find_file(self.server_suffix)
+        if protocol_index is None or server_index is None:
+            return  # not a serve-shaped project
+        protocol_module = project.parse_module(protocol_index)
+        server_module = project.parse_module(server_index)
+        if protocol_module is None or server_module is None:
+            return
+        ops_decl = _tuple_of_strings(protocol_module, "OPS")
+        dispatch_decl = _dispatch_ops(server_module, "_dispatch")
+        if ops_decl is None or dispatch_decl is None:
+            return
+        protocol_ops, protocol_line = ops_decl
+        dispatch_ops, dispatch_line = dispatch_decl
+        protocol_set = {name for name, _ in protocol_ops}
+        dispatch_set = {name for name, _ in dispatch_ops}
+        for name, line in protocol_ops:
+            if name not in dispatch_set:
+                yield self.finding(
+                    protocol_index.display_path,
+                    line,
+                    0,
+                    f"op {name!r} is in protocol OPS but the server dispatch "
+                    "never handles it (requests validate, then fail unknown-op)",
+                )
+        for name, line in sorted({(n, line) for n, line in dispatch_ops if n not in protocol_set}):
+            yield self.finding(
+                server_index.display_path,
+                line,
+                0,
+                f"server dispatch handles op {name!r} but protocol OPS omits it "
+                "(requests are rejected before they can reach the handler)",
+            )
+        lines = project.doc_lines(self.doc_rel_path)
+        if lines is None:
+            yield self.finding(
+                protocol_index.display_path,
+                protocol_line,
+                0,
+                f"the serve protocol defines ops but {self.doc_rel_path} "
+                "(the op table clients read) does not exist",
+            )
+            return
+        doc_rows = _doc_op_rows(lines)
+        doc_set = {name for name, _ in doc_rows}
+        doc_display = project.doc_path(self.doc_rel_path)
+        for name, line in protocol_ops:
+            if name not in doc_set:
+                yield self.finding(
+                    protocol_index.display_path,
+                    line,
+                    0,
+                    f"op {name!r} is served but undocumented: add a row to the "
+                    f"op table in {self.doc_rel_path}",
+                )
+        for name, line in doc_rows:
+            if name not in protocol_set:
+                yield self.finding(
+                    doc_display,
+                    line,
+                    0,
+                    f"{self.doc_rel_path} documents op {name!r} which the "
+                    "protocol does not accept; drop the row or add the op",
+                )
+
+
+class CliDocsContractRule(ProjectRule):
+    """Every registered CLI tool subcommand is documented.
+
+    ``TOOL_COMMANDS`` in ``repro/cli.py`` is the dispatch table for the
+    tool front ends (``repro lint``, ``repro serve``, ...).  A tool that
+    ships without a mention in README or ``docs/`` is effectively
+    unreleased: nothing tells a user it exists, and nothing breaks when
+    it bit-rots.  The pass requires each registered subcommand name to
+    appear (as ``repro <name>`` or a ``<name>`` code span) somewhere in
+    README.md or ``docs/*.md``.
+    """
+
+    code: ClassVar[str] = "RL203"
+    summary: ClassVar[str] = "every TOOL_COMMANDS subcommand must be documented in README/docs"
+    cli_suffix: ClassVar[str] = "repro/cli.py"
+    doc_rel_paths: ClassVar[tuple[str, ...]] = (
+        "README.md",
+        "docs/ANALYSIS.md",
+        "docs/OBSERVABILITY.md",
+        "docs/PERFORMANCE.md",
+        "docs/SERVING.md",
+        "docs/THEORY.md",
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        cli_index = project.find_file(self.cli_suffix)
+        if cli_index is None:
+            return
+        module = project.parse_module(cli_index)
+        if module is None:
+            return
+        commands = _tool_command_keys(module)
+        if not commands:
+            return
+        corpus: list[str] = []
+        for rel in self.doc_rel_paths:
+            lines = project.doc_lines(rel)
+            if lines is not None:
+                corpus.append("\n".join(lines))
+        text = "\n".join(corpus)
+        for name, line in commands:
+            documented = (
+                f"repro {name}" in text
+                or f"repro-checkpoint {name}" in text
+                or f"`{name}`" in text
+            )
+            if not documented:
+                yield self.finding(
+                    cli_index.display_path,
+                    line,
+                    0,
+                    f"tool subcommand {name!r} is registered in TOOL_COMMANDS "
+                    "but never mentioned in README.md or docs/ -- document it",
+                )
+
+
+def _tool_command_keys(module: ModuleContext) -> list[tuple[str, int]]:
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        named = any(
+            isinstance(t, ast.Name) and t.id == "TOOL_COMMANDS" for t in targets
+        )
+        if not named or not isinstance(value, ast.Dict):
+            continue
+        return [
+            (key.value, key.lineno)
+            for key in value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        ]
+    return []

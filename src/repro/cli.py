@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import TYPE_CHECKING, Any, TextIO
 
 import numpy as np
 
@@ -24,6 +25,11 @@ from repro.experiments.study import run_simulation_study
 from repro.experiments.synthetic_study import run_synthetic_study
 from repro.experiments.validation import validate_simulation
 from repro.traces.synthetic import SyntheticPoolConfig
+
+if TYPE_CHECKING:  # tool imports stay lazy at runtime (see _dispatch_tool)
+    from repro.experiments.study import SimulationStudy
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import TraceRecorder as _TraceRecorder
 
 __all__ = ["TOOL_COMMANDS", "build_parser", "main"]
 
@@ -135,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report_main(argv: list[str], stdout=None) -> int:
+def _report_main(argv: list[str], stdout: TextIO | None = None) -> int:
     """``repro report FILE [--json]`` / ``repro report --diff A B``."""
     parser = argparse.ArgumentParser(
         prog="repro-checkpoint report",
@@ -191,14 +197,14 @@ def _report_main(argv: list[str], stdout=None) -> int:
     return 0
 
 
-def _emit(text: str, out_path: str | None, sink) -> None:
+def _emit(text: str, out_path: str | None, sink: TextIO) -> None:
     print(text, file=sink)
     if out_path:
         with open(out_path, "a") as fh:
             fh.write(text + "\n")
 
 
-def _dispatch_tool(command: str, argv: list[str], stdout) -> int:
+def _dispatch_tool(command: str, argv: list[str], stdout: TextIO | None) -> int:
     """Run one :data:`TOOL_COMMANDS` entry (imports stay lazy: the serve
     and analysis stacks must not burden a plain table regeneration)."""
     if command == "lint":
@@ -222,7 +228,7 @@ def _dispatch_tool(command: str, argv: list[str], stdout) -> int:
     raise ValueError(f"unregistered tool command: {command!r}")  # pragma: no cover
 
 
-def main(argv: list[str] | None = None, *, stdout=None) -> int:
+def main(argv: list[str] | None = None, *, stdout: TextIO | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] in TOOL_COMMANDS:
@@ -233,12 +239,12 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
     sink = stdout if stdout is not None else sys.stdout
     if args.out:
         open(args.out, "w").close()  # truncate
-    registry = None
+    registry: MetricsRegistry | None = None
     if args.metrics:
         from repro.obs.metrics import enable
 
         registry = enable()
-    recorder = None
+    recorder: _TraceRecorder | None = None
     if args.trace:
         from repro.obs.tracing import TraceRecorder
         from repro.obs.tracing import enable as enable_trace
@@ -252,7 +258,7 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
                     f"error: --trace-sample expects CAT=N with N >= 1, got {spec!r}"
                 )
             sampling[cat] = int(stride)
-        kwargs: dict = {"sampling": sampling}
+        kwargs: dict[str, Any] = {"sampling": sampling}
         if args.trace_limit:
             kwargs["max_events"] = args.trace_limit
         recorder = enable_trace(TraceRecorder(**kwargs))
@@ -264,7 +270,7 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
     def wants(*names: str) -> bool:
         return args.command in names or args.command == "all"
 
-    study = None
+    study: SimulationStudy | None = None
     if wants(*_SWEEP_COMMANDS):
         pool_config = SyntheticPoolConfig(
             n_machines=args.machines, n_observations=args.observations
@@ -273,15 +279,19 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
             pool_config=pool_config, seed=args.seed, n_workers=args.workers
         )
     if wants("table1"):
+        assert study is not None
         emit(study.efficiency_table().render())
         emit("")
     if wants("fig3"):
+        assert study is not None
         emit(study.efficiency_figure().render())
         emit("")
     if wants("table3"):
+        assert study is not None
         emit(study.bandwidth_table().render())
         emit("")
     if wants("fig4"):
+        assert study is not None
         emit(study.bandwidth_figure().render())
         emit("")
 
@@ -293,10 +303,10 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
         emit(synth.table().render())
         emit("")
 
-    live_results = {}
+    live_results: dict[str, Any] = {}
     for command, location in (("table4", "campus"), ("table5", "wan")):
         if wants(command):
-            overrides = dict(
+            overrides: dict[str, Any] = dict(
                 horizon=args.horizon_days * 86400.0, n_machines=args.live_machines
             )
             if args.seed is not None:
@@ -399,12 +409,12 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
     if wants("validate"):
         base = live_results.get("campus")
         if base is None:
-            overrides = dict(
+            validate_overrides: dict[str, Any] = dict(
                 horizon=args.horizon_days * 86400.0, n_machines=args.live_machines
             )
             if args.seed is not None:
-                overrides["seed"] = args.seed
-            base = run_live_study("campus", **overrides)
+                validate_overrides["seed"] = args.seed
+            base = run_live_study("campus", **validate_overrides)
         emit(validate_simulation(base.experiment).table().render())
         emit("")
 

@@ -49,7 +49,17 @@ from repro.serve.protocol import (
     parse_request,
 )
 from repro.serve.registry import TenantRegistry, UnknownPoolError
-from repro.serve.snapshot import SnapshotError, load_cache_snapshot, save_cache_snapshot
+from repro.serve.snapshot import (
+    SnapshotError,
+    apply_snapshot_payload,
+    load_cache_snapshot,
+    read_snapshot_payload,
+    record_snapshot_error,
+    record_snapshot_saved,
+    save_cache_snapshot,
+    snapshot_payload,
+    write_snapshot_payload,
+)
 
 __all__ = ["ScheduleServer", "ServerConfig"]
 
@@ -114,6 +124,7 @@ class ScheduleServer:
         self._server: asyncio.AbstractServer | None = None
         self._stop: asyncio.Event | None = None
         self._snapshot_task: asyncio.Task[None] | None = None
+        self._snapshot_lock = asyncio.Lock()
         self._connections: dict[asyncio.Task[None], asyncio.StreamWriter] = {}
 
     # ------------------------------------------------------------------
@@ -125,6 +136,8 @@ class ScheduleServer:
     def warm_load(self) -> int:
         """Load the configured snapshot into the active solver cache.
 
+        Synchronous variant for scripts and tests; the running daemon
+        uses :meth:`_warm_load_async` so the disk read happens off-loop.
         Returns the number of entries inserted; a missing or invalid
         snapshot file is a *cold start*, not an error (the daemon logs
         it via ``serve.snapshot.load_failures`` and serves anyway).
@@ -141,14 +154,60 @@ class ScheduleServer:
             self.warm_loaded_entries = 0
         return self.warm_loaded_entries
 
+    async def _warm_load_async(self) -> int:
+        """:meth:`warm_load` with the blocking read off the event loop."""
+        path = self.config.snapshot_path
+        if path is None:
+            return 0
+        try:
+            payload = await asyncio.to_thread(read_snapshot_payload, path)
+            self.warm_loaded_entries = apply_snapshot_payload(
+                payload, source=f"snapshot {path!r}"
+            )
+        except SnapshotError:
+            reg = _metrics()
+            if reg is not None:
+                reg.inc("serve.snapshot.load_failures")
+            self.warm_loaded_entries = 0
+        return self.warm_loaded_entries
+
     def snapshot_now(self, path: str | None = None) -> int:
-        """Write a snapshot to ``path`` (default: the configured path)."""
+        """Write a snapshot to ``path`` (default: the configured path).
+
+        Synchronous variant for scripts and tests; the running daemon
+        uses :meth:`_snapshot_async` so the disk write happens off-loop.
+        """
+        target = self._snapshot_target(path)
+        return save_cache_snapshot(target)
+
+    def _snapshot_target(self, path: str | None) -> str:
         target = path if path is not None else self.config.snapshot_path
         if target is None:
             raise SnapshotError(
                 "no snapshot path configured (start with --snapshot or pass 'path')"
             )
-        return save_cache_snapshot(target)
+        return target
+
+    async def _snapshot_async(self, path: str | None = None) -> int:
+        """Write a snapshot without stalling the event loop.
+
+        The cache view is captured *on* the loop (a consistent snapshot,
+        since all mutation happens there too) and the file write runs in
+        a worker thread.  The lock serialises concurrent snapshot
+        requests so two writers never race on the same temp file.
+        """
+        target = self._snapshot_target(path)
+        async with self._snapshot_lock:
+            payload = snapshot_payload()
+            try:
+                entries = await asyncio.to_thread(
+                    write_snapshot_payload, target, payload
+                )
+            except SnapshotError:
+                record_snapshot_error()
+                raise
+        record_snapshot_saved(entries)
+        return entries
 
     # ------------------------------------------------------------------
     # request handling (transport-independent)
@@ -236,7 +295,7 @@ class ScheduleServer:
             if path is not None and not isinstance(path, str):
                 raise ProtocolError("bad-request", "'path' must be a string")
             try:
-                entries = self.snapshot_now(path)
+                entries = await self._snapshot_async(path)
             except SnapshotError as exc:
                 return error_response(request_id, "snapshot-failed", str(exc))
             target = path if path is not None else self.config.snapshot_path
@@ -390,7 +449,7 @@ class ScheduleServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._stop = asyncio.Event()
-        self.warm_load()
+        await self._warm_load_async()
         self._server = await asyncio.start_server(
             self.handle_connection,
             host=self.config.host,
@@ -407,7 +466,7 @@ class ScheduleServer:
         while True:
             await asyncio.sleep(self.config.snapshot_interval_s)
             try:
-                self.snapshot_now()
+                await self._snapshot_async()
             except SnapshotError:
                 # already counted via serve.snapshot.errors; a full disk
                 # must not kill the serving loop
@@ -442,7 +501,7 @@ class ScheduleServer:
             self._connections.clear()
         if self.config.snapshot_path is not None:
             try:
-                self.snapshot_now()
+                await self._snapshot_async()
             except SnapshotError:
                 pass  # counted in serve.snapshot.errors; shutdown proceeds
         if self._stop is not None:
@@ -465,7 +524,7 @@ class ScheduleServer:
         the loop early.
         """
         self._stop = asyncio.Event()
-        self.warm_load()
+        await self._warm_load_async()
         served = 0
         for line in lines:
             text = line.strip()
@@ -479,7 +538,7 @@ class ScheduleServer:
         self.batcher.drain()
         if self.config.snapshot_path is not None:
             try:
-                self.snapshot_now()
+                await self._snapshot_async()
             except SnapshotError:
                 pass  # counted in serve.snapshot.errors
         return served

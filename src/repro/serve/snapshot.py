@@ -9,6 +9,19 @@ snapshot (schema ``repro.opt.solver_cache/1``, explicitly versioned) to
 a JSON file and fold it back in at startup, so a restarted daemon
 answers its first requests from cache.
 
+The API is split along the event-loop boundary so the asyncio daemon
+can snapshot without stalling its loop:
+
+* :func:`snapshot_payload` / :func:`apply_snapshot_payload` touch only
+  the in-memory cache -- cheap, loop-side, giving the write a consistent
+  view and the load an atomic merge;
+* :func:`write_snapshot_payload` / :func:`read_snapshot_payload` do the
+  blocking file I/O and nothing else -- the daemon runs them under
+  :func:`asyncio.to_thread`, synchronous callers call them directly.
+
+:func:`save_cache_snapshot` and :func:`load_cache_snapshot` compose the
+two halves for synchronous use (CLI, tests, scripts).
+
 Writes are atomic -- the snapshot is written to a sibling temp file and
 :func:`os.replace`d into place -- so a crash mid-write leaves the
 previous snapshot intact, and a reader never observes a torn file.
@@ -27,7 +40,17 @@ from typing import Any
 from repro.core.solver_cache import SolverCache, active_cache
 from repro.obs.metrics import active as _metrics
 
-__all__ = ["SnapshotError", "load_cache_snapshot", "save_cache_snapshot"]
+__all__ = [
+    "SnapshotError",
+    "apply_snapshot_payload",
+    "load_cache_snapshot",
+    "read_snapshot_payload",
+    "record_snapshot_error",
+    "record_snapshot_saved",
+    "save_cache_snapshot",
+    "snapshot_payload",
+    "write_snapshot_payload",
+]
 
 
 class SnapshotError(RuntimeError):
@@ -43,62 +66,117 @@ def _resolve(cache: SolverCache | None) -> SolverCache:
     return resolved
 
 
-def save_cache_snapshot(path: str, cache: SolverCache | None = None) -> int:
-    """Atomically write ``cache`` (default: the active global cache) to
-    ``path``; returns the number of entries written."""
-    resolved = _resolve(cache)
-    data = resolved.as_dict()
-    tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "w") as fh:
-            json.dump(data, fh, separators=(",", ":"))
-        os.replace(tmp, path)
-    except OSError as exc:
-        reg = _metrics()
-        if reg is not None:
-            reg.inc("serve.snapshot.errors")
-        if os.path.exists(tmp):
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass  # best-effort cleanup; the real error is re-raised below
-        raise SnapshotError(f"cannot write snapshot {path!r}: {exc}") from exc
-    entries: list[Any] = data["entries"]
-    reg = _metrics()
-    if reg is not None:
-        reg.inc("serve.snapshot.saves")
-        reg.observe("serve.snapshot.entries_saved", len(entries))
-    return len(entries)
+# ----------------------------------------------------------------------
+# loop-side halves: in-memory only, no I/O
+# ----------------------------------------------------------------------
+def snapshot_payload(cache: SolverCache | None = None) -> dict[str, Any]:
+    """A consistent, serialisable view of ``cache`` (default: the active
+    global cache).  No I/O -- safe to call on the event loop."""
+    return _resolve(cache).as_dict()
 
 
-def load_cache_snapshot(
-    path: str, cache: SolverCache | None = None, *, stats: bool = False
+def apply_snapshot_payload(
+    payload: Any,
+    cache: SolverCache | None = None,
+    *,
+    stats: bool = False,
+    source: str = "snapshot",
 ) -> int:
-    """Merge a snapshot file into ``cache`` (default: the active global
-    cache); returns the number of entries inserted.
+    """Validate ``payload`` and merge it into ``cache`` (default: the
+    active global cache); returns the number of entries inserted.
+    No I/O -- safe to call on the event loop.
 
     ``stats`` is off by default: a warm-loading daemon wants the
     *entries*, not the previous process's hit/miss history polluting its
     own counters.
     """
     resolved = _resolve(cache)
-    try:
-        with open(path) as fh:
-            data = json.load(fh)
-    except OSError as exc:
-        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
-    except json.JSONDecodeError as exc:
-        raise SnapshotError(f"snapshot {path!r} is not valid JSON: {exc}") from exc
-    if not isinstance(data, dict):
+    if not isinstance(payload, dict):
         raise SnapshotError(
-            f"snapshot {path!r} must hold a JSON object, got {type(data).__name__}"
+            f"{source} must hold a JSON object, got {type(payload).__name__}"
         )
     try:
-        inserted = resolved.merge_dict(data, stats=stats)
+        inserted = resolved.merge_dict(payload, stats=stats)
     except ValueError as exc:
-        raise SnapshotError(f"snapshot {path!r} rejected: {exc}") from exc
+        raise SnapshotError(f"{source} rejected: {exc}") from exc
     reg = _metrics()
     if reg is not None:
         reg.inc("serve.snapshot.loads")
         reg.observe("serve.snapshot.entries_loaded", inserted)
     return inserted
+
+
+# ----------------------------------------------------------------------
+# blocking halves: file I/O only, run off-loop by the daemon
+# ----------------------------------------------------------------------
+def write_snapshot_payload(path: str, payload: dict[str, Any]) -> int:
+    """Atomically write a captured payload to ``path``; returns the
+    number of entries written.  Blocking -- the daemon calls this via
+    ``asyncio.to_thread``."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+    except OSError as exc:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass  # best-effort cleanup; the real error is re-raised below
+        raise SnapshotError(f"cannot write snapshot {path!r}: {exc}") from exc
+    entries: list[Any] = payload.get("entries", [])
+    return len(entries)
+
+
+def read_snapshot_payload(path: str) -> Any:
+    """Read and JSON-decode a snapshot file.  Blocking -- the daemon
+    calls this via ``asyncio.to_thread``; validation happens in
+    :func:`apply_snapshot_payload`."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"snapshot {path!r} is not valid JSON: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# synchronous composition (CLI, tests, scripts)
+# ----------------------------------------------------------------------
+def record_snapshot_saved(entries: int) -> None:
+    """Count one successful snapshot write (loop-side metric hook)."""
+    reg = _metrics()
+    if reg is not None:
+        reg.inc("serve.snapshot.saves")
+        reg.observe("serve.snapshot.entries_saved", entries)
+
+
+def record_snapshot_error() -> None:
+    """Count one failed snapshot write (loop-side metric hook)."""
+    reg = _metrics()
+    if reg is not None:
+        reg.inc("serve.snapshot.errors")
+
+
+def save_cache_snapshot(path: str, cache: SolverCache | None = None) -> int:
+    """Atomically write ``cache`` (default: the active global cache) to
+    ``path``; returns the number of entries written."""
+    payload = snapshot_payload(cache)
+    try:
+        entries = write_snapshot_payload(path, payload)
+    except SnapshotError:
+        record_snapshot_error()
+        raise
+    record_snapshot_saved(entries)
+    return entries
+
+
+def load_cache_snapshot(
+    path: str, cache: SolverCache | None = None, *, stats: bool = False
+) -> int:
+    """Merge a snapshot file into ``cache`` (default: the active global
+    cache); returns the number of entries inserted."""
+    payload = read_snapshot_payload(path)
+    return apply_snapshot_payload(payload, cache, stats=stats, source=f"snapshot {path!r}")

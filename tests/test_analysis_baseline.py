@@ -1,0 +1,159 @@
+"""Tests for reprolint baseline files: adopt new rules without big-bang fixes."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.baseline import BASELINE_SCHEMA, Baseline, write_baseline
+from repro.analysis.cli import main
+from repro.analysis.findings import Finding
+
+
+def _finding(path="src/app/mod.py", line=3, code="RL002", message="float equality"):
+    return Finding(path=path, line=line, col=4, code=code, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_apply_absorbs_everything(self, tmp_path):
+        findings = [_finding(line=3), _finding(line=9), _finding(code="RL003")]
+        target = tmp_path / "baseline.json"
+        count = write_baseline(target, findings)
+        assert count == 2  # two (path, code, message) families
+        fresh, stale = Baseline.load(target).apply(findings)
+        assert fresh == []
+        assert stale == []
+
+    def test_line_numbers_do_not_matter(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding(line=3)])
+        moved = [_finding(line=300)]  # the file was reformatted
+        fresh, stale = Baseline.load(target).apply(moved)
+        assert fresh == []
+        assert stale == []
+
+    def test_new_finding_is_fresh(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding()])
+        new = _finding(message="a different defect")
+        fresh, _ = Baseline.load(target).apply([_finding(), new])
+        assert fresh == [new]
+
+    def test_count_budget_is_enforced(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding(line=1), _finding(line=2)])
+        # a third instance of the same family exceeds the recorded count
+        now = [_finding(line=1), _finding(line=2), _finding(line=3)]
+        fresh, _ = Baseline.load(target).apply(now)
+        assert len(fresh) == 1
+
+    def test_fixed_finding_reports_stale_entry(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding(), _finding(code="RL003")])
+        fresh, stale = Baseline.load(target).apply([_finding()])
+        assert fresh == []
+        assert [entry.code for entry in stale] == ["RL003"]
+
+    def test_document_shape(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding(line=1), _finding(line=2)])
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == BASELINE_SCHEMA
+        assert doc["entries"] == [
+            {
+                "path": "src/app/mod.py",
+                "code": "RL002",
+                "message": "float equality",
+                "count": 2,
+            }
+        ]
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"schema": "something/else", "entries": []}))
+        with pytest.raises(ValueError, match="not a repro.analysis.baseline/1"):
+            Baseline.load(target)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            Baseline.load(target)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read baseline"):
+            Baseline.load(tmp_path / "absent.json")
+
+    def test_malformed_entries_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"schema": BASELINE_SCHEMA, "entries": ["x"]}))
+        with pytest.raises(ValueError, match="malformed entry"):
+            Baseline.load(target)
+
+
+_DIRTY = "import numpy as np\n\ndef setup():\n    np.random.seed(42)\n"
+
+
+class TestCliBaselineFlow:
+    def _tree(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "dirty.py").write_text(_DIRTY)
+        return pkg
+
+    def test_write_baseline_then_lint_clean(self, tmp_path):
+        pkg = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        sink = io.StringIO()
+        code = main(
+            [str(pkg), "--no-config", "--write-baseline", str(baseline)],
+            stdout=sink,
+        )
+        assert code == 0
+        assert "wrote baseline" in sink.getvalue()
+
+        sink = io.StringIO()
+        code = main(
+            [str(pkg), "--no-config", "--baseline", str(baseline)], stdout=sink
+        )
+        assert code == 0
+        assert "clean" in sink.getvalue()
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path):
+        pkg = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(pkg), "--no-config", "--write-baseline", str(baseline)])
+        (pkg / "worse.py").write_text(_DIRTY)
+        sink = io.StringIO()
+        code = main(
+            [str(pkg), "--no-config", "--baseline", str(baseline)], stdout=sink
+        )
+        assert code == 1
+        assert "worse.py" in sink.getvalue()
+
+    def test_stale_entries_note_but_exit_zero(self, tmp_path):
+        pkg = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(pkg), "--no-config", "--write-baseline", str(baseline)])
+        (pkg / "dirty.py").write_text("def clean():\n    return 1\n")
+        sink = io.StringIO()
+        code = main(
+            [str(pkg), "--no-config", "--baseline", str(baseline)], stdout=sink
+        )
+        assert code == 0
+        assert "stale baseline entry" in sink.getvalue()
+
+    def test_bad_baseline_is_usage_error(self, tmp_path):
+        pkg = self._tree(tmp_path)
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        sink = io.StringIO()
+        code = main([str(pkg), "--no-config", "--baseline", str(bad)], stdout=sink)
+        assert code == 2
+        assert "error" in sink.getvalue()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,163 @@
+"""Tests for the reprolint incremental result cache."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.cache import CACHE_SCHEMA, LintCache, file_digest, run_signature
+from repro.analysis.cli import main
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import lint_project
+
+_DIRTY = "import numpy as np\n\ndef setup():\n    np.random.seed(42)\n"
+_CLEAN = "def solve(x):\n    return x + 1\n"
+
+
+def _tree(tmp_path, n_clean=3):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "dirty.py").write_text(_DIRTY)
+    for i in range(n_clean):
+        (pkg / f"mod{i}.py").write_text(_CLEAN)
+    return pkg
+
+
+def _open_cache(tmp_path, config=None):
+    return LintCache.open(
+        tmp_path / "cache.json",
+        config=config or LintConfig(),
+        rule_codes=["RL001", "RL002"],
+    )
+
+
+class TestSignature:
+    def test_stable_for_same_inputs(self):
+        config = LintConfig(disable=frozenset({"RL003"}))
+        assert run_signature(config, ["RL001"]) == run_signature(config, ["RL001"])
+
+    def test_changes_with_config_and_rules(self):
+        base = run_signature(LintConfig(), ["RL001"])
+        assert run_signature(LintConfig(disable=frozenset({"RL002"})), ["RL001"]) != base
+        assert run_signature(LintConfig(), ["RL001", "RL002"]) != base
+
+
+class TestWarmRuns:
+    def test_second_run_reuses_every_file(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache = _open_cache(tmp_path)
+        cold = lint_project([pkg], cache=cache)
+        assert cold.reused == 0
+        cache.save()
+
+        warm_cache = _open_cache(tmp_path)
+        warm = lint_project([pkg], cache=warm_cache)
+        assert warm.reused == len(warm.files) == 4
+        assert warm.findings == cold.findings
+
+    def test_edited_file_is_reanalysed(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache = _open_cache(tmp_path)
+        lint_project([pkg], cache=cache)
+        cache.save()
+
+        (pkg / "mod0.py").write_text(_CLEAN + "\n# touched\n")
+        warm_cache = _open_cache(tmp_path)
+        warm = lint_project([pkg], cache=warm_cache)
+        assert warm.reused == 3  # everything except the edited file
+
+    def test_new_finding_in_edited_file_surfaces(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache = _open_cache(tmp_path)
+        lint_project([pkg], cache=cache)
+        cache.save()
+
+        (pkg / "mod0.py").write_text(_DIRTY)
+        warm_cache = _open_cache(tmp_path)
+        warm = lint_project([pkg], cache=warm_cache)
+        assert any(f.path.endswith("mod0.py") for f in warm.findings)
+
+    def test_config_change_invalidates_wholesale(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache = _open_cache(tmp_path)
+        lint_project([pkg], cache=cache)
+        cache.save()
+
+        other = _open_cache(tmp_path, config=LintConfig(disable=frozenset({"RL002"})))
+        assert other.entries == {}
+        warm = lint_project([pkg], cache=other)
+        assert warm.reused == 0
+
+    def test_parse_errors_are_cached_too(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "broken.py").write_text("def broken(:\n")
+        cache = _open_cache(tmp_path)
+        cold = lint_project([pkg], cache=cache)
+        assert [f.code for f in cold.findings] == ["RL000"]
+        cache.save()
+
+        warm_cache = _open_cache(tmp_path)
+        warm = lint_project([pkg], cache=warm_cache)
+        assert warm.reused == 1
+        assert warm.findings == cold.findings
+
+
+class TestRobustness:
+    def test_corrupt_cache_file_yields_empty_cache(self, tmp_path):
+        (tmp_path / "cache.json").write_text("{definitely not json")
+        cache = _open_cache(tmp_path)
+        assert cache.entries == {}
+
+    def test_wrong_schema_yields_empty_cache(self, tmp_path):
+        (tmp_path / "cache.json").write_text(
+            json.dumps({"schema": "other/1", "signature": "x", "entries": {}})
+        )
+        assert _open_cache(tmp_path).entries == {}
+
+    def test_missing_file_yields_empty_cache(self, tmp_path):
+        assert _open_cache(tmp_path).entries == {}
+
+    def test_saved_document_shape(self, tmp_path):
+        pkg = _tree(tmp_path, n_clean=0)
+        cache = _open_cache(tmp_path)
+        lint_project([pkg], cache=cache)
+        cache.save()
+        doc = json.loads((tmp_path / "cache.json").read_text())
+        assert doc["schema"] == CACHE_SCHEMA
+        assert doc["signature"] == cache.signature
+        (entry,) = doc["entries"].values()
+        assert entry["digest"] == file_digest(_DIRTY)
+        assert entry["index"]["functions"]  # the project index rides along
+
+    def test_digest_mismatch_counts_as_miss(self, tmp_path):
+        pkg = _tree(tmp_path, n_clean=0)
+        cache = _open_cache(tmp_path)
+        lint_project([pkg], cache=cache)
+        posix = (pkg / "dirty.py").as_posix()
+        assert cache.lookup(posix, "0" * 64) is None
+        assert cache.misses >= 1
+
+
+class TestCliCacheFlow:
+    def test_warm_cli_run_reports_reuse(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        sink = io.StringIO()
+        code = main(
+            [str(pkg), "--no-config", "--cache", str(cache_file)], stdout=sink
+        )
+        assert code == 1  # dirty.py has a real finding
+        assert "0 reused from cache" in sink.getvalue()
+        assert cache_file.is_file()
+
+        sink = io.StringIO()
+        code = main(
+            [str(pkg), "--no-config", "--cache", str(cache_file)], stdout=sink
+        )
+        assert code == 1
+        assert "4 reused from cache" in sink.getvalue()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,317 @@
+"""Tests for the RL1xx asyncio/concurrency rules (reprolint v2)."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import lint_file, lint_project
+from repro.analysis.module import ModuleContext
+from repro.analysis.project import ProjectContext, extract_file_index
+from repro.analysis.rules.concurrency import (
+    AsyncBlockingCallRule,
+    DroppedCoroutineRule,
+    GlobalMutationInAsyncRule,
+)
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> None:
+    (root / "pyproject.toml").write_text("")
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+
+
+def _project_findings(root: Path, rule) -> list:
+    run = lint_project(
+        [root / "src"], rules=(), project_rules=[rule]
+    )
+    return run.findings
+
+
+def _in_memory_context(files: dict[str, str]) -> ProjectContext:
+    indexes = {}
+    for posix, source in files.items():
+        module = ModuleContext(
+            path=posix,
+            posix_path=posix,
+            tree=ast.parse(source),
+            source_lines=tuple(source.splitlines()),
+        )
+        indexes[posix] = extract_file_index(module)
+    return ProjectContext(root=None, indexes=indexes)
+
+
+class TestAsyncBlockingCall:
+    def test_direct_blocking_call_in_async_def(self):
+        project = _in_memory_context(
+            {
+                "src/app/serve/handlers.py": (
+                    "import time\n"
+                    "async def handle():\n"
+                    "    time.sleep(0.1)\n"
+                )
+            }
+        )
+        findings = list(AsyncBlockingCallRule().check_project(project))
+        assert [f.code for f in findings] == ["RL101"]
+        assert findings[0].line == 3
+        assert "time.sleep" in findings[0].message
+        assert "asyncio.to_thread" in findings[0].message
+
+    def test_blocking_reached_through_same_file_helper(self):
+        project = _in_memory_context(
+            {
+                "src/app/serve/handlers.py": (
+                    "import json\n"
+                    "def write_state(path, payload):\n"
+                    "    with open(path, 'w') as fh:\n"
+                    "        json.dump(payload, fh)\n"
+                    "async def handle(path, payload):\n"
+                    "    write_state(path, payload)\n"
+                )
+            }
+        )
+        findings = list(AsyncBlockingCallRule().check_project(project))
+        assert len(findings) == 1
+        # the finding points at the call site inside the async def and
+        # narrates the chain down to the primitive
+        assert findings[0].line == 6
+        assert "write_state()" in findings[0].message
+        assert "open()" in findings[0].message
+
+    def test_blocking_reached_through_imported_helper(self):
+        project = _in_memory_context(
+            {
+                "src/app/serve/io.py": (
+                    "def flush(path):\n    open(path).close()\n"
+                ),
+                "src/app/serve/handlers.py": (
+                    "from app.serve.io import flush\n"
+                    "async def handle(path):\n"
+                    "    flush(path)\n"
+                ),
+            }
+        )
+        findings = list(AsyncBlockingCallRule().check_project(project))
+        assert len(findings) == 1
+        assert findings[0].path == "src/app/serve/handlers.py"
+        assert "flush()" in findings[0].message
+
+    def test_method_chain_via_self(self):
+        project = _in_memory_context(
+            {
+                "src/app/serve/server.py": (
+                    "class Server:\n"
+                    "    def snapshot_now(self):\n"
+                    "        open('snap.json', 'w').close()\n"
+                    "    async def stop(self):\n"
+                    "        self.snapshot_now()\n"
+                )
+            }
+        )
+        findings = list(AsyncBlockingCallRule().check_project(project))
+        assert len(findings) == 1
+        assert "Server.snapshot_now()" in findings[0].message
+
+    def test_sync_functions_are_not_flagged(self):
+        project = _in_memory_context(
+            {
+                "src/app/serve/io.py": (
+                    "def flush(path):\n    open(path).close()\n"
+                )
+            }
+        )
+        assert list(AsyncBlockingCallRule().check_project(project)) == []
+
+    def test_out_of_scope_dirs_are_not_flagged(self):
+        project = _in_memory_context(
+            {
+                "src/app/cli.py": (
+                    "import time\nasync def oops():\n    time.sleep(1)\n"
+                )
+            }
+        )
+        assert list(AsyncBlockingCallRule().check_project(project)) == []
+
+    def test_to_thread_handoff_is_clean(self):
+        project = _in_memory_context(
+            {
+                "src/app/serve/handlers.py": (
+                    "import asyncio\n"
+                    "def write_state(path):\n"
+                    "    open(path, 'w').close()\n"
+                    "async def handle(path):\n"
+                    "    await asyncio.to_thread(write_state, path)\n"
+                )
+            }
+        )
+        assert list(AsyncBlockingCallRule().check_project(project)) == []
+
+    def test_recursive_helpers_terminate(self):
+        project = _in_memory_context(
+            {
+                "src/app/serve/loop.py": (
+                    "def a(n):\n    return b(n)\n"
+                    "def b(n):\n    return a(n)\n"
+                    "async def handle(n):\n    return a(n)\n"
+                )
+            }
+        )
+        # mutual recursion with no blocking primitive: no findings, no hang
+        assert list(AsyncBlockingCallRule().check_project(project)) == []
+
+    def test_real_serve_tree_is_clean(self):
+        """The daemon itself must pass its own concurrency gate."""
+        run = lint_project(
+            ["src/repro/serve"], rules=(), project_rules=[AsyncBlockingCallRule()]
+        )
+        assert run.findings == []
+
+
+class TestDroppedCoroutine:
+    def test_statement_level_create_task_is_flagged(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/app/daemon.py": (
+                    "import asyncio\n"
+                    "async def tick():\n"
+                    "    pass\n"
+                    "async def main():\n"
+                    "    asyncio.create_task(tick())\n"
+                )
+            },
+        )
+        findings = _project_findings(tmp_path, DroppedCoroutineRule())
+        assert [f.code for f in findings] == ["RL102"]
+        assert findings[0].line == 5
+        assert "weak reference" in findings[0].message
+
+    def test_unawaited_async_call_is_flagged(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/app/daemon.py": (
+                    "async def tick():\n"
+                    "    pass\n"
+                    "async def main():\n"
+                    "    tick()\n"
+                )
+            },
+        )
+        findings = _project_findings(tmp_path, DroppedCoroutineRule())
+        assert [f.code for f in findings] == ["RL102"]
+        assert "never awaited" in findings[0].message
+
+    def test_retained_and_awaited_forms_are_clean(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/app/daemon.py": (
+                    "import asyncio\n"
+                    "async def tick():\n"
+                    "    pass\n"
+                    "async def main():\n"
+                    "    task = asyncio.create_task(tick())\n"
+                    "    await tick()\n"
+                    "    await task\n"
+                )
+            },
+        )
+        assert _project_findings(tmp_path, DroppedCoroutineRule()) == []
+
+    def test_sync_call_of_sync_function_is_clean(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/app/daemon.py": (
+                    "def log(msg):\n"
+                    "    pass\n"
+                    "async def main():\n"
+                    "    log('hi')\n"
+                )
+            },
+        )
+        assert _project_findings(tmp_path, DroppedCoroutineRule()) == []
+
+
+class TestGlobalMutationInAsync:
+    def _findings(self, tmp_path, source):
+        target = tmp_path / "mod.py"
+        target.write_text(source)
+        return lint_file(target, rules=[GlobalMutationInAsyncRule()])
+
+    def test_subscript_store_on_module_global(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            "REGISTRY = {}\n"
+            "async def handler(key, value):\n"
+            "    REGISTRY[key] = value\n",
+        )
+        assert [f.code for f in findings] == ["RL103"]
+        assert "'REGISTRY'" in findings[0].message
+
+    def test_mutating_method_on_module_global(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            "PENDING = []\n"
+            "async def handler(item):\n"
+            "    PENDING.append(item)\n",
+        )
+        assert [f.code for f in findings] == ["RL103"]
+
+    def test_rebinding_with_global_declaration(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            "STATE = {}\n"
+            "async def reset():\n"
+            "    global STATE\n"
+            "    STATE = {}\n",
+        )
+        assert [f.code for f in findings] == ["RL103"]
+
+    def test_local_shadow_is_clean(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            "STATE = {}\n"
+            "async def compute():\n"
+            "    STATE = {}\n"  # local shadow, module object untouched
+            "    STATE['x'] = 1\n",
+        )
+        assert findings == []
+
+    def test_mutation_under_lock_is_clean(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            "import asyncio\n"
+            "LOCK = asyncio.Lock()\n"
+            "STATE = {}\n"
+            "async def handler(key, value):\n"
+            "    async with LOCK:\n"
+            "        STATE[key] = value\n",
+        )
+        assert findings == []
+
+    def test_sync_function_mutation_is_clean(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            "STATE = {}\n"
+            "def configure(key, value):\n"
+            "    STATE[key] = value\n",
+        )
+        assert findings == []
+
+    def test_immutable_globals_are_clean(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            "LIMIT = 5\n"
+            "async def handler(values):\n"
+            "    values.append(LIMIT)\n",
+        )
+        assert findings == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

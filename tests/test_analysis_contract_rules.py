@@ -1,0 +1,300 @@
+"""Tests for the RL2xx contract-drift rules (reprolint v2)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import lint_project
+from repro.analysis.rules.contracts import (
+    CliDocsContractRule,
+    MetricsCatalogueRule,
+    ServeOpSurfaceRule,
+)
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> None:
+    (root / "pyproject.toml").write_text("")
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+
+
+def _findings(root: Path, rule) -> list:
+    run = lint_project([root / "src"], rules=(), project_rules=[rule])
+    return run.findings
+
+
+_CATALOGUE_DOC = (
+    "# Observability\n"
+    "\n"
+    "## Metric catalogue\n"
+    "\n"
+    "| name | meaning |\n"
+    "|---|---|\n"
+    "| `app.requests` | request count |\n"
+    "| `app.op.<op>` | per-op counters |\n"
+)
+
+
+class TestMetricsCatalogue:
+    def test_documented_metrics_are_clean(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/app/mod.py": (
+                    "def record(reg, op):\n"
+                    "    reg.inc('app.requests')\n"
+                    "    reg.inc(f'app.op.{op}')\n"
+                ),
+                "docs/OBSERVABILITY.md": _CATALOGUE_DOC,
+            },
+        )
+        assert _findings(tmp_path, MetricsCatalogueRule()) == []
+
+    def test_undocumented_metric_is_flagged(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/app/mod.py": (
+                    "def record(reg):\n"
+                    "    reg.inc('app.requests')\n"
+                    "    reg.inc('app.sneaky')\n"
+                ),
+                "docs/OBSERVABILITY.md": _CATALOGUE_DOC,
+            },
+        )
+        findings = _findings(tmp_path, MetricsCatalogueRule())
+        flagged = [f for f in findings if "app.sneaky" in f.message]
+        assert len(flagged) == 1
+        assert flagged[0].code == "RL201"
+        assert flagged[0].line == 3
+        # a dead-row finding for `app.op.<op>` also appears (no f-string site)
+        assert any("app.op.*" in f.message for f in findings)
+
+    def test_dead_catalogue_row_is_flagged(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/app/mod.py": (
+                    "def record(reg, op):\n"
+                    "    reg.inc('app.requests')\n"
+                    "    reg.inc(f'app.op.{op}')\n"
+                ),
+                "docs/OBSERVABILITY.md": _CATALOGUE_DOC
+                + "| `app.retired` | no longer recorded |\n",
+            },
+        )
+        findings = _findings(tmp_path, MetricsCatalogueRule())
+        assert len(findings) == 1
+        assert "app.retired" in findings[0].message
+        assert findings[0].path.endswith("OBSERVABILITY.md")
+
+    def test_missing_catalogue_is_one_finding(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {"src/app/mod.py": "def f(reg):\n    reg.inc('app.requests')\n"},
+        )
+        findings = _findings(tmp_path, MetricsCatalogueRule())
+        assert len(findings) == 1
+        assert "does not exist" in findings[0].message
+
+    def test_tree_without_metrics_is_silent(self, tmp_path):
+        _write_tree(tmp_path, {"src/app/mod.py": "def f():\n    pass\n"})
+        assert _findings(tmp_path, MetricsCatalogueRule()) == []
+
+    def test_real_tree_is_clean(self):
+        run = lint_project(
+            ["src"], rules=(), project_rules=[MetricsCatalogueRule()]
+        )
+        assert run.findings == []
+
+    def test_partial_lint_still_sees_full_code_surface(self):
+        """Linting one subdirectory must not make the catalogue rows
+        backed by *unlinted* src files look dead."""
+        run = lint_project(
+            ["src/repro/serve"], rules=(), project_rules=[MetricsCatalogueRule()]
+        )
+        assert run.findings == []
+
+    def test_partial_fixture_lint_sees_unlinted_sites(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/app/linted.py": "def f(reg):\n    reg.inc('app.requests')\n",
+                "src/app/other.py": "def g(reg, op):\n    reg.inc(f'app.op.{op}')\n",
+                "docs/OBSERVABILITY.md": _CATALOGUE_DOC,
+            },
+        )
+        run = lint_project(
+            [tmp_path / "src" / "app" / "linted.py"],
+            rules=(),
+            project_rules=[MetricsCatalogueRule()],
+        )
+        # `app.op.<op>` lives in the unlinted other.py; it must not be
+        # reported as a dead catalogue row
+        assert run.findings == []
+
+
+_PROTOCOL = "OPS = ('ping', 'solve')\n"
+_SERVER = (
+    "class Server:\n"
+    "    async def _dispatch(self, op, request):\n"
+    "        if op == 'ping':\n"
+    "            return 1\n"
+    "        if op == 'solve':\n"
+    "            return 2\n"
+    "        return None\n"
+)
+_SERVING_DOC = (
+    "# Serving\n"
+    "\n"
+    "| op | meaning |\n"
+    "|---|---|\n"
+    "| `ping` | liveness probe |\n"
+    "| `solve` | schedule query |\n"
+)
+
+
+class TestServeOpSurface:
+    def test_agreeing_surfaces_are_clean(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/repro/serve/protocol.py": _PROTOCOL,
+                "src/repro/serve/server.py": _SERVER,
+                "docs/SERVING.md": _SERVING_DOC,
+            },
+        )
+        assert _findings(tmp_path, ServeOpSurfaceRule()) == []
+
+    def test_protocol_op_missing_from_dispatch(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/repro/serve/protocol.py": "OPS = ('ping', 'solve', 'drain')\n",
+                "src/repro/serve/server.py": _SERVER,
+                "docs/SERVING.md": _SERVING_DOC
+                + "| `drain` | stop accepting work |\n",
+            },
+        )
+        findings = _findings(tmp_path, ServeOpSurfaceRule())
+        assert len(findings) == 1
+        assert findings[0].code == "RL202"
+        assert "'drain'" in findings[0].message
+        assert "never handles" in findings[0].message
+
+    def test_dispatch_op_missing_from_protocol(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/repro/serve/protocol.py": _PROTOCOL,
+                "src/repro/serve/server.py": _SERVER.replace(
+                    "        return None\n",
+                    "        if op == 'stats':\n            return 3\n        return None\n",
+                ),
+                "docs/SERVING.md": _SERVING_DOC,
+            },
+        )
+        findings = _findings(tmp_path, ServeOpSurfaceRule())
+        assert len(findings) == 1
+        assert "'stats'" in findings[0].message
+        assert "rejected before" in findings[0].message
+
+    def test_undocumented_op_is_flagged(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/repro/serve/protocol.py": _PROTOCOL,
+                "src/repro/serve/server.py": _SERVER,
+                "docs/SERVING.md": (
+                    "# Serving\n\n| op | meaning |\n|---|---|\n| `ping` | liveness |\n"
+                ),
+            },
+        )
+        findings = _findings(tmp_path, ServeOpSurfaceRule())
+        assert len(findings) == 1
+        assert "'solve'" in findings[0].message
+        assert "undocumented" in findings[0].message
+
+    def test_doc_only_op_is_flagged(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/repro/serve/protocol.py": _PROTOCOL,
+                "src/repro/serve/server.py": _SERVER,
+                "docs/SERVING.md": _SERVING_DOC + "| `imaginary` | never shipped |\n",
+            },
+        )
+        findings = _findings(tmp_path, ServeOpSurfaceRule())
+        assert len(findings) == 1
+        assert "'imaginary'" in findings[0].message
+        assert findings[0].path.endswith("SERVING.md")
+
+    def test_non_serve_projects_are_silent(self, tmp_path):
+        _write_tree(tmp_path, {"src/app/mod.py": "def f():\n    pass\n"})
+        assert _findings(tmp_path, ServeOpSurfaceRule()) == []
+
+    def test_real_tree_is_clean(self):
+        run = lint_project(["src"], rules=(), project_rules=[ServeOpSurfaceRule()])
+        assert run.findings == []
+
+
+class TestCliDocsContract:
+    def test_documented_commands_are_clean(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/repro/cli.py": (
+                    "TOOL_COMMANDS = {\n"
+                    "    'lint': 'run the linter',\n"
+                    "}\n"
+                ),
+                "README.md": "Run `repro lint` to check the tree.\n",
+            },
+        )
+        assert _findings(tmp_path, CliDocsContractRule()) == []
+
+    def test_undocumented_command_is_flagged(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/repro/cli.py": (
+                    "TOOL_COMMANDS = {\n"
+                    "    'lint': 'run the linter',\n"
+                    "    'secret': 'nobody knows',\n"
+                    "}\n"
+                ),
+                "README.md": "Run `repro lint` to check the tree.\n",
+            },
+        )
+        findings = _findings(tmp_path, CliDocsContractRule())
+        assert len(findings) == 1
+        assert findings[0].code == "RL203"
+        assert "'secret'" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_code_span_mention_counts(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "src/repro/cli.py": "TOOL_COMMANDS = {\n    'trace': 'x',\n}\n",
+                "docs/OBSERVABILITY.md": "The `trace` tool exports timelines.\n",
+            },
+        )
+        assert _findings(tmp_path, CliDocsContractRule()) == []
+
+    def test_projects_without_tool_table_are_silent(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {"src/repro/cli.py": "def main():\n    return 0\n"},
+        )
+        assert _findings(tmp_path, CliDocsContractRule()) == []
+
+    def test_real_tree_is_clean(self):
+        run = lint_project(["src"], rules=(), project_rules=[CliDocsContractRule()])
+        assert run.findings == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

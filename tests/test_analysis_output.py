@@ -1,0 +1,140 @@
+"""Tests for the reprolint output formats (text, JSON, SARIF 2.1.0)."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import Finding
+from repro.analysis.output import (
+    FORMATS,
+    SARIF_SCHEMA,
+    render_findings,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.analysis.rules import PROJECT_REGISTRY, REGISTRY
+
+FINDINGS = [
+    Finding(
+        path="src/app/bad.py",
+        line=1,
+        col=0,
+        code="RL000",
+        message="file does not parse: invalid syntax",
+    ),
+    Finding(
+        path="src/app/serve/server.py",
+        line=42,
+        col=8,
+        code="RL101",
+        message="async stop() blocks the event loop",
+    ),
+]
+
+
+class TestTextAndJson:
+    def test_text_renders_one_line_per_finding(self):
+        text = render_text(FINDINGS)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1] == (
+            "src/app/serve/server.py:42:8: RL101 async stop() blocks the event loop"
+        )
+
+    def test_json_document_shape(self):
+        doc = json.loads(render_json(FINDINGS))
+        assert doc["schema"] == "repro.analysis.findings/1"
+        assert doc["count"] == 2
+        assert doc["findings"][1] == {
+            "path": "src/app/serve/server.py",
+            "line": 42,
+            "col": 8,
+            "code": "RL101",
+            "message": "async stop() blocks the event loop",
+        }
+
+    def test_empty_run_renders_empty(self):
+        assert render_text([]) == ""
+        assert json.loads(render_json([]))["count"] == 0
+
+
+class TestSarif:
+    def test_top_level_document(self):
+        doc = json.loads(render_sarif(FINDINGS))
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == "2.1.0"
+        assert len(doc["runs"]) == 1
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "reprolint"
+
+    def test_rule_catalogue_covers_every_registered_rule(self):
+        doc = json.loads(render_sarif([]))
+        ids = {rule["id"] for rule in doc["runs"][0]["tool"]["driver"]["rules"]}
+        expected = (
+            {"RL000"}
+            | {rule.code for rule in REGISTRY}
+            | {rule.code for rule in PROJECT_REGISTRY}
+        )
+        assert ids == expected
+        for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+
+    def test_results_reference_the_catalogue(self):
+        doc = json.loads(render_sarif(FINDINGS))
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+
+    def test_result_location_fields(self):
+        doc = json.loads(render_sarif(FINDINGS))
+        result = doc["runs"][0]["results"][1]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/app/serve/server.py"
+        assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        # SARIF columns are 1-based; findings carry 0-based cols
+        assert location["region"] == {"startLine": 42, "startColumn": 9}
+
+    def test_parse_errors_are_error_level(self):
+        doc = json.loads(render_sarif(FINDINGS))
+        levels = {r["ruleId"]: r["level"] for r in doc["runs"][0]["results"]}
+        assert levels == {"RL000": "error", "RL101": "warning"}
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_known_formats_render(self, fmt):
+        out = render_findings(FINDINGS, fmt)
+        assert "RL101" in out
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown output format"):
+            render_findings(FINDINGS, "xml")
+
+
+class TestCliIntegration:
+    def test_sarif_output_file(self, tmp_path):
+        from repro.analysis.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n\ndef setup():\n    np.random.seed(42)\n"
+        )
+        out = tmp_path / "lint.sarif"
+        sink = __import__("io").StringIO()
+        code = main(
+            [str(bad), "--no-config", "--format", "sarif", "--output", str(out)],
+            stdout=sink,
+        )
+        assert code == 1
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert any(r["ruleId"] == "RL001" for r in doc["runs"][0]["results"])
+        # the human summary still lands on stdout when writing to a file
+        assert "finding(s)" in sink.getvalue()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
