@@ -1,0 +1,90 @@
+"""Fail CI when the batch replay bench regresses against the baseline.
+
+Usage::
+
+    python benchmarks/check_replay_regression.py BASELINE CURRENT [--max-regression 0.50]
+
+Compares the freshly generated ``BENCH_replay.json`` (CURRENT) against
+the committed one (BASELINE).  Wall-clock seconds do not transfer
+between machines, but the *speedup* is a same-machine ratio, so the
+gate is twofold: CURRENT's ``wallclock_speedup`` must stay above the
+50x floor the batch kernel promises, and must not fall more than
+``--max-regression`` (default 50%) below BASELINE's.  The correctness
+floor (``max_rel_dev <= 1e-9``) is re-checked too, so a kernel change
+that trades scalar equivalence for speed also fails.
+
+Exit status: 0 on pass, 1 on regression, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "repro.bench.replay/1"
+REL_BUDGET = 1e-9
+SPEEDUP_FLOOR = 50.0
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a replay bench artifact (schema={data.get('schema')!r})")
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_replay.json")
+    parser.add_argument("current", help="freshly generated BENCH_replay.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.50,
+        help="allowed fractional drop in speedup vs baseline (default 0.50)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = _load(args.baseline)
+        current = _load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    base_speedup = float(baseline["wallclock_speedup"])
+    curr_speedup = float(current["wallclock_speedup"])
+    floor = max(SPEEDUP_FLOOR, base_speedup * (1.0 - args.max_regression))
+    rel_dev = float(current["max_rel_dev"])
+
+    print(
+        f"batch replay speedup: baseline {base_speedup:.1f}x, "
+        f"current {curr_speedup:.1f}x (floor {floor:.1f}x)"
+    )
+    print(f"batch seconds (100k pool): {float(current['batch_seconds']):.3f}")
+    print(f"scalar-vs-batch max relative deviation: {rel_dev:.3e}")
+
+    ok = True
+    if curr_speedup < floor:
+        print(
+            f"REGRESSION: speedup {curr_speedup:.1f}x fell below the "
+            f"{floor:.1f}x floor (baseline {base_speedup:.1f}x, "
+            f"allowed drop {args.max_regression:.0%}, hard floor {SPEEDUP_FLOOR:.0f}x)",
+            file=sys.stderr,
+        )
+        ok = False
+    if rel_dev > REL_BUDGET:
+        print(
+            f"REGRESSION: scalar deviation {rel_dev:.3e} exceeds the {REL_BUDGET:.0e} budget",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print("replay bench within budget")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

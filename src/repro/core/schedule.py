@@ -18,6 +18,9 @@ from __future__ import annotations
 import math
 import time
 from collections.abc import Iterator
+from typing import Any
+
+import numpy as np
 
 from repro.core.markov import CheckpointCosts
 from repro.core.optimizer import OptimalInterval, optimize_interval
@@ -115,6 +118,19 @@ class CheckpointSchedule:
             return []
         self._extend_to(n - 1)
         return [it.T_opt for it in self._intervals[:n]]
+
+    def interval_array(self, n: int) -> "np.ndarray[Any, np.dtype[np.float64]]":
+        """The first ``n`` work intervals as a float64 vector.
+
+        Bulk export for the batch replay kernel
+        (:mod:`repro.simulation.batch_replay`), which turns the prefix
+        into a cumulative cycle table ``t_k = sum_{j<k}(T_j + C + L)``
+        and resolves whole availability traces against it with one
+        ``searchsorted`` pass instead of per-event calls to
+        :meth:`work_interval`.  Lazy like :meth:`intervals`: only the
+        indices not yet materialised are solved.
+        """
+        return np.asarray(self.intervals(n), dtype=np.float64)
 
     def __iter__(self) -> Iterator[float]:
         i = 0

@@ -184,7 +184,7 @@ def replay_schedule(
     for a in durations:
         t = 0.0
         # ---- recovery phase -----------------------------------------
-        if config.recover_on_start and R >= 0.0:
+        if config.recover_on_start:
             n_rec_try += 1
             if t + R <= a:
                 t += R
@@ -210,12 +210,14 @@ def replay_schedule(
         i = 0
         while t < a:
             T = schedule.work_interval(i)
-            if t + T > a:
-                lost += a - t  # eviction mid-work
-                if tr is not None:
-                    tr.span("replay", "work", base + t, a - t, track=machine_id, args={"committed": False})
-                t = a
-                break
+            if T + C + L <= 0.0:
+                # a zero-length cycle would commit without advancing the
+                # clock: the replay would spin forever on this interval
+                raise ValueError(
+                    f"degenerate schedule: work interval {i} has "
+                    f"T={T!r} with C={C!r}, L={L!r} -- the replay cycle "
+                    "makes no forward progress"
+                )
             if t + T + C + L <= a:
                 useful += T
                 ckpt_overhead += C + L
@@ -228,6 +230,16 @@ def replay_schedule(
                     tr.span("link", "transfer", base + t + T, C, track=machine_id, args={"mb": size, "phase": "checkpoint"})
                 t += T + C + L
                 i += 1
+            elif t + T >= a:
+                # eviction mid-work, including the exact-fit boundary
+                # t + T == a: the owner reclaims the machine at (or
+                # before) the instant the transfer could begin, so no
+                # checkpoint is attempted and no bytes are billed
+                lost += a - t
+                if tr is not None:
+                    tr.span("replay", "work", base + t, a - t, track=machine_id, args={"committed": False})
+                t = a
+                break
             else:
                 # eviction during the transfer or its commit latency:
                 # the interval's work is never committed, so it is lost.
@@ -370,6 +382,14 @@ def _replay_with_storage(
             # commit latency L is billed after the CPU + wire phases,
             # mirroring the non-storage path (see replay_schedule)
             ckpt_time = plan.cpu_seconds + wire_time + L
+            if T + ckpt_time <= 0.0:
+                # a zero-length cycle would commit without advancing the
+                # clock: the replay would spin forever on this interval
+                raise ValueError(
+                    f"degenerate schedule: work interval {i} has "
+                    f"T={T!r} with a zero-cost checkpoint -- the replay "
+                    "cycle makes no forward progress"
+                )
             if t + T + ckpt_time <= a:
                 useful += T
                 ckpt_overhead += ckpt_time
@@ -388,11 +408,22 @@ def _replay_with_storage(
                         "link", "transfer", base + t + T + plan.cpu_seconds, wire_time,
                         track=machine_id, args={"mb": plan.wire_mb, "phase": "checkpoint"},
                     )
-                    # store events (commit / GC) timestamp at the cycle end
-                    tr.now = base + t + T + ckpt_time
-                store.commit(plan)
+                # store events (commit / GC) are stamped explicitly at
+                # the cycle end; the recorder's instrumentation clock is
+                # not ours to mutate (the DES engine owns it)
+                store.commit(plan, ts=base + t + T + ckpt_time)
                 t += T + ckpt_time
                 i += 1
+            elif t + T >= a:
+                # eviction mid-work, including the exact-fit boundary
+                # t + T == a: the owner reclaims the machine at (or
+                # before) the instant the transfer could begin, so no
+                # checkpoint is attempted and no bytes are billed
+                lost += a - t
+                if tr is not None:
+                    tr.span("replay", "work", base + t, a - t, track=machine_id, args={"committed": False})
+                t = a
+                break
             else:
                 # eviction mid-checkpoint: the interval's work is lost
                 # and the snapshot is never committed to the store

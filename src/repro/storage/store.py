@@ -138,8 +138,16 @@ class CheckpointStore:
             kind=kind, raw_mb=tr.raw_mb, wire_mb=tr.wire_mb, cpu_seconds=tr.cpu_seconds
         )
 
-    def commit(self, plan: PlannedCheckpoint) -> Snapshot:
-        """Record a completed checkpoint transfer and run retention."""
+    def commit(self, plan: PlannedCheckpoint, *, ts: float | None = None) -> Snapshot:
+        """Record a completed checkpoint transfer and run retention.
+
+        ``ts`` is the simulation time the commit happened at, stamped
+        onto the trace events this call emits.  ``None`` falls back to
+        the active recorder's instrumentation clock (``tr.now``) for
+        drivers that keep it fresh (the DES engine); batch/replay
+        drivers pass the timestamp explicitly so committing never
+        mutates recorder state.
+        """
         snap = Snapshot(
             index=self.n_committed, kind=plan.kind, wire_mb=plan.wire_mb, raw_mb=plan.raw_mb
         )
@@ -158,10 +166,12 @@ class CheckpointStore:
             reg.inc("storage.wire_mb", plan.wire_mb)
         tr = _trace_active()
         if tr is not None:
-            # the store has no clock of its own; the driving layer keeps
-            # the recorder's instrumentation clock (``tr.now``) fresh
+            # the store has no clock of its own: events are stamped with
+            # the caller-supplied ``ts``, falling back to the recorder's
+            # instrumentation clock for drivers that keep it fresh
             tr.point(
                 "storage", "commit",
+                ts=ts,
                 args={
                     "kind": plan.kind,
                     "wire_mb": plan.wire_mb,
@@ -169,11 +179,11 @@ class CheckpointStore:
                     "index": snap.index,
                 },
             )
-        self._gc()
+        self._gc(ts=ts)
         self.max_chain_len = max(self.max_chain_len, self.chain_length())
         return snap
 
-    def _gc(self) -> None:
+    def _gc(self, *, ts: float | None = None) -> None:
         """Drop snapshots unreachable from any future restore."""
         chain = self.chain()
         n_drop = len(self._snapshots) - len(chain)
@@ -190,5 +200,6 @@ class CheckpointStore:
             if tr is not None:
                 tr.point(
                     "storage", "gc",
+                    ts=ts,
                     args={"dropped": n_drop, "freed_mb": freed},
                 )
