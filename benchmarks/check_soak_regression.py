@@ -1,0 +1,140 @@
+"""Fail CI when a soak artifact violates its deterministic invariants.
+
+Usage::
+
+    python benchmarks/check_soak_regression.py SOAK_JSONL [--min-samples 5]
+
+Reads a ``repro.bench.soak/1`` JSONL time series (header, samples,
+summary -- produced by ``repro bench-serve --soak``) and gates the
+fields that must hold on *any* machine; QPS and latency magnitudes are
+printed for humans but never gated:
+
+* structural: the header schema, at least ``--min-samples`` samples,
+  and a summary record must be present;
+* ``errors`` must be 0 -- a soak that failed requests proved nothing;
+* **conservation**: the per-tenant ``serve.tenant.requests{op=solve}``
+  counters must sum *exactly* to the load generator's sent count (a
+  lost or double-counted request is an accounting bug, not noise);
+* ``prom_parse_failures`` must be 0: every mid-run scrape of the
+  ``--metrics-port`` endpoint parsed as valid Prometheus text format;
+* drift: a ``drifting`` verdict on ``rss_mb`` or ``queue_depth`` fails
+  (the leak shapes a soak exists to catch); latency drift only warns,
+  because short CI runs make per-interval latency means noisy.
+
+Exit status: 0 on pass, 1 on violation, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "repro.bench.soak/1"
+
+
+def _load(path: str) -> tuple[dict, list[dict], dict]:
+    header: dict | None = None
+    samples: list[dict] = []
+    summary: dict | None = None
+    with open(path) as fh:
+        for i, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "header":
+                header = record
+            elif kind == "sample":
+                samples.append(record)
+            elif kind == "summary":
+                summary = record
+            else:
+                raise ValueError(f"{path}:{i}: unknown record kind {kind!r}")
+    if header is None or summary is None:
+        raise ValueError(f"{path}: missing header or summary record")
+    if header.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a soak artifact (schema={header.get('schema')!r})"
+        )
+    return header, samples, summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="soak JSONL written by repro bench-serve --soak")
+    parser.add_argument(
+        "--min-samples",
+        type=int,
+        default=5,
+        help="fail when fewer samples were collected (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        _header, samples, summary = _load(args.artifact)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"soak-check: ERROR: {exc}", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    if len(samples) < args.min_samples:
+        failures.append(
+            f"only {len(samples)} samples collected (need >= {args.min_samples})"
+        )
+    errors = summary.get("errors")
+    if errors != 0:
+        failures.append(f"{errors} request(s) failed during the soak")
+    conservation = summary.get("conservation") or {}
+    if not conservation.get("exact"):
+        failures.append(
+            "conservation violated: per-tenant solve counters sum to "
+            f"{conservation.get('per_tenant_total')} but {conservation.get('sent')} "
+            "requests were sent"
+        )
+    parse_failures = summary.get("prom_parse_failures")
+    if parse_failures != 0:
+        failures.append(
+            f"{parse_failures} Prometheus scrape(s) failed to parse as text format"
+        )
+
+    drift = summary.get("drift") or {}
+    for signal in ("rss_mb", "queue_depth"):
+        verdict = drift.get(signal) or {}
+        if verdict.get("drifting"):
+            failures.append(
+                f"{signal} drifts: first-third mean "
+                f"{verdict.get('first_third_mean')} -> last-third "
+                f"{verdict.get('last_third_mean')} "
+                f"(ratio {verdict.get('ratio'):.3f}, "
+                f"{verdict.get('increase_fraction'):.0%} of steps increasing)"
+            )
+    latency_verdict = drift.get("interval_latency_ms_mean") or {}
+    if latency_verdict.get("drifting"):
+        warnings.append(
+            "interval latency drifts (ratio "
+            f"{latency_verdict.get('ratio'):.3f}); not gated -- short runs are noisy"
+        )
+
+    latency = summary.get("latency_ms") or {}
+    print(
+        f"soak-check: {summary.get('sent')} sent / {summary.get('completed')} "
+        f"completed over {summary.get('wall_s', 0.0):.1f}s, "
+        f"{len(samples)} samples, p50 {latency.get('p50')} ms, "
+        f"p99 {latency.get('p99')} ms"
+    )
+    for message in warnings:
+        print(f"soak-check: WARN: {message}")
+    if failures:
+        for message in failures:
+            print(f"soak-check: FAIL: {message}", file=sys.stderr)
+        return 1
+    print("soak-check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,16 @@ full/delta cadence actually was.  Design constraints, in order:
    registry and ships :meth:`MetricsRegistry.as_dict` back with its
    results, which the parent folds in with
    :meth:`MetricsRegistry.merge_dict`.
+4. **Bounded-cardinality labels.**  Serving-side metrics carry a label
+   dimension (``registry.counter("serve.tenant.requests",
+   labels={"tenant": pool, "op": op})``): each distinct label set is its
+   own series, encoded as ``name{key=value,...}`` in snapshots so the
+   existing merge machinery carries labels across processes untouched.
+   Distinct label sets per base name are capped
+   (:data:`DEFAULT_LABEL_LIMIT`); past the cap, observations fold into
+   the unlabeled base series and the ``obs.labels.overflow`` counter
+   records the clip -- a hostile tenant name stream cannot grow the
+   registry without bound.
 
 The registry is *per process* and not thread-safe: the simulators are
 single-threaded per process, and cross-process aggregation is explicit.
@@ -27,23 +37,28 @@ single-threaded per process, and cross-process aggregation is explicit.
 from __future__ import annotations
 
 import math
+import re
 import time
 from bisect import bisect_left
-from collections.abc import Iterator
+from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
 from types import TracebackType
 from typing import Any
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "DEFAULT_LABEL_LIMIT",
+    "OVERFLOW_COUNTER",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Timer",
     "active",
+    "decode_series",
     "disable",
     "enable",
+    "encode_series",
     "use",
 ]
 
@@ -53,6 +68,64 @@ __all__ = [
 #: observations ``<= BUCKET_BOUNDS[i]``; one final overflow bucket counts
 #: the rest, so there are ``len(BUCKET_BOUNDS) + 1`` buckets in all.
 BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** (k / 2.0) for k in range(-12, 13))
+
+#: Default cap on distinct label sets per base metric name; past it,
+#: observations fold into the unlabeled base series and
+#: :data:`OVERFLOW_COUNTER` counts the clip.
+DEFAULT_LABEL_LIMIT = 64
+
+#: Counter incremented once per observation clipped by the label
+#: cardinality cap (catalogued in ``docs/OBSERVABILITY.md``).
+OVERFLOW_COUNTER = "obs.labels.overflow"
+
+#: Label keys are identifier-shaped so they survive both the snapshot
+#: encoding and Prometheus exposition unescaped.
+_LABEL_KEY_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+#: Characters that would break the ``name{k=v,...}`` series encoding;
+#: sanitised to ``_`` in label values (tenant names are caller input).
+_LABEL_VALUE_BAD = re.compile(r"[{}=,\"\\\n\r\t]")
+
+
+def encode_series(name: str, labels: Mapping[str, Any]) -> str:
+    """The snapshot key of a labeled series: ``name{k=v,...}``, keys
+    sorted, values coerced to sanitised strings.
+
+    Label *keys* must be identifier-shaped (they become Prometheus
+    label names verbatim); *values* are arbitrary caller input (tenant
+    pool names) and have structural characters replaced with ``_``.
+    """
+    parts = []
+    for key in sorted(labels):
+        if not _LABEL_KEY_RE.match(key):
+            raise ValueError(f"label key must be an identifier, got {key!r}")
+        value = _LABEL_VALUE_BAD.sub("_", str(labels[key]))
+        parts.append(f"{key}={value}")
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def decode_series(key: str) -> tuple[str, dict[str, str]]:
+    """Split a snapshot key back into ``(base name, labels)``; an
+    unlabeled key decodes to ``(key, {})``."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed series key {key!r}")
+    name, body = key[:brace], key[brace + 1 : -1]
+    labels: dict[str, str] = {}
+    if body:
+        for part in body.split(","):
+            label, sep, value = part.partition("=")
+            if not sep or not _LABEL_KEY_RE.match(label):
+                raise ValueError(f"malformed series key {key!r}")
+            labels[label] = value
+    return name, labels
+
+
+def _record_overflow(registry: "MetricsRegistry") -> None:
+    """Count one label set clipped by the cardinality cap."""
+    registry.inc("obs.labels.overflow")
 
 
 class Counter:
@@ -192,46 +265,92 @@ class MetricsRegistry:
     Metric names are dotted strings (``"layer.thing"``, e.g.
     ``"numerics.golden.iterations"``); the catalogue lives in
     ``docs/OBSERVABILITY.md``.  Instruments are created on first use.
+
+    Every accessor takes an optional ``labels`` mapping; a labeled call
+    records into a per-label-set series keyed ``name{k=v,...}``.  The
+    unlabeled path is untouched (one ``None`` test), so the hot
+    simulation loops pay nothing for the label dimension.  Distinct
+    label sets per base name are capped at ``label_limit``; the
+    overflow path folds into the unlabeled base series (see
+    :data:`OVERFLOW_COUNTER`).
     """
 
-    __slots__ = ("_counters", "_gauges", "_histograms")
+    __slots__ = ("_counters", "_gauges", "_histograms", "_label_sets", "label_limit")
 
-    def __init__(self) -> None:
+    def __init__(self, *, label_limit: int = DEFAULT_LABEL_LIMIT) -> None:
+        if label_limit < 1:
+            raise ValueError(f"label limit must be >= 1, got {label_limit}")
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: admitted label sets per base metric name (all kinds pooled)
+        self._label_sets: dict[str, int] = {}
+        self.label_limit = label_limit
+
+    # -- label-series admission -----------------------------------------
+    def _admit(self, base: str, key: str) -> str:
+        """Admit a *new* labeled series key, or clip it to ``base``."""
+        admitted = self._label_sets.get(base, 0)
+        if admitted >= self.label_limit:
+            _record_overflow(self)
+            return base
+        self._label_sets[base] = admitted + 1
+        return key
+
+    def _series(
+        self, name: str, labels: Mapping[str, Any], family: dict[str, Any]
+    ) -> str:
+        key = encode_series(name, labels)
+        if key in family:
+            return key
+        return self._admit(name, key)
 
     # -- instrument accessors (get-or-create) ---------------------------
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, labels: Mapping[str, Any] | None = None) -> Counter:
+        if labels:
+            name = self._series(name, labels, self._counters)
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter()
         return c
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, labels: Mapping[str, Any] | None = None) -> Gauge:
+        if labels:
+            name = self._series(name, labels, self._gauges)
         g = self._gauges.get(name)
         if g is None:
             g = self._gauges[name] = Gauge()
         return g
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, labels: Mapping[str, Any] | None = None) -> Histogram:
+        if labels:
+            name = self._series(name, labels, self._histograms)
         h = self._histograms.get(name)
         if h is None:
             h = self._histograms[name] = Histogram()
         return h
 
     # -- one-shot conveniences (the instrumentation sites use these) ----
-    def inc(self, name: str, amount: float = 1.0) -> None:
-        self.counter(name).inc(amount)
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.counter(name, labels).inc(amount)
 
-    def set_gauge(self, name: str, value: float) -> None:
-        self.gauge(name).set(value)
+    def set_gauge(
+        self, name: str, value: float, labels: Mapping[str, Any] | None = None
+    ) -> None:
+        self.gauge(name, labels).set(value)
 
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+    def observe(
+        self, name: str, value: float, labels: Mapping[str, Any] | None = None
+    ) -> None:
+        self.histogram(name, labels).observe(value)
 
-    def timer(self, name: str) -> Timer:
-        return Timer(self.histogram(name))
+    def timer(self, name: str, labels: Mapping[str, Any] | None = None) -> Timer:
+        return Timer(self.histogram(name, labels))
 
     # -- serialisation / merging ----------------------------------------
     def as_dict(self) -> dict[str, Any]:
@@ -260,15 +379,24 @@ class MetricsRegistry:
         reg.merge_dict(data)
         return reg
 
+    def _merge_key(self, key: str, family: dict[str, Any]) -> str:
+        """Admission for snapshot keys: labeled series arriving from a
+        worker count against the cardinality cap exactly like live
+        recordings (merging must not grow the registry without bound)."""
+        if "{" not in key or key in family:
+            return key
+        return self._admit(key.split("{", 1)[0], key)
+
     def merge_dict(self, data: dict[str, Any]) -> None:
         """Fold a worker snapshot in: counters/histograms add, gauges
-        take the incoming value."""
+        take the incoming value.  Labeled series (``name{k=v,...}``
+        keys, report schema /3) merge per label set."""
         for name, value in data.get("counters", {}).items():
-            self.counter(name).value += float(value)
+            self.counter(self._merge_key(name, self._counters)).value += float(value)
         for name, value in data.get("gauges", {}).items():
-            self.gauge(name).set(float(value))
+            self.gauge(self._merge_key(name, self._gauges)).set(float(value))
         for name, summary in data.get("histograms", {}).items():
-            h = self.histogram(name)
+            h = self.histogram(self._merge_key(name, self._histograms))
             count = int(summary["count"])
             if count == 0:
                 continue

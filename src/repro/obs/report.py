@@ -7,12 +7,13 @@ tooling (CI artifact diffing, the future perf dashboard) can consume it
 without this package::
 
     {
-      "schema": "repro.obs.report/2",
+      "schema": "repro.obs.report/3",
       "command": "table1",
       "argv": ["table1", "--machines", "4"],
       "duration_seconds": 12.3,
       "metrics": {
-        "counters":   {"numerics.golden.iterations": 48231.0, ...},
+        "counters":   {"numerics.golden.iterations": 48231.0,
+                       "serve.requests{op=solve,tenant=campus}": 12.0, ...},
         "gauges":     {"sim.pool.workers": 4.0, ...},
         "histograms": {"sim.replay_seconds":
                        {"count": 160, "sum": 9.1, "min": ..., "max": ...,
@@ -21,8 +22,11 @@ without this package::
     }
 
 Schema ``/2`` added the histogram bucket vector and derived
-percentiles; :func:`load_report` still accepts ``/1`` documents (their
-histograms simply lack the new keys).
+percentiles; ``/3`` admits labeled series -- metric keys may carry a
+``{k=v,...}`` suffix (see :func:`~repro.obs.metrics.encode_series`),
+which older readers would have treated as opaque (and invalid) names.
+:func:`load_report` still accepts ``/1`` and ``/2`` documents; their
+metric maps are a strict subset of the ``/3`` shape.
 
 ``repro report PATH`` pretty-prints a report; ``repro report PATH
 --json`` re-emits it canonically (the round-trip the CLI smoke test
@@ -39,6 +43,7 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = [
     "SCHEMA",
     "SCHEMA_V1",
+    "SCHEMA_V2",
     "build_report",
     "diff_reports",
     "dumps_report",
@@ -48,8 +53,10 @@ __all__ = [
     "write_report",
 ]
 
-SCHEMA = "repro.obs.report/2"
+SCHEMA = "repro.obs.report/3"
+SCHEMA_V2 = "repro.obs.report/2"
 SCHEMA_V1 = "repro.obs.report/1"
+_LOADABLE_SCHEMAS = (SCHEMA, SCHEMA_V2, SCHEMA_V1)
 
 
 def build_report(
@@ -91,9 +98,9 @@ def load_report(path_or_file: str | IO[str]) -> dict[str, Any]:
             data = json.load(fh)
     else:
         data = json.load(path_or_file)
-    if not isinstance(data, dict) or data.get("schema") not in (SCHEMA, SCHEMA_V1):
+    if not isinstance(data, dict) or data.get("schema") not in _LOADABLE_SCHEMAS:
         raise ValueError(
-            f"not a repro run report (expected schema {SCHEMA!r} or {SCHEMA_V1!r}, "
+            f"not a repro run report (expected schema one of {_LOADABLE_SCHEMAS!r}, "
             f"got {data.get('schema') if isinstance(data, dict) else type(data).__name__!r})"
         )
     metrics = data.get("metrics")

@@ -27,7 +27,15 @@ bounds how much solve work a single flush can accumulate.
 Counters: ``serve.batch.count`` / ``serve.batch.size`` /
 ``serve.batch.groups`` / ``serve.batch.collapsed`` /
 ``serve.batch.solve_seconds``; one ``serve``/``batch`` trace span per
-flush.
+flush.  The request-lifecycle histograms
+(``serve.lifecycle.queue_wait_seconds`` per query,
+``serve.lifecycle.batch_group_seconds`` /
+``serve.lifecycle.solve_seconds`` per flush) and the tenant-labeled
+cache attribution (``serve.tenant.cache.hits`` / ``.misses``: the
+solver-cache delta of each group solve, credited to the group's tenant
+-- a group is single-tenant unless two pools registered an identical
+model + cost set, in which case the head tenant absorbs the shared
+delta) are recorded here too, all on sim-time-free wall clocks.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from typing import Any
 
 from repro.core.markov import CheckpointCosts
 from repro.core.optimizer import OptimalInterval, optimize_intervals_batch
+from repro.core.solver_cache import active_cache
 from repro.distributions.base import AvailabilityDistribution
 from repro.obs.metrics import active as _metrics
 from repro.obs.tracing import active as _trace_active
@@ -49,7 +58,13 @@ __all__ = ["BatcherStats", "MicroBatcher", "SolveQuery"]
 
 @dataclass(frozen=True)
 class SolveQuery:
-    """One schedule query: (model, costs, age) plus solver settings."""
+    """One schedule query: (model, costs, age) plus solver settings.
+
+    ``tenant`` is observability-only: the pool name the query arrived
+    under (``"-"`` for inline-model queries).  It labels the per-tenant
+    metrics but is deliberately **not** part of :meth:`group_key`, so
+    two tenants sharing a model still share one batched solve.
+    """
 
     distribution: AvailabilityDistribution
     costs: CheckpointCosts
@@ -58,6 +73,7 @@ class SolveQuery:
     t_max: float | None = None
     rel_tol: float = 1e-6
     method: str | None = None
+    tenant: str = "-"
 
     def __post_init__(self) -> None:
         if self.age < 0:
@@ -103,6 +119,8 @@ class BatcherStats:
 class _Pending:
     query: SolveQuery
     future: "asyncio.Future[OptimalInterval]" = field(repr=False)
+    #: ``time.perf_counter()`` at submit, for the queue-wait histogram
+    enqueued: float = 0.0
 
 
 class MicroBatcher:
@@ -147,7 +165,7 @@ class MicroBatcher:
         """Enqueue a query and wait for its batched result."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future[OptimalInterval] = loop.create_future()
-        self._pending.append(_Pending(query, future))
+        self._pending.append(_Pending(query, future, time.perf_counter()))
         self.stats.queries += 1
         if len(self._pending) >= self.max_batch:
             self._cancel_timer()
@@ -187,10 +205,20 @@ class MicroBatcher:
         trace = _trace_active()
         started = self._clock()
         wall0 = time.perf_counter()
+        if reg is not None:
+            for item in pending:
+                reg.observe(
+                    "serve.lifecycle.queue_wait_seconds", wall0 - item.enqueued
+                )
 
         groups: dict[tuple[Any, ...], list[_Pending]] = {}
         for item in pending:
             groups.setdefault(item.query.group_key(), []).append(item)
+        if reg is not None:
+            reg.observe(
+                "serve.lifecycle.batch_group_seconds", time.perf_counter() - wall0
+            )
+        cache = active_cache()
 
         batch_solves = 0
         batch_collapsed = 0
@@ -198,6 +226,9 @@ class MicroBatcher:
             head = items[0].query
             ages = [item.query.age for item in items]
             distinct = len(set(ages))
+            hits0 = cache.hits if cache is not None else 0
+            misses0 = cache.misses if cache is not None else 0
+            solve0 = time.perf_counter()
             try:
                 results = optimize_intervals_batch(
                     head.distribution,
@@ -216,6 +247,18 @@ class MicroBatcher:
                     if not item.future.done():
                         item.future.set_exception(exc)
                 continue
+            if reg is not None:
+                reg.observe(
+                    "serve.lifecycle.solve_seconds", time.perf_counter() - solve0
+                )
+                if cache is not None:
+                    tenant = {"tenant": head.tenant}
+                    hit_delta = cache.hits - hits0
+                    miss_delta = cache.misses - misses0
+                    if hit_delta:
+                        reg.inc("serve.tenant.cache.hits", hit_delta, labels=tenant)
+                    if miss_delta:
+                        reg.inc("serve.tenant.cache.misses", miss_delta, labels=tenant)
             batch_solves += distinct
             batch_collapsed += len(items) - distinct
             for item, result in zip(items, results, strict=True):

@@ -202,13 +202,21 @@ async def run_open_loop(
     queries: list[dict[str, Any]],
     rate_qps: float,
     seed: int,
+    *,
+    latencies: list[float] | None = None,
 ) -> tuple[list[float], float, int]:
     """Fire ``queries`` at Poisson arrival times over one pipelined
-    connection; returns (latencies, wall seconds, error count)."""
+    connection; returns (latencies, wall seconds, error count).
+
+    Pass ``latencies`` to observe completions live (the soak harness's
+    sampler reads the growing list mid-run); by default a fresh list is
+    used and returned either way.
+    """
     rng = np.random.default_rng(seed)
     arrivals = np.cumsum(rng.exponential(1.0 / rate_qps, size=len(queries)))
     reader, writer = await asyncio.open_connection(host, port)
-    latencies: list[float] = []
+    if latencies is None:
+        latencies = []
     errors = 0
     sent: dict[int, float] = {}
 
@@ -251,14 +259,23 @@ async def run_open_loop(
 # ----------------------------------------------------------------------
 # summaries
 # ----------------------------------------------------------------------
-def summarize_latencies(latencies: list[float], wall_s: float) -> dict[str, Any]:
-    """QPS plus latency percentiles (ms) with a Student-t mean CI."""
+def summarize_latencies(
+    latencies: list[float], wall_s: float, *, errors: int = 0
+) -> dict[str, Any]:
+    """QPS plus latency percentiles (ms) with a Student-t mean CI.
+
+    ``errors`` is the failed-response count of the loop that produced
+    ``latencies``; it lands in the summary as both the raw count and a
+    rate so artifact consumers never recompute it from raw totals.
+    """
     lat = np.asarray(latencies, dtype=np.float64) * 1e3
     ci = mean_ci(lat)
     return {
         "requests": len(latencies),
         "wall_s": wall_s,
         "qps": len(latencies) / wall_s if wall_s > 0 else 0.0,
+        "errors": errors,
+        "error_rate": errors / len(latencies) if latencies else 0.0,
         "latency_ms": {
             "mean": float(np.mean(lat)),
             "mean_ci95_half_width": ci.half_width,
@@ -389,10 +406,14 @@ async def _bench_phases(config: BenchConfig, snapshot_path: str) -> dict[str, An
         )
         await server.stop()
 
-    open_summary = summarize_latencies(open_latencies, open_wall)
+    if open_errors:
+        raise RuntimeError(
+            f"open-loop bench had {open_errors} failed request(s); "
+            "the artifact would hide a broken daemon"
+        )
+    open_summary = summarize_latencies(open_latencies, open_wall, errors=open_errors)
     open_summary["qps_offered"] = config.rate_qps
     open_summary["qps_achieved"] = open_summary.pop("qps")
-    open_summary["errors"] = open_errors
     artifact["open_loop"] = open_summary
     return artifact
 
@@ -455,8 +476,7 @@ async def _run_against(
     latencies, wall, errors = await run_open_loop(
         host, port, queries, config.rate_qps, config.seed
     )
-    summary = summarize_latencies(latencies, wall)
-    summary["errors"] = errors
+    summary = summarize_latencies(latencies, wall, errors=errors)
     if shutdown:
         reader, writer = await asyncio.open_connection(host, port)
         try:

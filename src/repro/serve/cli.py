@@ -90,6 +90,23 @@ def serve_main(argv: list[str], stdout: TextIO | None = None) -> int:
         action="store_true",
         help="preload the paper's demo pools (campus-exp/-weibull/-hyper2)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "serve Prometheus text exposition on http://HOST:N/metrics "
+            "(plus /health); 0 = ephemeral port, omit = off"
+        ),
+    )
+    parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="log a structured slow-request line over this threshold (default 1000)",
+    )
     args = parser.parse_args(argv)
     sink = stdout if stdout is not None else sys.stdout
 
@@ -106,6 +123,8 @@ def serve_main(argv: list[str], stdout: TextIO | None = None) -> int:
             max_batch=args.max_batch,
             snapshot_path=args.snapshot,
             snapshot_interval_s=args.snapshot_interval,
+            metrics_port=args.metrics_port,
+            slow_request_s=args.slow_request_ms / 1e3,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -119,9 +138,15 @@ def serve_main(argv: list[str], stdout: TextIO | None = None) -> int:
 
     async def _run() -> None:
         await server.start()
+        scrape = (
+            f", metrics on http://{config.host}:{server.metrics_port}/metrics"
+            if server.metrics_port is not None
+            else ""
+        )
         print(
             f"[repro serve] listening on {config.host}:{server.port} "
-            f"(pools: {len(registry)}, warm-loaded: {server.warm_loaded_entries} entries)",
+            f"(pools: {len(registry)}, warm-loaded: {server.warm_loaded_entries} "
+            f"entries{scrape})",
             file=sink,
             flush=True,
         )
@@ -186,11 +211,66 @@ def bench_main(argv: list[str], stdout: TextIO | None = None) -> int:
         default=None,
         help="snapshot file used by the warm-restart phase (default: <out>.snapshot or a temp file)",
     )
+    parser.add_argument(
+        "--soak",
+        action="store_true",
+        help=(
+            "soak mode: run an in-process daemon under continuous open-loop "
+            "load, sampling its metrics/health endpoints into a "
+            "repro.bench.soak/1 JSONL time series (--out)"
+        ),
+    )
+    parser.add_argument(
+        "--soak-seconds",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="soak duration in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--sample-every",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="soak sampling interval in seconds (default 2)",
+    )
     args = parser.parse_args(argv)
     sink = stdout if stdout is not None else sys.stdout
 
     if args.batch_window_ms < 0:
         raise SystemExit("error: --batch-window-ms must be >= 0")
+    if args.soak:
+        if args.connect:
+            raise SystemExit("error: --soak runs its own daemon; drop --connect")
+        from repro.serve.soak import SoakConfig, run_soak
+
+        try:
+            soak_config = SoakConfig(
+                duration_s=args.soak_seconds,
+                sample_every_s=args.sample_every,
+                rate_qps=args.rate,
+                seed=args.seed,
+                batch_window_s=args.batch_window_ms / 1e3,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        summary = run_soak(soak_config, args.out)
+        conservation = summary["conservation"]
+        drifting = [k for k, v in summary["drift"].items() if v["drifting"]]
+        print(
+            f"soak: {summary['sent']} sent over {summary['wall_s']:.1f}s "
+            f"({summary['qps_achieved']:.0f}/{summary['qps_offered']:.0f} QPS), "
+            f"{summary['errors']} errors, {summary['samples']} samples, "
+            f"conservation {'exact' if conservation['exact'] else 'VIOLATED'}, "
+            f"drift: {', '.join(drifting) if drifting else 'none'}",
+            file=sink,
+        )
+        if args.out:
+            print(f"[soak artifact written to {args.out}]", file=sink)
+        if summary["errors"] or not conservation["exact"]:
+            print("error: soak run failed its invariants", file=sys.stderr)
+            return 1
+        return 0
     try:
         config = BenchConfig(
             requests=args.requests,

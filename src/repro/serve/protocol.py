@@ -56,6 +56,8 @@ OPS = (
     "unregister",
     "pools",
     "stats",
+    "metrics",
+    "health",
     "snapshot",
     "shutdown",
 )

@@ -11,7 +11,11 @@ in-flight queries against the old model finish against the old model
 
 The registry is a plain in-process dict -- the daemon is single-loop
 asyncio, so no locking is needed; mutations report through the metrics
-registry (``serve.registry.*``).
+registry (``serve.registry.*``), and it is also where the per-tenant
+label partition starts: every mutation records a
+``serve.tenant.registry`` event labeled with the pool name and action,
+so the labeled series for a tenant exists from the moment it registers
+(cardinality is bounded by the metrics registry's label cap).
 """
 
 from __future__ import annotations
@@ -67,6 +71,10 @@ class TenantRegistry:
         reg = _metrics()
         if reg is not None:
             reg.inc("serve.registry.updated" if replaced else "serve.registry.registered")
+            reg.inc(
+                "serve.tenant.registry",
+                labels={"tenant": name, "action": "replace" if replaced else "register"},
+            )
             reg.set_gauge("serve.registry.pools", len(self._pools))
         return replaced
 
@@ -77,6 +85,10 @@ class TenantRegistry:
         reg = _metrics()
         if reg is not None:
             reg.inc("serve.registry.unregistered")
+            reg.inc(
+                "serve.tenant.registry",
+                labels={"tenant": name, "action": "unregister"},
+            )
             reg.set_gauge("serve.registry.pools", len(self._pools))
 
     def get(self, name: str) -> PoolEntry:

@@ -21,18 +21,29 @@ queries to batch even over a single connection.
 
 Metrics (``serve.*``, catalogued in ``docs/OBSERVABILITY.md``) and one
 ``serve``/``request`` trace span per request report what the daemon is
-doing; ``docs/SERVING.md`` documents the protocol and lifecycle.
+doing; ``docs/SERVING.md`` documents the protocol and lifecycle.  The
+labeled per-tenant series (``serve.tenant.*`` with ``tenant``/``op``
+labels), the request-lifecycle histograms (``serve.lifecycle.*``), the
+``metrics``/``health`` introspection ops, and the ``--metrics-port``
+Prometheus scrape endpoint make the running daemon observable without
+restarting it; requests slower than ``slow_request_s`` additionally
+emit one structured (JSON) log line on the ``repro.serve`` logger.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import time
 from dataclasses import dataclass
 from typing import Any, TextIO
 
 from repro.core.solver_cache import active_cache
 from repro.obs.metrics import active as _metrics
+from repro.obs.metrics import disable as _metrics_disable
+from repro.obs.metrics import enable as _metrics_enable
+from repro.obs.prometheus import render_prometheus
 from repro.obs.tracing import active as _trace_active
 from repro.serve.batcher import MicroBatcher, SolveQuery
 from repro.serve.models import distribution_from_spec, distribution_to_spec
@@ -48,6 +59,7 @@ from repro.serve.protocol import (
     ok_response,
     parse_request,
 )
+from repro.serve.metrics_http import MetricsHttpEndpoint
 from repro.serve.registry import TenantRegistry, UnknownPoolError
 from repro.serve.snapshot import (
     SnapshotError,
@@ -63,6 +75,10 @@ from repro.serve.snapshot import (
 
 __all__ = ["ScheduleServer", "ServerConfig"]
 
+#: slow-request structured log lines land here (stdlib logging; the CLI
+#: leaves configuration to the operator, so they are silent by default)
+_logger = logging.getLogger("repro.serve")
+
 
 @dataclass(frozen=True)
 class ServerConfig:
@@ -71,7 +87,9 @@ class ServerConfig:
     ``port=0`` binds an ephemeral port (the bound port is published as
     :attr:`ScheduleServer.port` once started -- used by tests and the
     in-process bench).  ``snapshot_interval_s`` only matters when
-    ``snapshot_path`` is set.
+    ``snapshot_path`` is set.  ``metrics_port`` (``None`` = off, ``0``
+    = ephemeral) adds the HTTP scrape endpoint; ``slow_request_s`` is
+    the structured-log threshold for slow requests.
     """
 
     host: str = "127.0.0.1"
@@ -82,10 +100,20 @@ class ServerConfig:
     snapshot_interval_s: float = 30.0
     t_min: float = 1e-3
     rel_tol: float = 1e-6
+    metrics_port: int | None = None
+    slow_request_s: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ValueError(
+                f"metrics port must be in [0, 65535], got {self.metrics_port}"
+            )
+        if self.slow_request_s <= 0:
+            raise ValueError(
+                f"slow-request threshold must be positive, got {self.slow_request_s}"
+            )
         if self.batch_window_s < 0:
             raise ValueError(f"batch window must be >= 0, got {self.batch_window_s}")
         if self.max_batch < 1:
@@ -118,14 +146,19 @@ class ScheduleServer:
             clock=self._now,
         )
         self.port: int | None = None if self.config.port == 0 else self.config.port
+        self.metrics_port: int | None = None
         self.requests = 0
         self.errors = 0
         self.warm_loaded_entries = 0
+        self.op_counts: dict[str, int] = {}
         self._server: asyncio.AbstractServer | None = None
         self._stop: asyncio.Event | None = None
         self._snapshot_task: asyncio.Task[None] | None = None
         self._snapshot_lock = asyncio.Lock()
         self._connections: dict[asyncio.Task[None], asyncio.StreamWriter] = {}
+        self._metrics_endpoint: MetricsHttpEndpoint | None = None
+        self._owns_metrics = False
+        self._last_snapshot_wall: float | None = None
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -178,7 +211,9 @@ class ScheduleServer:
         uses :meth:`_snapshot_async` so the disk write happens off-loop.
         """
         target = self._snapshot_target(path)
-        return save_cache_snapshot(target)
+        entries = save_cache_snapshot(target)
+        self._last_snapshot_wall = time.perf_counter()
+        return entries
 
     def _snapshot_target(self, path: str | None) -> str:
         target = path if path is not None else self.config.snapshot_path
@@ -206,6 +241,7 @@ class ScheduleServer:
             except SnapshotError:
                 record_snapshot_error()
                 raise
+        self._last_snapshot_wall = time.perf_counter()
         record_snapshot_saved(entries)
         return entries
 
@@ -222,6 +258,10 @@ class ScheduleServer:
         if reg is not None:
             reg.inc("serve.requests")
         op = str(request.get("op"))
+        op_key = op if op in _OP_COUNTERS else "invalid"
+        self.op_counts[op_key] = self.op_counts.get(op_key, 0) + 1
+        pool = request.get("pool")
+        tenant = pool if isinstance(pool, str) and pool else "-"
         try:
             response = await self._dispatch(op, request, request_id)
         except ProtocolError as exc:
@@ -232,35 +272,66 @@ class ScheduleServer:
             # solver/domain failures: the query was structurally fine but
             # unanswerable (e.g. age beyond the distribution's support)
             response = error_response(request_id, "solver-error", str(exc))
-        if not response.get("ok", False):
+        ok = bool(response.get("ok", False))
+        if not ok:
             self.errors += 1
             if reg is not None:
                 reg.inc("serve.errors")
+        elapsed = self._now() - started
         if reg is not None:
-            reg.observe("serve.request_seconds", self._now() - started)
+            reg.observe("serve.request_seconds", elapsed)
             reg.inc(f"serve.op.{op}" if op in _OP_COUNTERS else "serve.op.invalid")
+            labels = {"tenant": tenant, "op": op_key}
+            reg.inc("serve.tenant.requests", labels=labels)
+            if not ok:
+                reg.inc("serve.tenant.errors", labels=labels)
+            reg.observe("serve.tenant.request_seconds", elapsed, labels=labels)
+        if elapsed > self.config.slow_request_s:
+            if reg is not None:
+                reg.inc("serve.requests.slow")
+            _logger.warning(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "slow_request",
+                        "op": op_key,
+                        "tenant": tenant,
+                        "elapsed_s": round(elapsed, 6),
+                        "threshold_s": self.config.slow_request_s,
+                        "ok": ok,
+                    },
+                    sort_keys=True,
+                ),
+            )
         if trace is not None:
             trace.span(
                 "serve",
                 "request",
                 started,
-                self._now() - started,
-                args={"op": op, "ok": bool(response.get("ok", False))},
+                elapsed,
+                args={"op": op, "ok": ok},
             )
         return response
 
     async def handle_line(self, line: str) -> dict[str, Any]:
         """Parse one request line and answer it (stdio / test helper)."""
+        reg = _metrics()
+        parse0 = time.perf_counter()
         try:
             request = parse_request(line)
         except ProtocolError as exc:
             self.requests += 1
             self.errors += 1
-            reg = _metrics()
+            self.op_counts["invalid"] = self.op_counts.get("invalid", 0) + 1
             if reg is not None:
+                reg.observe(
+                    "serve.lifecycle.parse_seconds", time.perf_counter() - parse0
+                )
                 reg.inc("serve.requests")
                 reg.inc("serve.errors")
             return error_response(None, exc.code, exc.message)
+        if reg is not None:
+            reg.observe("serve.lifecycle.parse_seconds", time.perf_counter() - parse0)
         return await self.handle_request(request)
 
     async def _dispatch(
@@ -290,6 +361,17 @@ class ScheduleServer:
             )
         if op == "stats":
             return ok_response(request_id, stats=self.stats())
+        if op == "metrics":
+            reg = _metrics()
+            return ok_response(
+                request_id,
+                enabled=reg is not None,
+                metrics=reg.as_dict()
+                if reg is not None
+                else {"counters": {}, "gauges": {}, "histograms": {}},
+            )
+        if op == "health":
+            return ok_response(request_id, health=self.health())
         if op == "snapshot":
             path = request.get("path")
             if path is not None and not isinstance(path, str):
@@ -330,12 +412,14 @@ class ScheduleServer:
             entry = self.registry.get(self._pool_name(request))
             distribution = entry.distribution
             costs = costs_from_payload(request.get("costs"), entry.costs)
+            tenant = entry.name
         elif model is not None:
             try:
                 distribution = distribution_from_spec(model)
             except ValueError as exc:
                 raise ProtocolError("bad-model", str(exc)) from exc
             costs = costs_from_payload(request.get("costs"))
+            tenant = "-"
         else:
             raise ProtocolError(
                 "bad-request", "a solve needs a 'pool' name or an inline 'model'"
@@ -346,6 +430,7 @@ class ScheduleServer:
             age=float(age),
             t_min=self.config.t_min,
             rel_tol=self.config.rel_tol,
+            tenant=tenant,
         )
         result = await self.batcher.submit(query)
         return ok_response(request_id, result=interval_to_payload(result))
@@ -368,23 +453,56 @@ class ScheduleServer:
         cache = active_cache()
         cache_stats: dict[str, Any] = {"enabled": cache is not None}
         if cache is not None:
+            lookups = cache.hits + cache.misses
             cache_stats.update(
                 entries=len(cache),
                 capacity=cache.capacity,
                 hits=cache.hits,
                 misses=cache.misses,
                 evictions=cache.evictions,
+                hit_rate=cache.hits / lookups if lookups else None,
             )
+        batch = self.batcher.stats
         return {
             "schema": PROTOCOL_SCHEMA,
             "uptime_s": self._now(),
             "requests": self.requests,
             "errors": self.errors,
+            "ops": dict(sorted(self.op_counts.items())),
             "pools": len(self.registry),
-            "batch": self.batcher.stats.as_dict(),
+            "batch": batch.as_dict(),
+            "solves_per_request": batch.solves / batch.queries if batch.queries else None,
             "cache": cache_stats,
             "warm_loaded_entries": self.warm_loaded_entries,
         }
+
+    def health(self) -> dict[str, Any]:
+        """The daemon's readiness document (``health`` op and ``GET
+        /health`` body): liveness plus the signals an operator checks
+        first -- warm-load state, snapshot age, queue depth."""
+        snapshot_age = (
+            None
+            if self._last_snapshot_wall is None
+            else time.perf_counter() - self._last_snapshot_wall
+        )
+        return {
+            "status": "ok",
+            "schema": PROTOCOL_SCHEMA,
+            "uptime_s": self._now(),
+            "queue_depth": self.batcher.pending,
+            "pools": len(self.registry),
+            "warm_loaded_entries": self.warm_loaded_entries,
+            "snapshot_configured": self.config.snapshot_path is not None,
+            "snapshot_age_s": snapshot_age,
+            "requests": self.requests,
+            "errors": self.errors,
+            "metrics_enabled": _metrics() is not None,
+        }
+
+    def _render_prometheus(self) -> str:
+        """``GET /metrics`` body (empty exposition when disabled)."""
+        reg = _metrics()
+        return render_prometheus(reg) if reg is not None else ""
 
     # ------------------------------------------------------------------
     # transports
@@ -408,9 +526,15 @@ class ScheduleServer:
         async def respond(line: str) -> None:
             response = await self.handle_line(line)
             payload = (dumps(response) + "\n").encode()
+            respond0 = time.perf_counter()
             async with write_lock:
                 writer.write(payload)
                 await writer.drain()
+            if reg is not None:
+                reg.observe(
+                    "serve.lifecycle.respond_seconds",
+                    time.perf_counter() - respond0,
+                )
 
         try:
             while True:
@@ -449,6 +573,11 @@ class ScheduleServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._stop = asyncio.Event()
+        if self.config.metrics_port is not None and _metrics() is None:
+            # a scrape endpoint without a registry would expose nothing;
+            # enable one for the daemon's lifetime (released in stop())
+            _metrics_enable()
+            self._owns_metrics = True
         await self._warm_load_async()
         self._server = await asyncio.start_server(
             self.handle_connection,
@@ -459,6 +588,15 @@ class ScheduleServer:
         sockets = self._server.sockets
         if sockets:
             self.port = int(sockets[0].getsockname()[1])
+        if self.config.metrics_port is not None:
+            self._metrics_endpoint = MetricsHttpEndpoint(
+                host=self.config.host,
+                port=self.config.metrics_port,
+                render_metrics=self._render_prometheus,
+                render_health=self.health,
+            )
+            await self._metrics_endpoint.start()
+            self.metrics_port = self._metrics_endpoint.port
         if self.config.snapshot_path is not None:
             self._snapshot_task = asyncio.ensure_future(self._snapshot_loop())
 
@@ -504,6 +642,13 @@ class ScheduleServer:
                 await self._snapshot_async()
             except SnapshotError:
                 pass  # counted in serve.snapshot.errors; shutdown proceeds
+        if self._metrics_endpoint is not None:
+            await self._metrics_endpoint.stop()
+            self._metrics_endpoint = None
+            self.metrics_port = None
+        if self._owns_metrics:
+            _metrics_disable()
+            self._owns_metrics = False
         if self._stop is not None:
             self._stop.set()
 
@@ -546,5 +691,16 @@ class ScheduleServer:
 
 #: ops that get a per-op counter (anything else counts as invalid)
 _OP_COUNTERS = frozenset(
-    ("ping", "solve", "register", "unregister", "pools", "stats", "snapshot", "shutdown")
+    (
+        "ping",
+        "solve",
+        "register",
+        "unregister",
+        "pools",
+        "stats",
+        "metrics",
+        "health",
+        "snapshot",
+        "shutdown",
+    )
 )

@@ -1,0 +1,385 @@
+"""Long-haul soak harness for ``repro serve``: load + live sampling.
+
+``repro bench-serve --soak`` runs an in-process daemon under a
+continuous open-loop load for a configured duration while a sampler
+task scrapes it from the outside -- through the ``metrics``/``health``
+protocol ops *and* the ``--metrics-port`` HTTP endpoint (every HTTP
+body is pushed through :func:`~repro.obs.prometheus.parse_prometheus_text`,
+so an exposition-format regression fails the soak, not the scraper).
+Each sample lands in a time-series JSONL artifact::
+
+    {"schema": "repro.bench.soak/1", "kind": "header", "config": {...}}
+    {"kind": "sample", "t_s": 2.0, "rss_mb": ..., "queue_depth": ...,
+     "requests": ..., "errors": ..., "interval_latency_ms_mean": ...,
+     "tenant_solve_requests": {"campus-exp": ..., ...}}
+    ...
+    {"kind": "summary", "sent": ..., "errors": 0,
+     "conservation": {"exact": true, ...}, "drift": {...}}
+
+This is the CI-sized precursor to the ROADMAP's hours-long soak: the
+artifact's deterministic fields (schema, error count, **conservation**
+-- the per-tenant ``serve.tenant.requests{op=solve}`` counters must sum
+*exactly* to the load generator's sent count -- Prometheus parse
+failures) are gated by ``benchmarks/check_soak_regression.py``, and
+:func:`detect_drift` flags the leak shapes a soak exists to catch:
+monotonically climbing RSS, queue depth, or per-interval latency.
+
+All timing is sim-time-free wall clock (``time.perf_counter``); RSS
+comes from ``/proc/self/status`` read off-loop, so the sampler never
+blocks the event loop it is observing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.solver_cache import SolverCache, use_solver_cache
+from repro.obs.metrics import decode_series
+from repro.obs.prometheus import PrometheusParseError, parse_prometheus_text
+from repro.serve.bench import BenchConfig, build_queries, demo_registry, run_open_loop
+from repro.serve.protocol import dumps
+from repro.serve.server import ScheduleServer, ServerConfig
+
+__all__ = ["SOAK_SCHEMA", "SoakConfig", "detect_drift", "run_soak"]
+
+SOAK_SCHEMA = "repro.bench.soak/1"
+
+#: drift verdict thresholds: a signal drifts when its last-third mean
+#: exceeds its first-third mean by this factor AND most inter-sample
+#: deltas are increases (a spiky-but-stable signal fails the second
+#: test, a slow monotone leak passes both)
+_DRIFT_RATIO = 1.3
+_DRIFT_INCREASE_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Knobs of one soak run (defaults sized for the CI smoke job)."""
+
+    duration_s: float = 30.0
+    sample_every_s: float = 2.0
+    rate_qps: float = 300.0
+    seed: int = 2005
+    batch_window_s: float = 0.002
+    max_batch: int = 256
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+        if self.sample_every_s <= 0:
+            raise ValueError(
+                f"sample interval must be positive, got {self.sample_every_s}"
+            )
+        if self.sample_every_s > self.duration_s:
+            raise ValueError(
+                f"sample interval {self.sample_every_s} exceeds duration "
+                f"{self.duration_s}"
+            )
+        if self.rate_qps <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_qps}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "duration_s": self.duration_s,
+            "sample_every_s": self.sample_every_s,
+            "rate_qps": self.rate_qps,
+            "seed": self.seed,
+            "batch_window_s": self.batch_window_s,
+            "max_batch": self.max_batch,
+        }
+
+
+# ----------------------------------------------------------------------
+# sampling plumbing
+# ----------------------------------------------------------------------
+def _read_rss_mb() -> float | None:
+    """Resident set size in MB from ``/proc/self/status`` (Linux); the
+    soak reports ``None`` per sample where the file is unavailable."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:
+        return None
+    return None
+
+
+async def _protocol_request(
+    host: str, port: int, payload: dict[str, Any]
+) -> dict[str, Any]:
+    """One request over a fresh connection (the sampler's out-of-band
+    channel, so it never competes with the load connection's pipeline)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((dumps(payload) + "\n").encode())
+        await writer.drain()
+        raw = await reader.readline()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    if not raw:
+        raise ConnectionError("server closed the sampler connection")
+    data = json.loads(raw)
+    if not isinstance(data, dict) or not data.get("ok", False):
+        raise ConnectionError(f"sampler request failed: {data!r}")
+    return data
+
+
+async def _http_get(host: str, port: int, path: str) -> tuple[int, str]:
+    """Minimal HTTP GET against the metrics endpoint; returns
+    (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, body = raw.decode().partition("\r\n\r\n")
+    status_line = head.split("\r\n", 1)[0]
+    return int(status_line.split()[1]), body
+
+
+def _tenant_solve_counts(metrics: dict[str, Any]) -> dict[str, float]:
+    """Per-tenant solve-request counts from a metrics snapshot.
+
+    Filters the labeled ``serve.tenant.requests`` counters to
+    ``op=solve`` so the sampler's own ``metrics``/``health`` traffic
+    never pollutes the conservation check.
+    """
+    counts: dict[str, float] = {}
+    for key, value in metrics.get("counters", {}).items():
+        base, labels = decode_series(key)
+        if base == "serve.tenant.requests" and labels.get("op") == "solve":
+            tenant = labels.get("tenant", "-")
+            counts[tenant] = counts.get(tenant, 0.0) + float(value)
+    return counts
+
+
+# ----------------------------------------------------------------------
+# drift detection
+# ----------------------------------------------------------------------
+def detect_drift(values: list[float], *, min_last_mean: float = 0.0) -> dict[str, Any]:
+    """Flag a monotonically climbing signal across soak samples.
+
+    Compares the first-third mean against the last-third mean and
+    counts the fraction of inter-sample deltas that are increases; the
+    signal *drifts* when the last third is more than ``_DRIFT_RATIO``
+    times the first **and** at least ``_DRIFT_INCREASE_FRACTION`` of
+    steps went up.  Too few samples (< 6) is an automatic non-verdict.
+
+    ``min_last_mean`` suppresses the verdict while the signal's
+    last-third mean stays below an absolute floor: small-integer
+    signals like queue depth bounce between 0 and 2 on a short run,
+    and a 0.5 -> 2.0 "ratio of 4" there is noise, not a leak (a real
+    backlog grows without bound and clears any floor).
+    """
+    clean = [float(v) for v in values if v is not None and math.isfinite(float(v))]
+    if len(clean) < 6:
+        return {
+            "samples": len(clean),
+            "first_third_mean": None,
+            "last_third_mean": None,
+            "ratio": None,
+            "increase_fraction": None,
+            "drifting": False,
+        }
+    third = len(clean) // 3
+    first = float(np.mean(clean[:third]))
+    last = float(np.mean(clean[-third:]))
+    deltas = np.diff(clean)
+    increase_fraction = float(np.mean(deltas > 0)) if len(deltas) else 0.0
+    ratio = last / first if first > 0 else (math.inf if last > 0 else 1.0)
+    return {
+        "samples": len(clean),
+        "first_third_mean": first,
+        "last_third_mean": last,
+        "ratio": ratio,
+        "increase_fraction": increase_fraction,
+        "drifting": bool(
+            last >= min_last_mean
+            and ratio > _DRIFT_RATIO
+            and increase_fraction >= _DRIFT_INCREASE_FRACTION
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# the soak run
+# ----------------------------------------------------------------------
+async def _soak(config: SoakConfig) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Run the daemon + load + sampler; returns (samples, summary)."""
+    server = ScheduleServer(
+        ServerConfig(
+            batch_window_s=config.batch_window_s,
+            max_batch=config.max_batch,
+            metrics_port=0,
+        ),
+        registry=demo_registry(),
+    )
+    await server.start()
+    assert server.port is not None and server.metrics_port is not None
+    port, metrics_port = server.port, server.metrics_port
+    host = server.config.host
+    n = max(1, int(round(config.rate_qps * config.duration_s)))
+    bench_config = BenchConfig(
+        open_loop_requests=n,
+        rate_qps=config.rate_qps,
+        seed=config.seed,
+        batch_window_s=config.batch_window_s,
+        max_batch=config.max_batch,
+    )
+    queries = build_queries(bench_config, n, phase=3)
+
+    samples: list[dict[str, Any]] = []
+    prom_parse_failures = 0
+    epoch = time.perf_counter()
+    latencies_so_far = 0
+    shared_latencies: list[float] = []
+
+    async def sample_once() -> None:
+        nonlocal prom_parse_failures, latencies_so_far
+        t_s = time.perf_counter() - epoch
+        health = (await _protocol_request(host, port, {"op": "health"}))["health"]
+        metrics_body = await _protocol_request(host, port, {"op": "metrics"})
+        status, body = await _http_get(host, metrics_port, "/metrics")
+        try:
+            if status != 200:
+                raise PrometheusParseError(f"HTTP {status} from /metrics")
+            parse_prometheus_text(body)
+        except PrometheusParseError:
+            prom_parse_failures += 1
+        rss_mb = await asyncio.to_thread(_read_rss_mb)
+        seen = list(shared_latencies)
+        new_count = len(seen) - latencies_so_far
+        new_sum = sum(seen[latencies_so_far:])
+        latencies_so_far = len(seen)
+        samples.append(
+            {
+                "kind": "sample",
+                "t_s": round(t_s, 3),
+                "rss_mb": rss_mb,
+                "queue_depth": health["queue_depth"],
+                "requests": health["requests"],
+                "errors": health["errors"],
+                "interval_latency_ms_mean": (new_sum / new_count * 1e3)
+                if new_count
+                else None,
+                "interval_completed": new_count,
+                "tenant_solve_requests": _tenant_solve_counts(
+                    metrics_body["metrics"]
+                ),
+            }
+        )
+
+    stop_sampling = asyncio.Event()
+
+    async def sampler() -> None:
+        while not stop_sampling.is_set():
+            try:
+                await asyncio.wait_for(
+                    stop_sampling.wait(), timeout=config.sample_every_s
+                )
+            except TimeoutError:
+                pass
+            if stop_sampling.is_set():
+                break
+            await sample_once()
+
+    sampler_task = asyncio.ensure_future(sampler())
+    try:
+        latencies, wall, errors = await run_open_loop(
+            host,
+            port,
+            queries,
+            config.rate_qps,
+            config.seed,
+            latencies=shared_latencies,
+        )
+    finally:
+        stop_sampling.set()
+        await sampler_task
+
+    # the post-load sample is the conservation measurement: every
+    # response has been received, so the counters are settled
+    await sample_once()
+    final_counts = samples[-1]["tenant_solve_requests"]
+    per_tenant_total = sum(final_counts.values())
+    await server.stop()
+
+    drift = {
+        "rss_mb": detect_drift([s["rss_mb"] for s in samples]),
+        # a handful of queued queries is the batching window doing its
+        # job; only a sustained double-digit backlog can be a leak
+        "queue_depth": detect_drift(
+            [float(s["queue_depth"]) for s in samples], min_last_mean=10.0
+        ),
+        "interval_latency_ms_mean": detect_drift(
+            [s["interval_latency_ms_mean"] for s in samples]
+        ),
+    }
+    lat = np.asarray(latencies, dtype=np.float64) * 1e3
+    summary = {
+        "kind": "summary",
+        "sent": n,
+        "completed": len(latencies),
+        "errors": errors,
+        "wall_s": wall,
+        "qps_offered": config.rate_qps,
+        "qps_achieved": len(latencies) / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "mean": float(np.mean(lat)) if len(lat) else None,
+            "p50": float(np.percentile(lat, 50)) if len(lat) else None,
+            "p99": float(np.percentile(lat, 99)) if len(lat) else None,
+        },
+        "samples": len(samples),
+        "prom_parse_failures": prom_parse_failures,
+        "conservation": {
+            "sent": n,
+            "per_tenant_total": per_tenant_total,
+            "per_tenant": final_counts,
+            "exact": per_tenant_total == n,
+        },
+        "drift": drift,
+    }
+    return samples, summary
+
+
+def run_soak(config: SoakConfig, out_path: str | None = None) -> dict[str, Any]:
+    """Run the soak; optionally write the JSONL artifact.
+
+    Returns the summary record.  The artifact is written *after* the
+    run from in-memory records (one synchronous write; the event loop
+    never does file I/O).
+    """
+    samples, summary = asyncio.run(_soak_with_fresh_cache(config))
+    if out_path is not None:
+        header = {
+            "schema": SOAK_SCHEMA,
+            "kind": "header",
+            "config": config.as_dict(),
+        }
+        lines = [header, *samples, summary]
+        with open(out_path, "w") as fh:
+            for record in lines:
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+    return summary
+
+
+async def _soak_with_fresh_cache(
+    config: SoakConfig,
+) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    with use_solver_cache(SolverCache()):
+        return await _soak(config)

@@ -1,18 +1,34 @@
 """Tests for the metrics registry and its process-global switch."""
 
+from concurrent.futures import ProcessPoolExecutor
+
 import pytest
 
 from repro.obs.metrics import (
     BUCKET_BOUNDS,
+    DEFAULT_LABEL_LIMIT,
+    OVERFLOW_COUNTER,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     active,
+    decode_series,
     disable,
     enable,
+    encode_series,
     use,
 )
+
+
+def _worker_snapshot(worker_id: int) -> dict:
+    """Simulate one sweep worker: record labeled metrics, return the
+    snapshot (exactly what the ProcessPoolExecutor path ships back)."""
+    reg = MetricsRegistry()
+    reg.inc("serve.tenant.requests", 3.0, labels={"tenant": f"w{worker_id}", "op": "solve"})
+    reg.inc("sim.replays", 2.0)
+    reg.observe("sim.replay_seconds", 0.1 * (worker_id + 1), labels={"tenant": f"w{worker_id}"})
+    return reg.as_dict()
 
 
 class TestInstruments:
@@ -191,6 +207,153 @@ class TestRegistry:
         b.merge(a)
         assert b.histogram("h").count == 0
         assert b.histogram("h").min > b.histogram("h").max  # still the identity
+
+
+class TestSeriesEncoding:
+    def test_encode_sorts_keys(self):
+        assert (
+            encode_series("m", {"op": "solve", "tenant": "campus"})
+            == "m{op=solve,tenant=campus}"
+        )
+
+    def test_encode_sanitises_structural_characters(self):
+        key = encode_series("m", {"tenant": 'a{b}=c,d"e\\f'})
+        assert key == "m{tenant=a_b__c_d_e_f}"
+        # the sanitised key must survive a round trip
+        name, labels = decode_series(key)
+        assert name == "m" and labels == {"tenant": "a_b__c_d_e_f"}
+
+    def test_encode_rejects_non_identifier_keys(self):
+        with pytest.raises(ValueError, match="identifier"):
+            encode_series("m", {"bad key": "x"})
+
+    def test_decode_unlabeled_key(self):
+        assert decode_series("sim.replays") == ("sim.replays", {})
+
+    def test_decode_round_trip(self):
+        key = encode_series("serve.tenant.requests", {"tenant": "campus", "op": "solve"})
+        name, labels = decode_series(key)
+        assert name == "serve.tenant.requests"
+        assert labels == {"tenant": "campus", "op": "solve"}
+
+    def test_decode_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            decode_series("m{unterminated")
+        with pytest.raises(ValueError, match="malformed"):
+            decode_series("m{novalue}")
+
+
+class TestLabeledSeries:
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("r", labels={"tenant": "a"})
+        reg.inc("r", 2.0, labels={"tenant": "b"})
+        reg.inc("r", 4.0)
+        counters = reg.as_dict()["counters"]
+        assert counters["r{tenant=a}"] == 1.0
+        assert counters["r{tenant=b}"] == 2.0
+        assert counters["r"] == 4.0
+
+    def test_labeled_gauges_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 5.0, labels={"pool": "x"})
+        reg.observe("h", 0.25, labels={"pool": "x"})
+        d = reg.as_dict()
+        assert d["gauges"]["g{pool=x}"] == 5.0
+        assert d["histograms"]["h{pool=x}"]["count"] == 1
+
+    def test_cardinality_cap_folds_to_base_series(self):
+        reg = MetricsRegistry(label_limit=2)
+        reg.inc("r", labels={"t": "a"})
+        reg.inc("r", labels={"t": "b"})
+        reg.inc("r", 5.0, labels={"t": "c"})  # over the cap: folds to base
+        counters = reg.as_dict()["counters"]
+        assert counters["r{t=a}"] == 1.0
+        assert counters["r{t=b}"] == 1.0
+        assert "r{t=c}" not in counters
+        assert counters["r"] == 5.0
+        assert counters[OVERFLOW_COUNTER] == 1.0
+
+    def test_cap_readmits_known_series(self):
+        reg = MetricsRegistry(label_limit=1)
+        reg.inc("r", labels={"t": "a"})
+        reg.inc("r", labels={"t": "a"})  # already admitted: no overflow
+        counters = reg.as_dict()["counters"]
+        assert counters["r{t=a}"] == 2.0
+        assert OVERFLOW_COUNTER not in counters
+
+    def test_cap_is_per_base_name(self):
+        reg = MetricsRegistry(label_limit=1)
+        reg.inc("r", labels={"t": "a"})
+        reg.inc("s", labels={"t": "b"})  # different base name: own budget
+        counters = reg.as_dict()["counters"]
+        assert counters["r{t=a}"] == 1.0
+        assert counters["s{t=b}"] == 1.0
+
+    def test_default_limit_is_bounded(self):
+        reg = MetricsRegistry()
+        for i in range(DEFAULT_LABEL_LIMIT + 10):
+            reg.inc("r", labels={"t": f"v{i}"})
+        counters = reg.as_dict()["counters"]
+        labeled = [k for k in counters if k.startswith("r{")]
+        assert len(labeled) == DEFAULT_LABEL_LIMIT
+        assert counters["r"] == 10.0
+        assert counters[OVERFLOW_COUNTER] == 10.0
+
+    def test_labels_survive_merge_dict(self):
+        a = MetricsRegistry()
+        a.inc("r", 2.0, labels={"tenant": "campus", "op": "solve"})
+        a.observe("h", 1.0, labels={"tenant": "campus"})
+        b = MetricsRegistry()
+        b.inc("r", 1.0, labels={"tenant": "campus", "op": "solve"})
+        b.merge_dict(a.as_dict())
+        d = b.as_dict()
+        assert d["counters"]["r{op=solve,tenant=campus}"] == 3.0
+        assert d["histograms"]["h{tenant=campus}"]["count"] == 1
+
+    def test_cap_applies_on_merge_path(self):
+        donor = MetricsRegistry()  # default (large) limit
+        for i in range(5):
+            donor.inc("r", labels={"t": f"v{i}"})
+        tight = MetricsRegistry(label_limit=2)
+        tight.merge_dict(donor.as_dict())
+        counters = tight.as_dict()["counters"]
+        labeled = [k for k in counters if k.startswith("r{")]
+        assert len(labeled) == 2
+        assert counters["r"] == 3.0  # the clipped series folded into the base
+        assert counters[OVERFLOW_COUNTER] == 3.0
+
+    def test_labeled_timer(self):
+        reg = MetricsRegistry()
+        with reg.timer("t", labels={"tenant": "x"}):
+            pass
+        assert reg.as_dict()["histograms"]["t{tenant=x}"]["count"] == 1
+
+
+class TestWorkerSnapshotMerge:
+    """The sweep path: workers record into private registries, the
+    parent merges their ``as_dict`` snapshots.  Labels must survive."""
+
+    def test_labels_survive_process_pool_merge(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            snapshots = list(pool.map(_worker_snapshot, range(3)))
+        parent = MetricsRegistry()
+        for snap in snapshots:
+            parent.merge_dict(snap)
+        d = parent.as_dict()
+        for i in range(3):
+            assert d["counters"][f"serve.tenant.requests{{op=solve,tenant=w{i}}}"] == 3.0
+            assert d["histograms"][f"sim.replay_seconds{{tenant=w{i}}}"]["count"] == 1
+        assert d["counters"]["sim.replays"] == 6.0
+
+    def test_repeated_merge_accumulates(self):
+        snap = _worker_snapshot(0)
+        parent = MetricsRegistry()
+        parent.merge_dict(snap)
+        parent.merge_dict(snap)
+        d = parent.as_dict()
+        assert d["counters"]["serve.tenant.requests{op=solve,tenant=w0}"] == 6.0
+        assert d["histograms"]["sim.replay_seconds{tenant=w0}"]["count"] == 2
 
 
 class TestGlobalSwitch:

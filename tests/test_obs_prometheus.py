@@ -1,0 +1,144 @@
+"""Tests for the Prometheus text exposition renderer and parser."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+from repro.obs.prometheus import (
+    PrometheusParseError,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.inc("serve.requests", 7.0)
+    reg.inc("serve.tenant.requests", 3.0, labels={"tenant": "campus", "op": "solve"})
+    reg.set_gauge("live.machines", 8.0)
+    for v in (0.001, 0.01, 0.5):
+        reg.observe("serve.request_seconds", v)
+    return reg
+
+
+def _samples_by_name(samples):
+    out = {}
+    for name, labels, value in samples:
+        out.setdefault(name, []).append((labels, value))
+    return out
+
+
+class TestRender:
+    def test_round_trip_parses(self):
+        text = render_prometheus(_registry())
+        samples = parse_prometheus_text(text)
+        assert samples  # the renderer's own output must satisfy the parser
+
+    def test_name_mangling_and_suffixes(self):
+        text = render_prometheus(_registry())
+        assert "repro_serve_requests_total 7" in text
+        assert "repro_live_machines 8" in text
+        assert "# TYPE repro_serve_request_seconds histogram" in text
+
+    def test_counter_labels_escaped_and_sorted(self):
+        by_name = _samples_by_name(parse_prometheus_text(render_prometheus(_registry())))
+        labeled = [
+            (labels, value)
+            for labels, value in by_name["repro_serve_tenant_requests_total"]
+            if labels
+        ]
+        assert labeled == [({"op": "solve", "tenant": "campus"}, 3.0)]
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        # metrics-layer sanitisation already strips structural chars, but
+        # the renderer must escape whatever reaches it
+        reg.inc("m", labels={"tenant": "a b"})
+        text = render_prometheus(reg)
+        assert 'repro_m_total{tenant="a b"} 1' in text
+        samples = parse_prometheus_text(text)
+        assert ("repro_m_total", {"tenant": "a b"}, 1.0) in samples
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        for v in (0.001, 0.01, 10.0):
+            reg.observe("h", v)
+        by_name = _samples_by_name(parse_prometheus_text(render_prometheus(reg)))
+        buckets = by_name["repro_h_bucket"]
+        assert len(buckets) == len(BUCKET_BOUNDS) + 1
+        counts = [value for _labels, value in buckets]
+        assert counts == sorted(counts)  # cumulative
+        inf_bucket = [v for labels, v in buckets if labels["le"] == "+Inf"]
+        assert inf_bucket == [3.0]
+        assert by_name["repro_h_count"] == [({}, 3.0)]
+        assert by_name["repro_h_sum"][0][1] == pytest.approx(10.011)
+
+    def test_labeled_histogram_keeps_labels_on_every_sample(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 0.5, labels={"tenant": "x"})
+        samples = parse_prometheus_text(render_prometheus(reg))
+        for name, labels, _value in samples:
+            if name.startswith("repro_h"):
+                assert labels.get("tenant") == "x"
+
+    def test_custom_namespace(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        assert "other_n_total 1" in render_prometheus(reg, namespace="other")
+
+    def test_empty_registry_renders_empty_body(self):
+        assert parse_prometheus_text(render_prometheus(MetricsRegistry())) == []
+
+    def test_value_formatting(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", math.inf)
+        text = render_prometheus(reg)
+        assert "repro_g +Inf" in text
+        (_, _, value), = parse_prometheus_text(text)
+        assert value == math.inf
+
+
+class TestParseRejections:
+    def test_rejects_garbage_line(self):
+        with pytest.raises(PrometheusParseError, match="not a valid sample"):
+            parse_prometheus_text("# TYPE a counter\nthis is not exposition\n")
+
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(PrometheusParseError, match="no preceding TYPE"):
+            parse_prometheus_text("untyped_metric 1\n")
+
+    def test_rejects_duplicate_type(self):
+        with pytest.raises(PrometheusParseError, match="duplicate TYPE"):
+            parse_prometheus_text("# TYPE a counter\n# TYPE a counter\na 1\n")
+
+    def test_rejects_malformed_label_pair(self):
+        with pytest.raises(PrometheusParseError, match="malformed label"):
+            parse_prometheus_text('# TYPE a counter\na{tenant=unquoted} 1\n')
+
+    def test_rejects_unknown_comment(self):
+        with pytest.raises(PrometheusParseError, match="unknown comment"):
+            parse_prometheus_text("# SOMETHING a counter\n")
+
+    def test_rejects_non_cumulative_buckets(self):
+        body = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(PrometheusParseError, match="not cumulative"):
+            parse_prometheus_text(body)
+
+    def test_accepts_cumulative_buckets_per_label_set(self):
+        body = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1",tenant="a"} 5\n'
+            'h_bucket{le="1",tenant="a"} 5\n'
+            'h_bucket{le="0.1",tenant="b"} 1\n'  # new label set: fresh cumulation
+            'h_bucket{le="1",tenant="b"} 2\n'
+        )
+        samples = parse_prometheus_text(body)
+        assert len(samples) == 4

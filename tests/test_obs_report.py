@@ -11,6 +11,7 @@ from repro.obs.metrics import MetricsRegistry, disable
 from repro.obs.report import (
     SCHEMA,
     SCHEMA_V1,
+    SCHEMA_V2,
     build_report,
     diff_reports,
     dumps_report,
@@ -76,14 +77,21 @@ class TestReportRoundTrip:
 
 
 class TestSchemaVersions:
-    """Schema /2 must load, and so must legacy /1 documents."""
+    """Schema /3 must load, and so must legacy /2 and /1 documents."""
 
-    def test_current_schema_is_v2(self):
-        assert SCHEMA == "repro.obs.report/2"
+    def test_current_schema_is_v3(self):
+        assert SCHEMA == "repro.obs.report/3"
         report = build_report(_registry(), command="x")
         assert report["schema"] == SCHEMA
         hist = report["metrics"]["histograms"]["sim.replay_seconds"]
         assert "buckets" in hist and "p50" in hist and "p95" in hist and "p99" in hist
+
+    def test_v3_report_carries_labeled_series(self):
+        reg = _registry()
+        reg.inc("serve.tenant.requests", labels={"tenant": "campus", "op": "solve"})
+        report = build_report(reg, command="x")
+        counters = report["metrics"]["counters"]
+        assert counters["serve.tenant.requests{op=solve,tenant=campus}"] == 1.0
 
     def test_load_accepts_v1_report(self, tmp_path):
         v1 = {
@@ -112,9 +120,30 @@ class TestSchemaVersions:
         assert "sim.replay_seconds" in render_report(loaded)
 
     def test_load_accepts_v2_report(self, tmp_path):
+        report = build_report(_registry(), command="x")
+        report["schema"] = SCHEMA_V2
         path = tmp_path / "v2.json"
+        write_report(str(path), report)
+        assert load_report(str(path))["schema"] == SCHEMA_V2
+
+    def test_load_accepts_v3_report(self, tmp_path):
+        path = tmp_path / "v3.json"
         write_report(str(path), build_report(_registry(), command="x"))
         assert load_report(str(path))["schema"] == SCHEMA
+
+    def test_v2_to_v3_round_trip(self, tmp_path):
+        """A /2 document loads, its metrics merge into a live registry,
+        and the re-built report comes out as /3."""
+        v2 = build_report(_registry(), command="x")
+        v2["schema"] = SCHEMA_V2
+        path = tmp_path / "v2.json"
+        write_report(str(path), v2)
+        loaded = load_report(str(path))
+        reg = MetricsRegistry()
+        reg.merge_dict(loaded["metrics"])
+        rebuilt = build_report(reg, command="x")
+        assert rebuilt["schema"] == SCHEMA
+        assert rebuilt["metrics"]["counters"] == v2["metrics"]["counters"]
 
     def test_render_v2_shows_percentiles(self):
         text = render_report(build_report(_registry(), command="x"))

@@ -75,6 +75,29 @@ class TestSummaries:
         assert lat["max"] == pytest.approx(4.0)
         assert lat["mean"] == pytest.approx(2.5)
 
+    def test_errors_default_to_zero(self):
+        summary = summarize_latencies([0.001, 0.002], 0.1)
+        assert summary["errors"] == 0
+        assert summary["error_rate"] == 0.0
+
+    def test_error_count_and_rate(self):
+        summary = summarize_latencies([0.001, 0.002, 0.003, 0.004], 0.5, errors=1)
+        assert summary["errors"] == 1
+        assert summary["error_rate"] == pytest.approx(0.25)
+
+
+
+class TestOpenLoopErrorsFailLoudly:
+    def test_run_bench_raises_on_open_loop_errors(self, tmp_path, monkeypatch):
+        import repro.serve.bench as bench_mod
+
+        async def broken_open_loop(*args, **kwargs):
+            return [0.001] * 5, 0.01, 2  # two failed responses
+
+        monkeypatch.setattr(bench_mod, "run_open_loop", broken_open_loop)
+        with pytest.raises(RuntimeError, match="2 failed request"):
+            run_bench(SMALL, str(tmp_path / "snap.json"))
+
 
 class TestFullRun:
     def test_small_artifact_end_to_end(self, tmp_path):

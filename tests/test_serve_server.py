@@ -193,6 +193,224 @@ class TestDispatch:
         assert server.errors == 1
 
 
+class TestTelemetryOps:
+    def test_metrics_op_disabled(self):
+        response = _ask(_server(), {"op": "metrics", "id": 1})
+        assert response["ok"] is True
+        assert response["enabled"] is False
+        assert response["metrics"] == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_metrics_op_returns_live_snapshot(self):
+        with use_solver_cache(SolverCache()), use_metrics():
+            server = _server()
+            _ask(server, {"op": "solve", "pool": "campus-exp", "age": 0.0})
+            response = _ask(server, {"op": "metrics", "id": 2})
+        assert response["enabled"] is True
+        counters = response["metrics"]["counters"]
+        assert counters["serve.tenant.requests{op=solve,tenant=campus-exp}"] == 1.0
+
+    def test_health_op(self):
+        with use_solver_cache(SolverCache()):
+            server = _server()
+            _ask(server, {"op": "solve", "pool": "campus-exp", "age": 0.0})
+            response = _ask(server, {"op": "health", "id": 3})
+        health = response["health"]
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0.0
+        assert health["queue_depth"] == 0
+        assert health["pools"] == 3
+        assert health["requests"] == 2  # the health op itself counts
+        assert health["errors"] == 0
+        assert health["snapshot_configured"] is False
+        assert health["snapshot_age_s"] is None
+
+    def test_stats_derived_fields(self):
+        with use_solver_cache(SolverCache()):
+            server = _server()
+            _ask(server, {"op": "solve", "pool": "campus-exp", "age": 0.0})
+            _ask(server, {"op": "solve", "pool": "campus-exp", "age": 0.0})  # cache hit
+            _ask(server, {"op": "ping"})
+            response = _ask(server, {"op": "stats", "id": 4})
+        stats = response["stats"]
+        assert stats["ops"] == {"ping": 1, "solve": 2, "stats": 1}
+        assert stats["cache"]["hit_rate"] == pytest.approx(0.5)
+        # sequential requests never share a batch: one dispatch per query
+        assert stats["solves_per_request"] == pytest.approx(1.0)
+
+    def test_stats_derived_fields_absent_without_traffic(self):
+        with use_solver_cache(None):
+            stats = _ask(_server(), {"op": "stats"})["stats"]
+        assert stats["solves_per_request"] is None
+        assert stats["cache"]["enabled"] is False
+
+    def test_invalid_op_counted(self):
+        server = _server()
+        _ask(server, {"op": "frobnicate"})
+        assert server.op_counts["invalid"] == 1
+
+    def test_tenant_and_op_labels(self):
+        with use_solver_cache(SolverCache()), use_metrics() as reg:
+            server = _server()
+            _ask(server, {"op": "solve", "pool": "campus-exp", "age": 0.0})
+            _ask(server, {"op": "solve", "pool": "campus-weibull", "age": 0.0})
+            _ask(server, {"op": "solve", "pool": "nope", "age": 0.0})  # error
+            _ask(server, {"op": "ping"})
+        counters = reg.as_dict()["counters"]
+        assert counters["serve.tenant.requests{op=solve,tenant=campus-exp}"] == 1.0
+        assert counters["serve.tenant.requests{op=solve,tenant=campus-weibull}"] == 1.0
+        assert counters["serve.tenant.requests{op=solve,tenant=nope}"] == 1.0
+        assert counters["serve.tenant.errors{op=solve,tenant=nope}"] == 1.0
+        assert counters["serve.tenant.requests{op=ping,tenant=-}"] == 1.0
+        hists = reg.as_dict()["histograms"]
+        assert hists["serve.tenant.request_seconds{op=solve,tenant=campus-exp}"]["count"] == 1
+
+    def test_lifecycle_histograms_and_cache_attribution(self):
+        with use_solver_cache(SolverCache()), use_metrics() as reg:
+            server = _server()
+            _ask(server, {"op": "solve", "pool": "campus-exp", "age": 0.0})
+            _ask(server, {"op": "solve", "pool": "campus-exp", "age": 0.0})
+        d = reg.as_dict()
+        for stage in ("queue_wait", "batch_group", "solve"):
+            assert d["histograms"][f"serve.lifecycle.{stage}_seconds"]["count"] >= 1
+        counters = d["counters"]
+        assert counters["serve.tenant.cache.misses{tenant=campus-exp}"] == 1.0
+        assert counters["serve.tenant.cache.hits{tenant=campus-exp}"] == 1.0
+
+    def test_registry_actions_labeled(self):
+        with use_metrics() as reg:
+            server = _server()
+            request = {
+                "op": "register",
+                "pool": "lab",
+                "model": WEIBULL_SPEC,
+                "costs": COSTS_PAYLOAD,
+            }
+            _ask(server, request)
+            _ask(server, request)
+            _ask(server, {"op": "unregister", "pool": "lab"})
+        counters = reg.as_dict()["counters"]
+        assert counters["serve.tenant.registry{action=register,tenant=lab}"] == 1.0
+        assert counters["serve.tenant.registry{action=replace,tenant=lab}"] == 1.0
+        assert counters["serve.tenant.registry{action=unregister,tenant=lab}"] == 1.0
+
+    def test_slow_request_logged_and_counted(self, caplog):
+        with use_solver_cache(SolverCache()), use_metrics() as reg:
+            server = _server(slow_request_s=1e-9)  # everything is "slow"
+            with caplog.at_level("WARNING", logger="repro.serve"):
+                _ask(server, {"op": "solve", "pool": "campus-exp", "age": 0.0})
+        assert reg.as_dict()["counters"]["serve.requests.slow"] == 1.0
+        records = [r for r in caplog.records if r.name == "repro.serve"]
+        assert len(records) == 1
+        event = json.loads(records[0].getMessage())
+        assert event["event"] == "slow_request"
+        assert event["op"] == "solve"
+        assert event["tenant"] == "campus-exp"
+        assert event["ok"] is True
+        assert event["elapsed_s"] > event["threshold_s"]
+
+    def test_fast_request_not_logged(self, caplog):
+        with use_solver_cache(SolverCache()):
+            server = _server()  # default 1 s threshold
+            with caplog.at_level("WARNING", logger="repro.serve"):
+                _ask(server, {"op": "ping"})
+        assert not [r for r in caplog.records if r.name == "repro.serve"]
+
+    def test_slow_request_threshold_validated(self):
+        with pytest.raises(ValueError):
+            ServerConfig(slow_request_s=0.0)
+
+
+class TestMetricsHttpEndpoint:
+    @staticmethod
+    async def _http_get(port, path):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(f"GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n".encode())
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=5.0)
+        writer.close()
+        await writer.wait_closed()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        return status, body.decode()
+
+    def _run_with_endpoint(self, scenario):
+        async def session():
+            server = _server(metrics_port=0)
+            await server.start()
+            assert server.metrics_port is not None
+            try:
+                return await scenario(server)
+            finally:
+                await server.stop()
+
+        with use_solver_cache(SolverCache()):
+            return asyncio.run(session())
+
+    def test_metrics_endpoint_parses_as_prometheus(self):
+        from repro.obs.prometheus import parse_prometheus_text
+
+        async def scenario(server):
+            await server.handle_request({"op": "solve", "pool": "campus-exp", "age": 0.0})
+            return await self._http_get(server.metrics_port, "/metrics")
+
+        status, body = self._run_with_endpoint(scenario)
+        assert status == 200
+        samples = parse_prometheus_text(body)
+        names = {name for name, _labels, _value in samples}
+        assert "repro_serve_tenant_requests_total" in names
+
+    def test_health_endpoint_returns_json(self):
+        async def scenario(server):
+            return await self._http_get(server.metrics_port, "/health")
+
+        status, body = self._run_with_endpoint(scenario)
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["metrics_enabled"] is True
+
+    def test_unknown_path_404(self):
+        async def scenario(server):
+            return await self._http_get(server.metrics_port, "/nope")
+
+        status, _body = self._run_with_endpoint(scenario)
+        assert status == 404
+
+    def test_post_is_405(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.metrics_port
+            )
+            writer.write(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            await writer.wait_closed()
+            return int(raw.split(b" ", 2)[1])
+
+        assert self._run_with_endpoint(scenario) == 405
+
+    def test_owned_registry_uninstalled_on_stop(self):
+        from repro.obs.metrics import active
+
+        async def scenario(server):
+            return active() is not None
+
+        assert self._run_with_endpoint(scenario) is True
+        assert active() is None
+
+    def test_no_endpoint_without_metrics_port(self):
+        async def session():
+            server = _server()
+            await server.start()
+            port = server.metrics_port
+            await server.stop()
+            return port
+
+        with use_solver_cache(SolverCache()):
+            assert asyncio.run(session()) is None
+
+
 class TestSnapshotLifecycle:
     def test_snapshot_op_and_warm_load(self, tmp_path):
         path = str(tmp_path / "cache.json")
