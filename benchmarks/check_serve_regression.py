@@ -7,17 +7,32 @@ Usage::
 Compares the freshly generated ``BENCH_serve.json`` (CURRENT) against
 the committed one (BASELINE).  The gates are the *deterministic*
 headlines -- wall-clock QPS and latency vary with the machine, so they
-are printed for humans but never gated:
+are printed for humans but never gated -- plus one deliberately
+conservative scaling floor:
 
 * ``batching.solves_per_request`` may exceed the baseline by at most
   ``--max-regression`` (default 20%): the micro-batcher must keep
   collapsing duplicate in-flight queries into shared solves.
-* ``equivalence_max_rel_dev`` must stay <= 1e-12: the served T_opt is
-  bit-identical to a direct optimizer call, so a serving change that
-  silently perturbs results also fails.
+* ``equivalence_max_rel_dev`` must stay <= 1e-12 in the single-process
+  phases AND in every worker-sweep point: a served T_opt is
+  bit-identical to a direct optimizer call no matter which worker
+  answered, so a serving change that silently perturbs results fails.
 * ``warm_start.initial_hit_rate`` must strictly exceed
   ``cold_start.initial_hit_rate``: snapshot warm-loading has to keep
   paying for itself.
+* ``workers_sweep.scaling_4w_over_1w`` must clear ``--min-scaling``
+  (default 1.8): the SO_REUSEPORT pool has to deliver real concurrency.
+  The committed artifact shows ~2.5x+ on a quiet host; the CI floor is
+  lower because shared runners steal cycles, but a pool that stops
+  scaling at all still fails.
+* ``workers_sweep.warm_restart.initial_hit_rate`` must be >= the
+  single-worker ``warm_start.initial_hit_rate``: the merged snapshot
+  has to warm a rebooted pool at least as well as one process warms
+  itself, or the merge is dropping entries.
+
+The current artifact must be schema ``repro.bench.serve/2`` (with the
+``workers_sweep`` section); the baseline may still be ``/1`` so the
+first run after the schema bump can gate against an old baseline.
 
 Exit status: 0 on pass, 1 on regression, 2 on malformed input.
 """
@@ -28,15 +43,19 @@ import argparse
 import json
 import sys
 
-SCHEMA = "repro.bench.serve/1"
+SCHEMA = "repro.bench.serve/2"
+BASELINE_SCHEMAS = ("repro.bench.serve/1", SCHEMA)
 REL_BUDGET = 1e-12
 
 
-def _load(path: str) -> dict:
+def _load(path: str, schemas: tuple[str, ...]) -> dict:
     with open(path) as fh:
         data = json.load(fh)
-    if data.get("schema") != SCHEMA:
-        raise ValueError(f"{path}: not a serve bench artifact (schema={data.get('schema')!r})")
+    if data.get("schema") not in schemas:
+        raise ValueError(
+            f"{path}: not a serve bench artifact (schema={data.get('schema')!r}, "
+            f"want one of {schemas})"
+        )
     return data
 
 
@@ -50,12 +69,22 @@ def main(argv: list[str] | None = None) -> int:
         default=0.20,
         help="allowed fractional increase in solves per request (default 0.20)",
     )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=1.8,
+        help=(
+            "required 4-worker-over-1-worker QPS ratio in the workers sweep "
+            "(default 1.8; conservative for noisy CI hosts)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
-        baseline = _load(args.baseline)
-        current = _load(args.current)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        baseline = _load(args.baseline, BASELINE_SCHEMAS)
+        current = _load(args.current, (SCHEMA,))
+        sweep = current["workers_sweep"]
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -63,13 +92,16 @@ def main(argv: list[str] | None = None) -> int:
     curr_spr = float(current["batching"]["solves_per_request"])
     limit = base_spr * (1.0 + args.max_regression)
     rel_dev = float(current["equivalence_max_rel_dev"])
+    sweep_dev = float(sweep["equivalence_max_rel_dev"])
     cold_rate = float(current["cold_start"]["initial_hit_rate"])
     warm_rate = float(current["warm_start"]["initial_hit_rate"])
+    scaling = float(sweep["scaling_4w_over_1w"])
+    merged_warm_rate = float(sweep["warm_restart"]["initial_hit_rate"])
 
     closed = current["closed_loop"]
     open_loop = current["open_loop"]
     print(f"solves per request: baseline {base_spr:.4f}, current {curr_spr:.4f} (limit {limit:.4f})")
-    print(f"served-vs-direct max relative deviation: {rel_dev:.3e}")
+    print(f"served-vs-direct max relative deviation: {rel_dev:.3e} (sweep {sweep_dev:.3e})")
     print(f"initial cache-hit rate: cold {cold_rate:.3f} -> warm {warm_rate:.3f}")
     print(
         f"closed loop (informational): {closed['qps']:.0f} QPS, "
@@ -80,6 +112,15 @@ def main(argv: list[str] | None = None) -> int:
         f"achieved {open_loop['qps_achieved']:.0f} QPS, "
         f"p99 {open_loop['latency_ms']['p99']:.2f} ms"
     )
+    for point in sweep["points"]:
+        print(
+            f"workers sweep: {point['workers']}w -> {point['qps']:.0f} QPS "
+            f"({point['clients']} clients, p99 {point['latency_ms']['p99']:.2f} ms)"
+        )
+    print(
+        f"workers scaling: {scaling:.2f}x at 4 workers (floor {args.min_scaling:.2f}x), "
+        f"merged-boot warm hit rate {merged_warm_rate:.3f}"
+    )
 
     ok = True
     if curr_spr > limit:
@@ -89,10 +130,10 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         ok = False
-    if rel_dev > REL_BUDGET:
+    if max(rel_dev, sweep_dev) > REL_BUDGET:
         print(
-            f"REGRESSION: served T_opt deviates {rel_dev:.3e} from direct solves "
-            f"(budget {REL_BUDGET:.0e})",
+            f"REGRESSION: served T_opt deviates {max(rel_dev, sweep_dev):.3e} "
+            f"from direct solves (budget {REL_BUDGET:.0e})",
             file=sys.stderr,
         )
         ok = False
@@ -100,6 +141,21 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"REGRESSION: warm restart hit rate {warm_rate:.3f} does not beat "
             f"cold start {cold_rate:.3f} -- snapshot warm-loading is broken",
+            file=sys.stderr,
+        )
+        ok = False
+    if scaling < args.min_scaling:
+        print(
+            f"REGRESSION: 4-worker QPS only {scaling:.2f}x the 1-worker point "
+            f"(floor {args.min_scaling:.2f}x) -- the worker pool stopped scaling",
+            file=sys.stderr,
+        )
+        ok = False
+    if merged_warm_rate < warm_rate:
+        print(
+            f"REGRESSION: merged-snapshot boot hit rate {merged_warm_rate:.3f} "
+            f"below the single-worker warm rate {warm_rate:.3f} -- the "
+            "snapshot merge is dropping entries",
             file=sys.stderr,
         )
         ok = False

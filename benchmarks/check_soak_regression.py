@@ -13,8 +13,9 @@ printed for humans but never gated:
   and a summary record must be present;
 * ``errors`` must be 0 -- a soak that failed requests proved nothing;
 * **conservation**: the per-tenant ``serve.tenant.requests{op=solve}``
-  counters must sum *exactly* to the load generator's sent count (a
-  lost or double-counted request is an accounting bug, not noise);
+  counters plus any backpressure rejections must sum *exactly* to the
+  load generator's sent count (a lost or double-counted request is an
+  accounting bug, not noise);
 * ``prom_parse_failures`` must be 0: every mid-run scrape of the
   ``--metrics-port`` endpoint parsed as valid Prometheus text format;
 * drift: a ``drifting`` verdict on ``rss_mb`` or ``queue_depth`` fails

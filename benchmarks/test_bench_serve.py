@@ -20,6 +20,11 @@ uploaded as a CI artifact, and guarded by
   strictly higher cache-hit rate.
 * QPS / latency percentiles for both loops: reported for humans,
   not gated (wall-clock is machine-dependent).
+* ``workers_sweep``: closed-loop QPS at 1/2/4-worker SO_REUSEPORT pools
+  (weak scaling: 8 clients per worker) plus the merged-snapshot
+  warm-boot phase.  Locally gated loosely (scaling > 1, equivalence
+  exact, merged boot warms every worker); the committed artifact and
+  ``check_serve_regression.py`` carry the real scaling floor.
 """
 
 import json
@@ -69,11 +74,31 @@ def test_bench_serve(benchmark, tmp_path):
     # throughput sanity (very loose: CI machines vary wildly)
     assert artifact["closed_loop"]["qps"] > 50.0, artifact["closed_loop"]
 
+    # the multi-worker scaling sweep: every pool size answered its whole
+    # stream, results stayed bit-identical across workers, and the
+    # 4-worker pool beat the 1-worker pool (the committed artifact
+    # records the real ratio; CI hosts only guarantee it stays > 1)
+    sweep = artifact["workers_sweep"]
+    assert [p["workers"] for p in sweep["points"]] == sweep["worker_counts"]
+    for point in sweep["points"]:
+        assert point["workers_answering"] == point["workers"], point
+        assert point["requests"] == CONFIG.requests * point["workers"], point
+        assert point["errors"] == 0, point
+    assert sweep["equivalence_max_rel_dev"] <= REL_BUDGET, sweep
+    assert sweep["scaling_4w_over_1w"] > 1.0, sweep
+
+    # the merged snapshot warms a rebooted pool at least as well as a
+    # single process warms itself: replaying the producer stream against
+    # the merged-boot pool must hit on every worker it lands on
+    merged = sweep["warm_restart"]
+    assert merged["snapshot_entries_loaded"] > 0, merged
+    assert merged["initial_hit_rate"] >= warm, (merged, warm)
+
     smoke = BenchConfig(
         requests=200, clients=4, rate_qps=500.0, open_loop_requests=100, seed=2005
     )
     benchmark.pedantic(
-        lambda: run_bench(smoke, str(tmp_path / "bench.snapshot.json")),
+        lambda: run_bench(smoke, str(tmp_path / "bench.snapshot.json"), workers_sweep=False),
         rounds=2,
         iterations=1,
     )

@@ -54,6 +54,12 @@ _METHODS = ("hybrid", "golden")
 
 _default_method = "hybrid"
 
+#: memo of the default ``t_max`` bound per (fingerprint, age) -- a pure
+#: function of its key, recomputed identically on any miss, so clearing
+#: the (bounded) memo never changes results
+_TMAX_MEMO: dict[tuple[tuple[object, ...], float], float] = {}
+_TMAX_MEMO_CAPACITY = 4096
+
 
 def default_solver_method() -> str:
     """The process-wide solver method used when none is requested."""
@@ -163,17 +169,15 @@ def optimize_interval(
         method = _default_method
     elif method not in _METHODS:
         raise ValueError(f"unknown solver method: {method!r}")
-    if t_max is None:
-        mrl = float(distribution.mean_residual_life(age))
-        if not math.isfinite(mrl) or mrl <= 0.0:
-            mrl = max(distribution.mean(), 1.0)
-        t_max = min(max(1e4 * mrl, 1e6), 1e9)
-
     cache = active_cache()
+    fingerprint = distribution.fingerprint() if cache is not None else None
+    if t_max is None:
+        t_max = _resolve_t_max(distribution, fingerprint, age)
+
     key = None
     if cache is not None:
         key = SolverCache.key(
-            distribution.fingerprint(),
+            fingerprint,
             costs.checkpoint,
             costs.recovery,
             costs.latency,
@@ -187,6 +191,64 @@ def optimize_interval(
         if hit is not None:
             return hit
 
+    opt = _solve_interior(
+        distribution,
+        costs,
+        age=age,
+        t_min=t_min,
+        t_max=t_max,
+        rel_tol=rel_tol,
+        method=method,
+        warm_start=warm_start,
+    )
+    if cache is not None and key is not None:
+        cache.put(key, opt)
+    return opt
+
+
+def _resolve_t_max(
+    distribution: AvailabilityDistribution,
+    fingerprint: tuple[object, ...] | None,
+    age: float,
+) -> float:
+    """The default search upper bound for one (distribution, age).
+
+    A pure function of its inputs, memoised per (fingerprint, age) so a
+    cache-hit query does not pay a ``mean_residual_life`` evaluation
+    (the serving hot path -- for heavy-tailed families that call costs
+    more than the cache lookup it guards).  The memoised value is the
+    same float the direct computation produces, so solves stay
+    bit-identical; the memo is only consulted when a fingerprint is in
+    hand (i.e. a solver cache is active).
+    """
+    memo_key = (fingerprint, age) if fingerprint is not None else None
+    if memo_key is not None:
+        cached = _TMAX_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+    mrl = float(distribution.mean_residual_life(age))
+    if not math.isfinite(mrl) or mrl <= 0.0:
+        mrl = max(distribution.mean(), 1.0)
+    t_max = min(max(1e4 * mrl, 1e6), 1e9)
+    if memo_key is not None:
+        if len(_TMAX_MEMO) >= _TMAX_MEMO_CAPACITY:
+            _TMAX_MEMO.clear()
+        _TMAX_MEMO[memo_key] = t_max
+    return t_max
+
+
+def _solve_interior(
+    distribution: AvailabilityDistribution,
+    costs: CheckpointCosts,
+    *,
+    age: float,
+    t_min: float,
+    t_max: float,
+    rel_tol: float,
+    method: str,
+    warm_start: float | None = None,
+) -> OptimalInterval:
+    """The uncached solve: bracket + refine with resolved bounds."""
     model = MarkovIntervalModel(distribution, costs, age)
     guess = young_approximation(distribution, costs, age)
     guess = min(max(guess, t_min * 2.0), t_max / 2.0)
@@ -217,7 +279,7 @@ def optimize_interval(
         )
     x = min(max(result.x, t_min), t_max)
     g = model.gamma(x)
-    opt = OptimalInterval(
+    return OptimalInterval(
         T_opt=x,
         gamma=g,
         overhead_ratio=result.fx,
@@ -225,9 +287,6 @@ def optimize_interval(
         age=age,
         converged=result.converged,
     )
-    if cache is not None and key is not None:
-        cache.put(key, opt)
-    return opt
 
 
 def optimize_intervals_batch(
@@ -254,28 +313,64 @@ overhead_ratio_batch` grid evaluation plus Brent refinement) rather
 
     Every returned interval is **bitwise identical** to what the scalar
     :func:`optimize_interval` returns for the same arguments: distinct
-    ages are routed through exactly that function (same cache, same
-    warm-start-free cold path), and duplicates reuse the identical
-    result object.  The equivalence suite
-    (``tests/test_serve_equivalence.py``) gates this.
+    ages build the same cache key and run the same warm-start-free cold
+    solve (:func:`_solve_interior`) -- only the shared distribution
+    fingerprint and bound resolution are hoisted out of the loop -- and
+    duplicates reuse the identical result object.  The equivalence
+    suite (``tests/test_serve_equivalence.py``) gates this.
 
     Results are returned in input order.
     """
+    if method is None:
+        method = _default_method
+    elif method not in _METHODS:
+        raise ValueError(f"unknown solver method: {method!r}")
+    cache = active_cache()
+    # the whole batch shares one distribution: hoist the fingerprint (and
+    # the per-age cache key construction) out of optimize_interval so a
+    # burst of cache hits costs one dict probe per distinct age
+    fingerprint = distribution.fingerprint() if cache is not None else None
     resolved: dict[float, OptimalInterval] = {}
     out: list[OptimalInterval] = []
     for age in ages:
         a = float(age)
         opt = resolved.get(a)
         if opt is None:
-            opt = optimize_interval(
-                distribution,
-                costs,
-                age=a,
-                t_min=t_min,
-                t_max=t_max,
-                rel_tol=rel_tol,
-                method=method,
-            )
+            bound = t_max if t_max is not None else _resolve_t_max(distribution, fingerprint, a)
+            if cache is not None:
+                key = SolverCache.key(
+                    fingerprint,
+                    costs.checkpoint,
+                    costs.recovery,
+                    costs.latency,
+                    a,
+                    t_min,
+                    bound,
+                    rel_tol,
+                    method,
+                )
+                opt = cache.get(key)
+                if opt is None:
+                    opt = _solve_interior(
+                        distribution,
+                        costs,
+                        age=a,
+                        t_min=t_min,
+                        t_max=bound,
+                        rel_tol=rel_tol,
+                        method=method,
+                    )
+                    cache.put(key, opt)
+            else:
+                opt = _solve_interior(
+                    distribution,
+                    costs,
+                    age=a,
+                    t_min=t_min,
+                    t_max=bound,
+                    rel_tol=rel_tol,
+                    method=method,
+                )
             resolved[a] = opt
         out.append(opt)
     return out

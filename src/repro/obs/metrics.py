@@ -387,16 +387,49 @@ class MetricsRegistry:
             return key
         return self._admit(key.split("{", 1)[0], key)
 
-    def merge_dict(self, data: dict[str, Any]) -> None:
+    @staticmethod
+    def _relabel(key: str, extra_labels: Mapping[str, Any]) -> str:
+        """Rewrite a snapshot series key with ``extra_labels`` folded in.
+
+        An unlabeled key gains a label set; an existing label set is
+        extended (incoming labels win on collision, so an aggregator can
+        stamp an authoritative ``worker`` dimension).  Used by the serve
+        supervisor to keep per-worker series distinguishable after
+        fan-in.
+        """
+        name, labels = decode_series(key)
+        merged = {**labels, **extra_labels}
+        return encode_series(name, merged)
+
+    def merge_dict(
+        self,
+        data: dict[str, Any],
+        *,
+        extra_labels: Mapping[str, Any] | None = None,
+    ) -> None:
         """Fold a worker snapshot in: counters/histograms add, gauges
         take the incoming value.  Labeled series (``name{k=v,...}``
-        keys, report schema /3) merge per label set."""
+        keys, report schema /3) merge per label set.
+
+        ``extra_labels`` stamps every incoming series (labeled or not)
+        with additional labels before admission -- the multi-worker
+        daemon supervisor merges each worker's registry with
+        ``{"worker": i}`` so one scrape endpoint exposes per-worker
+        series.  Relabeled series still count against the cardinality
+        cap; past it they clip to the unlabeled base exactly like live
+        recordings.
+        """
+        def key_of(name: str) -> str:
+            if extra_labels:
+                return self._relabel(name, extra_labels)
+            return name
+
         for name, value in data.get("counters", {}).items():
-            self.counter(self._merge_key(name, self._counters)).value += float(value)
+            self.counter(self._merge_key(key_of(name), self._counters)).value += float(value)
         for name, value in data.get("gauges", {}).items():
-            self.gauge(self._merge_key(name, self._gauges)).set(float(value))
+            self.gauge(self._merge_key(key_of(name), self._gauges)).set(float(value))
         for name, summary in data.get("histograms", {}).items():
-            h = self.histogram(self._merge_key(name, self._histograms))
+            h = self.histogram(self._merge_key(key_of(name), self._histograms))
             count = int(summary["count"])
             if count == 0:
                 continue

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -45,11 +46,31 @@ from repro.serve.models import distribution_to_spec
 from repro.serve.protocol import dumps
 from repro.serve.registry import TenantRegistry
 from repro.serve.server import ScheduleServer, ServerConfig
+from repro.serve.snapshot import worker_snapshot_path
+from repro.serve.workers import WorkerPool, WorkerPoolConfig
 from repro.stats import mean_ci
 
-__all__ = ["BenchConfig", "BENCH_SCHEMA", "demo_registry", "run_bench"]
+__all__ = [
+    "BenchConfig",
+    "BENCH_SCHEMA",
+    "demo_registry",
+    "run_bench",
+    "run_worker_sweep",
+]
 
-BENCH_SCHEMA = "repro.bench.serve/1"
+BENCH_SCHEMA = "repro.bench.serve/2"
+
+#: the ``--workers`` scaling sweep measures these pool sizes
+SWEEP_WORKER_COUNTS = (1, 2, 4)
+
+#: weak scaling: each worker gets this many closed-loop clients, so the
+#: offered concurrency grows with the pool and the 1-worker point is
+#: latency-bound at the same per-worker pressure the 4-worker point sees
+SWEEP_CLIENTS_PER_WORKER = 8
+
+#: sweep batching window: wider than the single-process default so the
+#: 1-worker point is window-bound and the scaling headroom is real CPU
+SWEEP_BATCH_WINDOW_S = 0.006
 
 #: the demo tenant set: the paper's three model families at campus costs
 _DEMO_POOLS: tuple[tuple[str, Any, CheckpointCosts], ...] = (
@@ -418,7 +439,9 @@ async def _bench_phases(config: BenchConfig, snapshot_path: str) -> dict[str, An
     return artifact
 
 
-def run_bench(config: BenchConfig, snapshot_path: str) -> dict[str, Any]:
+def run_bench(
+    config: BenchConfig, snapshot_path: str, *, workers_sweep: bool = True
+) -> dict[str, Any]:
     """Run every phase and assemble the ``BENCH_serve.json`` artifact."""
     artifact = asyncio.run(_bench_phases(config, snapshot_path))
     artifact["schema"] = BENCH_SCHEMA
@@ -433,7 +456,193 @@ def run_bench(config: BenchConfig, snapshot_path: str) -> dict[str, Any]:
         "batch_window_s": config.batch_window_s,
         "max_batch": config.max_batch,
     }
+    if workers_sweep:
+        artifact["workers_sweep"] = run_worker_sweep(config, f"{snapshot_path}.sweep")
     return artifact
+
+
+# ----------------------------------------------------------------------
+# the --workers scaling sweep (multi-worker SO_REUSEPORT pools)
+# ----------------------------------------------------------------------
+async def _lean_client(
+    host: str,
+    port: int,
+    payloads: list[tuple[int, bytes]],
+    latencies: list[float],
+    keep: set[int],
+    results: dict[int, dict[str, Any]],
+) -> None:
+    """Closed-loop client that stays off the benchmark's critical path:
+    requests are pre-encoded and only the ``keep`` sample is parsed
+    (the bench process shares the host's cores with the pool it is
+    measuring, so client-side JSON work would depress every QPS number
+    it reports).  Unsampled responses get a cheap byte-level OK check."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for rid, line in payloads:
+            start = time.perf_counter()
+            writer.write(line)
+            await writer.drain()
+            raw = await reader.readline()
+            latencies.append(time.perf_counter() - start)
+            if not raw:
+                raise ConnectionError("server closed the connection mid-bench")
+            if rid in keep:
+                response = json.loads(raw)
+                if not isinstance(response, dict):
+                    raise ConnectionError(f"malformed response: {raw!r}")
+                results[rid] = response
+            elif b'"ok":true' not in raw:
+                raise ConnectionError(f"request failed: {raw!r}")
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def _run_lean_closed_loop(
+    host: str,
+    port: int,
+    queries: list[dict[str, Any]],
+    clients: int,
+    keep: set[int],
+) -> tuple[list[float], float, dict[int, dict[str, Any]]]:
+    """:func:`run_closed_loop` with :func:`_lean_client` mechanics;
+    returns (latencies, wall seconds, sampled responses by id)."""
+    latencies: list[float] = []
+    results: dict[int, dict[str, Any]] = {}
+    shards: list[list[tuple[int, bytes]]] = [[] for _ in range(clients)]
+    for i, query in enumerate(queries):
+        shards[i % clients].append(
+            (int(query["id"]), (dumps(query) + "\n").encode())
+        )
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _lean_client(host, port, shard, latencies, keep, results)
+            for shard in shards
+            if shard
+        )
+    )
+    return latencies, time.perf_counter() - start, results
+
+
+def _equivalence_sample_ids(config: BenchConfig, n: int) -> set[int]:
+    """The ids :func:`_check_equivalence` will look up (its sampling
+    stride over a stream whose ids are positional)."""
+    step = max(1, n // max(config.equivalence_sample, 1))
+    return set(range(0, n, step))
+async def _sweep_point(
+    config: BenchConfig,
+    workers: int,
+    queries: list[dict[str, Any]],
+    snapshot_base: str | None,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """One pool size: spawn the pool, drive the closed loop, fan in the
+    aggregate stats.  Returns (point record, aggregate stats)."""
+    clients = SWEEP_CLIENTS_PER_WORKER * workers
+    pool = WorkerPool(
+        WorkerPoolConfig(
+            workers=workers,
+            server=ServerConfig(
+                port=0,
+                batch_window_s=SWEEP_BATCH_WINDOW_S,
+                max_batch=config.max_batch,
+                snapshot_path=snapshot_base,
+                snapshot_interval_s=3600.0,
+            ),
+        ),
+        distribution_specs(),
+    )
+    await pool.start()
+    assert pool.port is not None
+    latencies, wall, results = await _run_lean_closed_loop(
+        "127.0.0.1",
+        pool.port,
+        queries,
+        clients,
+        _equivalence_sample_ids(config, len(queries)),
+    )
+    stats = await pool.aggregate_stats()
+    await pool.stop()
+    equivalence = _check_equivalence(config, queries, results, demo_registry())
+    point = {
+        "workers": workers,
+        "clients": clients,
+        "requests_per_worker": len(queries) // workers,
+        "workers_answering": stats["workers_answering"],
+        "equivalence_max_rel_dev": equivalence,
+        **summarize_latencies(latencies, wall),
+    }
+    return point, stats
+
+
+async def _sweep_phases(config: BenchConfig, snapshot_base: str) -> dict[str, Any]:
+    top = max(SWEEP_WORKER_COUNTS)
+    points: list[dict[str, Any]] = []
+    for workers in SWEEP_WORKER_COUNTS:
+        # weak scaling: fixed requests *per worker*, distinct stream per
+        # point; only the biggest pool writes snapshots (it feeds the
+        # merged-boot warm phase below) so every point runs a cold cache
+        queries = build_queries(
+            config, config.requests * workers, phase=10 + workers
+        )
+        point, _ = await _sweep_point(
+            config,
+            workers,
+            queries,
+            snapshot_base if workers == top else None,
+        )
+        points.append(point)
+    qps = {point["workers"]: point["qps"] for point in points}
+
+    # warm merged-boot: a fresh pool of the biggest size boots from the
+    # merged snapshot the previous run left behind and replays the same
+    # stream -- every key was solved by *some* worker, so the aggregate
+    # hit rate shows the merge actually unioned the per-worker caches
+    warm_queries = build_queries(config, config.requests * top, phase=10 + top)
+    warm_point, warm_stats = await _sweep_point(
+        config, top, warm_queries, snapshot_base
+    )
+    cache = warm_stats["aggregate"]["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    return {
+        "mode": "weak-scaling",
+        "worker_counts": list(SWEEP_WORKER_COUNTS),
+        "clients_per_worker": SWEEP_CLIENTS_PER_WORKER,
+        "batch_window_s": SWEEP_BATCH_WINDOW_S,
+        "points": points,
+        "scaling_4w_over_1w": qps[top] / qps[min(SWEEP_WORKER_COUNTS)],
+        "equivalence_max_rel_dev": max(
+            point["equivalence_max_rel_dev"] for point in points
+        ),
+        "warm_restart": {
+            "workers": top,
+            "snapshot_entries_loaded": warm_stats["aggregate"][
+                "warm_loaded_entries"
+            ],
+            "cache_hits": cache["hits"],
+            "cache_misses": cache["misses"],
+            "initial_hit_rate": cache["hits"] / lookups if lookups else 0.0,
+            "closed_loop": {
+                key: warm_point[key] for key in ("requests", "wall_s", "qps", "latency_ms")
+            },
+        },
+    }
+
+
+def run_worker_sweep(config: BenchConfig, snapshot_base: str) -> dict[str, Any]:
+    """The ``--workers`` scaling sweep: closed-loop QPS and latency at
+    1/2/4-worker SO_REUSEPORT pools plus the merged-snapshot warm-boot
+    phase.  ``snapshot_base`` is the merged-snapshot target (stale
+    files from previous runs are removed first so every point starts
+    cold)."""
+    for path in [snapshot_base] + [
+        worker_snapshot_path(snapshot_base, index)
+        for index in range(max(SWEEP_WORKER_COUNTS))
+    ]:
+        if os.path.exists(path):
+            os.unlink(path)
+    return asyncio.run(_sweep_phases(config, snapshot_base))
 
 
 # ----------------------------------------------------------------------

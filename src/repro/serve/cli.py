@@ -10,6 +10,7 @@ from typing import Any, TextIO
 from repro.serve.bench import (
     BenchConfig,
     demo_registry,
+    distribution_specs,
     run_against,
     run_bench,
 )
@@ -21,9 +22,10 @@ from repro.serve.server import ScheduleServer, ServerConfig
 __all__ = ["bench_main", "serve_main"]
 
 
-def _load_pools_file(path: str, registry: TenantRegistry) -> int:
-    """Register pools from a JSON file: a list of
-    ``{"pool":..., "model": {...}, "costs": {...}}`` objects."""
+def _read_pool_specs(path: str) -> list[dict[str, Any]]:
+    """Validate a pools file -- a JSON list of ``{"pool":..., "model":
+    {...}, "costs": {...}}`` objects -- and return the raw specs (the
+    worker pool ships them to every worker process)."""
     with open(path) as fh:
         data = json.load(fh)
     if not isinstance(data, list):
@@ -32,12 +34,23 @@ def _load_pools_file(path: str, registry: TenantRegistry) -> int:
         if not isinstance(item, dict) or not isinstance(item.get("pool"), str):
             raise SystemExit(f"error: {path}: entry {i} needs a 'pool' name")
         try:
-            distribution = distribution_from_spec(item.get("model") or {})
-            costs = costs_from_payload(item.get("costs"))
+            distribution_from_spec(item.get("model") or {})
+            costs_from_payload(item.get("costs"))
         except ValueError as exc:
             raise SystemExit(f"error: {path}: entry {i}: {exc}") from exc
-        registry.register(item["pool"], distribution, costs)
-    return len(data)
+    return [dict(item) for item in data]
+
+
+def _load_pools_file(path: str, registry: TenantRegistry) -> int:
+    """Register pools from a JSON file (single-process mode)."""
+    specs = _read_pool_specs(path)
+    for item in specs:
+        registry.register(
+            item["pool"],
+            distribution_from_spec(item.get("model") or {}),
+            costs_from_payload(item.get("costs")),
+        )
+    return len(specs)
 
 
 def serve_main(argv: list[str], stdout: TextIO | None = None) -> int:
@@ -107,14 +120,41 @@ def serve_main(argv: list[str], stdout: TextIO | None = None) -> int:
         metavar="MS",
         help="log a structured slow-request line over this threshold (default 1000)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker-pool mode (N >= 2): N processes share the port via "
+            "SO_REUSEPORT under a supervisor that merges snapshots and "
+            "aggregates telemetry (docs/SERVING.md)"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "backpressure cap: reject requests with a 'busy' error once "
+            "this many are in flight per worker (default: uncapped)"
+        ),
+    )
+    parser.add_argument(
+        "--merge-interval",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds between snapshot merges in worker-pool mode (default 30)",
+    )
     args = parser.parse_args(argv)
     sink = stdout if stdout is not None else sys.stdout
 
-    registry = demo_registry() if args.demo else TenantRegistry()
-    if args.pools:
-        _load_pools_file(args.pools, registry)
     if args.batch_window_ms < 0:
         raise SystemExit("error: --batch-window-ms must be >= 0")
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
     try:
         config = ServerConfig(
             host=args.host,
@@ -125,12 +165,22 @@ def serve_main(argv: list[str], stdout: TextIO | None = None) -> int:
             snapshot_interval_s=args.snapshot_interval,
             metrics_port=args.metrics_port,
             slow_request_s=args.slow_request_ms / 1e3,
+            max_inflight=args.max_inflight,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
-    server = ScheduleServer(config, registry=registry)
 
     import asyncio
+
+    if args.workers > 1:
+        if args.stdio:
+            raise SystemExit("error: --stdio is incompatible with --workers")
+        return _serve_pool(args, config, sink)
+
+    registry = demo_registry() if args.demo else TenantRegistry()
+    if args.pools:
+        _load_pools_file(args.pools, registry)
+    server = ScheduleServer(config, registry=registry)
 
     if args.stdio:
         asyncio.run(server.run_stdio(sys.stdin, sink if stdout is not None else sys.stdout))
@@ -160,6 +210,55 @@ def serve_main(argv: list[str], stdout: TextIO | None = None) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass  # clean Ctrl-C: the finally block above already stopped the server
+    return 0
+
+
+def _serve_pool(
+    args: argparse.Namespace, config: ServerConfig, sink: TextIO
+) -> int:
+    """``repro serve --workers N``: run the SO_REUSEPORT worker pool."""
+    import asyncio
+
+    from repro.serve.workers import WorkerPool, WorkerPoolConfig
+
+    pool_specs: list[dict[str, Any]] = []
+    if args.demo:
+        pool_specs.extend(distribution_specs())
+    if args.pools:
+        pool_specs.extend(_read_pool_specs(args.pools))
+    try:
+        pool_config = WorkerPoolConfig(
+            workers=args.workers,
+            server=config,
+            merge_interval_s=args.merge_interval,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    pool = WorkerPool(pool_config, pool_specs)
+
+    async def _run() -> None:
+        await pool.start()
+        scrape = (
+            f", metrics on http://{config.host}:{pool.metrics_port}/metrics"
+            if pool.metrics_port is not None
+            else ""
+        )
+        print(
+            f"[repro serve] {args.workers} workers listening on "
+            f"{config.host}:{pool.port} (pools: {len(pool_specs)}{scrape})",
+            file=sink,
+            flush=True,
+        )
+        try:
+            await pool.wait_stopped()
+        finally:
+            await pool.stop()
+            print("[repro serve] stopped", file=sink, flush=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass  # clean Ctrl-C: the finally block above already stopped the pool
     return 0
 
 
@@ -234,6 +333,25 @@ def bench_main(argv: list[str], stdout: TextIO | None = None) -> int:
         metavar="S",
         help="soak sampling interval in seconds (default 2)",
     )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --soak: backpressure cap for the in-process daemon "
+            "(rejections are accounted in the conservation check; "
+            "default: uncapped)"
+        ),
+    )
+    parser.add_argument(
+        "--no-workers-sweep",
+        action="store_true",
+        help=(
+            "skip the multi-worker scaling sweep (1/2/4-worker "
+            "SO_REUSEPORT pools; on by default for the full artifact)"
+        ),
+    )
     args = parser.parse_args(argv)
     sink = stdout if stdout is not None else sys.stdout
 
@@ -251,6 +369,7 @@ def bench_main(argv: list[str], stdout: TextIO | None = None) -> int:
                 rate_qps=args.rate,
                 seed=args.seed,
                 batch_window_s=args.batch_window_ms / 1e3,
+                max_inflight=args.max_inflight,
             )
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from exc
@@ -308,7 +427,7 @@ def bench_main(argv: list[str], stdout: TextIO | None = None) -> int:
             if args.out
             else tempfile.NamedTemporaryFile(suffix=".snapshot.json", delete=False).name
         )
-    artifact = run_bench(config, snapshot_path)
+    artifact = run_bench(config, snapshot_path, workers_sweep=not args.no_workers_sweep)
     _print_artifact(artifact, sink)
     if args.out:
         with open(args.out, "w") as fh:
@@ -348,3 +467,21 @@ def _print_artifact(artifact: dict[str, Any], sink: TextIO) -> None:
         f"equivalence: max |T_opt dev| {artifact['equivalence_max_rel_dev']:.3e} relative",
         file=sink,
     )
+    sweep = artifact.get("workers_sweep")
+    if sweep:
+        for point in sweep["points"]:
+            print(
+                f"workers {point['workers']}: {point['qps']:.0f} QPS "
+                f"({point['clients']} clients) | latency ms "
+                f"p50 {point['latency_ms']['p50']:.2f}  "
+                f"p99 {point['latency_ms']['p99']:.2f}",
+                file=sink,
+            )
+        warm = sweep["warm_restart"]
+        print(
+            f"workers scaling: {sweep['scaling_4w_over_1w']:.2f}x QPS at "
+            f"{max(sweep['worker_counts'])} workers vs 1 | merged-boot warm "
+            f"hit rate {warm['initial_hit_rate']:.3f} "
+            f"({warm['snapshot_entries_loaded']} entries warm-loaded)",
+            file=sink,
+        )

@@ -13,19 +13,33 @@ not a web framework.  Two routes:
 Anything else is a 404; non-GET methods are a 405.  Connections are
 close-after-response, so each scrape is one short-lived task and a
 stuck scraper cannot wedge the daemon.  The handlers take callables
-(not the server object) so the module stays import-cycle-free.
+(not the server object) so the module stays import-cycle-free; a
+render callable may be synchronous (the single-process daemon reads
+its own registry) or a coroutine function (the multi-worker supervisor
+fans a scrape out to its workers' control ports and merges, so every
+scrape sees live per-worker numbers).
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
-from collections.abc import Callable
-from typing import Any
+from collections.abc import Awaitable, Callable
+from typing import Any, TypeVar, cast
 
 from repro.obs.metrics import active as _metrics
 
 __all__ = ["MetricsHttpEndpoint"]
+
+_T = TypeVar("_T")
+
+
+async def _resolve(value: "_T | Awaitable[_T]") -> "_T":
+    """Await ``value`` when a render callable returned a coroutine."""
+    if inspect.isawaitable(value):
+        return cast("_T", await value)
+    return cast("_T", value)
 
 #: request line + headers must fit in this many bytes (a scrape's GET
 #: line is tens of bytes; anything bigger is not a scraper)
@@ -40,8 +54,8 @@ class MetricsHttpEndpoint:
         *,
         host: str,
         port: int,
-        render_metrics: Callable[[], str],
-        render_health: Callable[[], dict[str, Any]],
+        render_metrics: Callable[[], str | Awaitable[str]],
+        render_health: Callable[[], dict[str, Any] | Awaitable[dict[str, Any]]],
     ) -> None:
         self.host = host
         self.config_port = port
@@ -71,12 +85,13 @@ class MetricsHttpEndpoint:
         self._server = None
 
     # ------------------------------------------------------------------
-    def _respond(self, path: str) -> tuple[int, str, str]:
+    async def _respond(self, path: str) -> tuple[int, str, str]:
         """Route one GET; returns (status, content-type, body)."""
         if path == "/metrics":
-            return 200, "text/plain; version=0.0.4; charset=utf-8", self._render_metrics()
+            body = await _resolve(self._render_metrics())
+            return 200, "text/plain; version=0.0.4; charset=utf-8", body
         if path == "/health":
-            health = self._render_health()
+            health = await _resolve(self._render_health())
             status = 200 if health.get("status") == "ok" else 503
             return status, "application/json", json.dumps(health, sort_keys=True) + "\n"
         return 404, "text/plain; charset=utf-8", "not found\n"
@@ -98,7 +113,7 @@ class MetricsHttpEndpoint:
                     status, body = 405, "method not allowed\n"
                 else:
                     path = target.split("?", 1)[0]
-                    status, content_type, body = self._respond(path)
+                    status, content_type, body = await self._respond(path)
         except (
             asyncio.IncompleteReadError,
             asyncio.LimitOverrunError,

@@ -20,7 +20,6 @@ a machine-readable ``code`` and a human-readable ``message``.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from typing import Any
 
 from repro.core.markov import CheckpointCosts
@@ -121,8 +120,20 @@ def error_response(request_id: Any, code: str, message: str) -> dict[str, Any]:
 
 
 def interval_to_payload(interval: OptimalInterval) -> dict[str, Any]:
-    """The JSON-ready form of one optimizer result."""
-    return asdict(interval)
+    """The JSON-ready form of one optimizer result.
+
+    Hand-rolled rather than :func:`dataclasses.asdict`: this runs once
+    per served solve and ``asdict``'s recursive copy machinery costs
+    more than the rest of response serialisation combined.
+    """
+    return {
+        "T_opt": interval.T_opt,
+        "gamma": interval.gamma,
+        "overhead_ratio": interval.overhead_ratio,
+        "expected_efficiency": interval.expected_efficiency,
+        "age": interval.age,
+        "converged": interval.converged,
+    }
 
 
 def costs_to_payload(costs: CheckpointCosts) -> dict[str, float]:

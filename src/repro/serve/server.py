@@ -79,6 +79,26 @@ __all__ = ["ScheduleServer", "ServerConfig"]
 #: leaves configuration to the operator, so they are silent by default)
 _logger = logging.getLogger("repro.serve")
 
+#: response writes skip ``drain()`` until the transport buffer exceeds
+#: this many bytes (a slow or stalled client); below it, a response is a
+#: single synchronous buffer append
+_DRAIN_WATERMARK = 1 << 16
+
+
+def _request_envelope_of(line: str) -> tuple[Any, str | None]:
+    """Best-effort ``(id, op)`` extraction for the backpressure fast
+    path: a rejected request still gets its id echoed when the line
+    parses (``None`` -- an id-less ``busy`` response -- when it does
+    not), and the op decides whether the cap applies at all."""
+    try:
+        data = json.loads(line)
+    except ValueError:
+        return None, None
+    if not isinstance(data, dict):
+        return None, None
+    op = data.get("op")
+    return data.get("id"), op if isinstance(op, str) else None
+
 
 @dataclass(frozen=True)
 class ServerConfig:
@@ -90,6 +110,19 @@ class ServerConfig:
     ``snapshot_path`` is set.  ``metrics_port`` (``None`` = off, ``0``
     = ephemeral) adds the HTTP scrape endpoint; ``slow_request_s`` is
     the structured-log threshold for slow requests.
+
+    Worker-pool fields (see :mod:`repro.serve.workers`):
+    ``reuse_port`` binds the listener with ``SO_REUSEPORT`` so several
+    worker processes share one TCP port; ``snapshot_source_path`` warm-
+    loads from a different file than periodic snapshots write to (a
+    worker boots from the pool's *merged* snapshot but persists its own
+    per-worker file); ``worker_index`` stamps ``stats``/``health``
+    responses so a client can tell which worker answered.
+    ``max_inflight`` is the backpressure cap: a ``solve`` request
+    arriving while the server already has that many requests in flight
+    gets an immediate ``busy`` error response instead of unbounded
+    queueing (``None`` = no cap; control-plane ops are never shed, so
+    health probes keep answering under saturation).
     """
 
     host: str = "127.0.0.1"
@@ -102,10 +135,22 @@ class ServerConfig:
     rel_tol: float = 1e-6
     metrics_port: int | None = None
     slow_request_s: float = 1.0
+    max_inflight: int | None = None
+    reuse_port: bool = False
+    snapshot_source_path: str | None = None
+    worker_index: int | None = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max in-flight cap must be >= 1, got {self.max_inflight}"
+            )
+        if self.worker_index is not None and self.worker_index < 0:
+            raise ValueError(
+                f"worker index must be >= 0, got {self.worker_index}"
+            )
         if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
             raise ValueError(
                 f"metrics port must be in [0, 65535], got {self.metrics_port}"
@@ -149,6 +194,8 @@ class ScheduleServer:
         self.metrics_port: int | None = None
         self.requests = 0
         self.errors = 0
+        self.rejected = 0
+        self._inflight = 0
         self.warm_loaded_entries = 0
         self.op_counts: dict[str, int] = {}
         self._server: asyncio.AbstractServer | None = None
@@ -175,7 +222,7 @@ class ScheduleServer:
         snapshot file is a *cold start*, not an error (the daemon logs
         it via ``serve.snapshot.load_failures`` and serves anyway).
         """
-        path = self.config.snapshot_path
+        path = self._warm_source()
         if path is None:
             return 0
         try:
@@ -187,9 +234,15 @@ class ScheduleServer:
             self.warm_loaded_entries = 0
         return self.warm_loaded_entries
 
+    def _warm_source(self) -> str | None:
+        """The file warm loads read: the explicit source path when set
+        (worker mode: boot from the pool's merged snapshot), else the
+        snapshot path itself."""
+        return self.config.snapshot_source_path or self.config.snapshot_path
+
     async def _warm_load_async(self) -> int:
         """:meth:`warm_load` with the blocking read off the event loop."""
-        path = self.config.snapshot_path
+        path = self._warm_source()
         if path is None:
             return 0
         try:
@@ -466,8 +519,11 @@ class ScheduleServer:
         return {
             "schema": PROTOCOL_SCHEMA,
             "uptime_s": self._now(),
+            "worker": self.config.worker_index,
+            "port": self.port,
             "requests": self.requests,
             "errors": self.errors,
+            "rejected": self.rejected,
             "ops": dict(sorted(self.op_counts.items())),
             "pools": len(self.registry),
             "batch": batch.as_dict(),
@@ -489,13 +545,21 @@ class ScheduleServer:
             "status": "ok",
             "schema": PROTOCOL_SCHEMA,
             "uptime_s": self._now(),
+            # the *actually bound* ports: with port 0 (or metrics-port 0)
+            # these are the ephemeral assignments, so worker mode can
+            # publish what the kernel picked rather than what was asked
+            "worker": self.config.worker_index,
+            "port": self.port,
+            "metrics_port": self.metrics_port,
             "queue_depth": self.batcher.pending,
+            "inflight": self._inflight,
             "pools": len(self.registry),
             "warm_loaded_entries": self.warm_loaded_entries,
             "snapshot_configured": self.config.snapshot_path is not None,
             "snapshot_age_s": snapshot_age,
             "requests": self.requests,
             "errors": self.errors,
+            "rejected": self.rejected,
             "metrics_enabled": _metrics() is not None,
         }
 
@@ -520,22 +584,36 @@ class ScheduleServer:
         reg = _metrics()
         if reg is not None:
             reg.inc("serve.connections.opened")
-        write_lock = asyncio.Lock()
+        drain_lock = asyncio.Lock()
         tasks: set[asyncio.Task[None]] = set()
 
         async def respond(line: str) -> None:
             response = await self.handle_line(line)
             payload = (dumps(response) + "\n").encode()
             respond0 = time.perf_counter()
-            async with write_lock:
-                writer.write(payload)
-                await writer.drain()
+            # each response is one complete line in one write() call, so
+            # concurrent responders cannot interleave framing; drain only
+            # once the transport buffer backs up (a slow client), which
+            # keeps the hot path to a single buffer append
+            writer.write(payload)
+            transport = writer.transport
+            if (
+                transport is not None
+                and transport.get_write_buffer_size() > _DRAIN_WATERMARK
+            ):
+                async with drain_lock:
+                    await writer.drain()
             if reg is not None:
                 reg.observe(
                     "serve.lifecycle.respond_seconds",
                     time.perf_counter() - respond0,
                 )
 
+        def finish(task: asyncio.Task[None]) -> None:
+            tasks.discard(task)
+            self._inflight -= 1
+
+        cap = self.config.max_inflight
         try:
             while True:
                 try:
@@ -551,9 +629,31 @@ class ScheduleServer:
                 line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
                     continue
+                if cap is not None and self._inflight >= cap:
+                    # overload: shed the request with a cheap immediate
+                    # error instead of queueing without bound (the id is
+                    # echoed when the line parses, so pipelined clients
+                    # can still match the rejection).  Only ``solve``
+                    # requests are shed -- they are what queues in the
+                    # batcher; control-plane ops (health, metrics,
+                    # stats, shutdown, ...) are answered inline and must
+                    # keep working exactly when the server is saturated.
+                    rid, op = _request_envelope_of(line)
+                    if op == "solve":
+                        self.rejected += 1
+                        if reg is not None:
+                            reg.inc("serve.requests.rejected")
+                        busy = error_response(
+                            rid,
+                            "busy",
+                            f"server at max in-flight requests ({cap})",
+                        )
+                        writer.write((dumps(busy) + "\n").encode())
+                        continue
+                self._inflight += 1
                 task = asyncio.ensure_future(respond(line))
                 tasks.add(task)
-                task.add_done_callback(tasks.discard)
+                task.add_done_callback(finish)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
         finally:
@@ -584,6 +684,7 @@ class ScheduleServer:
             host=self.config.host,
             port=self.config.port,
             limit=MAX_LINE_BYTES + 1024,
+            reuse_port=self.config.reuse_port or None,
         )
         sockets = self._server.sockets
         if sockets:

@@ -34,23 +34,33 @@ corruption; the caller decides whether a bad snapshot is fatal (explicit
 from __future__ import annotations
 
 import json
+import logging
 import os
+from collections.abc import Sequence
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.solver_cache import SolverCache, active_cache
 from repro.obs.metrics import active as _metrics
 
 __all__ = [
+    "MergeResult",
     "SnapshotError",
     "apply_snapshot_payload",
     "load_cache_snapshot",
+    "merge_snapshot_files",
     "read_snapshot_payload",
     "record_snapshot_error",
+    "record_snapshot_merge",
     "record_snapshot_saved",
     "save_cache_snapshot",
     "snapshot_payload",
+    "worker_snapshot_path",
     "write_snapshot_payload",
 ]
+
+#: structured warnings about skipped merge inputs land here
+_logger = logging.getLogger("repro.serve")
 
 
 class SnapshotError(RuntimeError):
@@ -180,3 +190,111 @@ def load_cache_snapshot(
     cache); returns the number of entries inserted."""
     payload = read_snapshot_payload(path)
     return apply_snapshot_payload(payload, cache, stats=stats, source=f"snapshot {path!r}")
+
+
+# ----------------------------------------------------------------------
+# multi-worker snapshot merging
+# ----------------------------------------------------------------------
+def worker_snapshot_path(base: str, index: int) -> str:
+    """The per-worker snapshot file derived from the pool's merged
+    path: ``<base>.worker<i>``.  Each worker writes only its own file,
+    so concurrent periodic snapshots never race on one target."""
+    return f"{base}.worker{index}"
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """What one :func:`merge_snapshot_files` pass did."""
+
+    entries: int  #: entries in the merged snapshot (0 when not written)
+    written: bool  #: whether the target file was (re)written
+    merged: list[str] = field(default_factory=list)  #: sources folded in
+    skipped: list[str] = field(default_factory=list)  #: sources skipped loudly
+
+
+def merge_snapshot_files(
+    sources: Sequence[str], target: str, *, capacity: int | None = None
+) -> MergeResult:
+    """Union several snapshot files into one merged snapshot at
+    ``target`` (atomic tmp+rename, like every snapshot write).
+
+    The merge is LRU- and stats-aware: sources are folded in with
+    ``stats=True`` so the merged file carries the summed hit/miss
+    history of every worker, and entries keep each source's LRU order
+    (duplicate keys -- the same solve done by two workers -- are
+    bit-identical by the serving equivalence contract, first source
+    wins).  A missing source is simply absent (a worker that has not
+    snapshotted yet); an unreadable or invalid source is *skipped
+    loudly* -- one structured warning on the ``repro.serve`` logger per
+    file, the path reported in :attr:`MergeResult.skipped` -- so a
+    torn or foreign file degrades coverage, never the merge.  The
+    target is only rewritten when at least one source merged.
+
+    Blocking (file I/O) -- the supervisor calls this via
+    ``asyncio.to_thread``; metrics are recorded loop-side by
+    :func:`record_snapshot_merge`.
+    """
+    payloads: list[tuple[str, Any]] = []
+    skipped: list[str] = []
+    for path in sources:
+        if not os.path.exists(path):
+            continue
+        try:
+            payloads.append((path, read_snapshot_payload(path)))
+        except SnapshotError as exc:
+            skipped.append(path)
+            _logger.warning(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "snapshot_merge_skipped",
+                        "path": path,
+                        "reason": str(exc),
+                    },
+                    sort_keys=True,
+                ),
+            )
+    total = sum(
+        len(payload.get("entries", []))
+        for _, payload in payloads
+        if isinstance(payload, dict)
+    )
+    cache = SolverCache(capacity=capacity if capacity is not None else max(total, 1))
+    merged: list[str] = []
+    for path, payload in payloads:
+        try:
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"snapshot must hold a JSON object, got {type(payload).__name__}"
+                )
+            cache.merge_dict(payload, stats=True)
+            merged.append(path)
+        except (TypeError, ValueError) as exc:
+            skipped.append(path)
+            _logger.warning(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "snapshot_merge_skipped",
+                        "path": path,
+                        "reason": str(exc),
+                    },
+                    sort_keys=True,
+                ),
+            )
+    if not merged:
+        return MergeResult(entries=0, written=False, skipped=skipped)
+    entries = write_snapshot_payload(target, cache.as_dict())
+    return MergeResult(entries=entries, written=True, merged=merged, skipped=skipped)
+
+
+def record_snapshot_merge(result: MergeResult) -> None:
+    """Count one merge pass (loop-side metric hook)."""
+    reg = _metrics()
+    if reg is None:
+        return
+    if result.written:
+        reg.inc("serve.snapshot.merges")
+        reg.observe("serve.snapshot.merge.entries", result.entries)
+    if result.skipped:
+        reg.inc("serve.snapshot.merge.skipped", len(result.skipped))

@@ -69,10 +69,15 @@ class SoakConfig:
     seed: int = 2005
     batch_window_s: float = 0.002
     max_batch: int = 256
+    max_inflight: int | None = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ValueError(f"duration must be positive, got {self.duration_s}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max in-flight cap must be >= 1, got {self.max_inflight}"
+            )
         if self.sample_every_s <= 0:
             raise ValueError(
                 f"sample interval must be positive, got {self.sample_every_s}"
@@ -93,6 +98,7 @@ class SoakConfig:
             "seed": self.seed,
             "batch_window_s": self.batch_window_s,
             "max_batch": self.max_batch,
+            "max_inflight": self.max_inflight,
         }
 
 
@@ -225,6 +231,7 @@ async def _soak(config: SoakConfig) -> tuple[list[dict[str, Any]], dict[str, Any
             batch_window_s=config.batch_window_s,
             max_batch=config.max_batch,
             metrics_port=0,
+            max_inflight=config.max_inflight,
         ),
         registry=demo_registry(),
     )
@@ -271,8 +278,10 @@ async def _soak(config: SoakConfig) -> tuple[list[dict[str, Any]], dict[str, Any
                 "t_s": round(t_s, 3),
                 "rss_mb": rss_mb,
                 "queue_depth": health["queue_depth"],
+                "inflight": health["inflight"],
                 "requests": health["requests"],
                 "errors": health["errors"],
+                "rejected": health["rejected"],
                 "interval_latency_ms_mean": (new_sum / new_count * 1e3)
                 if new_count
                 else None,
@@ -316,6 +325,7 @@ async def _soak(config: SoakConfig) -> tuple[list[dict[str, Any]], dict[str, Any
     await sample_once()
     final_counts = samples[-1]["tenant_solve_requests"]
     per_tenant_total = sum(final_counts.values())
+    rejected = int(samples[-1]["rejected"])
     await server.stop()
 
     drift = {
@@ -334,7 +344,9 @@ async def _soak(config: SoakConfig) -> tuple[list[dict[str, Any]], dict[str, Any
         "kind": "summary",
         "sent": n,
         "completed": len(latencies),
-        "errors": errors,
+        # busy rejections are deliberate shedding at the --max-inflight
+        # cap, reported separately -- "errors" keeps meaning failures
+        "errors": errors - rejected,
         "wall_s": wall,
         "qps_offered": config.rate_qps,
         "qps_achieved": len(latencies) / wall if wall > 0 else 0.0,
@@ -345,11 +357,15 @@ async def _soak(config: SoakConfig) -> tuple[list[dict[str, Any]], dict[str, Any
         },
         "samples": len(samples),
         "prom_parse_failures": prom_parse_failures,
+        "rejected": rejected,
         "conservation": {
+            # a request either reached a tenant solve or was rejected at
+            # the backpressure cap -- nothing may vanish in between
             "sent": n,
+            "rejected": rejected,
             "per_tenant_total": per_tenant_total,
             "per_tenant": final_counts,
-            "exact": per_tenant_total == n,
+            "exact": per_tenant_total + rejected == n,
         },
         "drift": drift,
     }

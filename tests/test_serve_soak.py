@@ -23,6 +23,7 @@ class TestSoakConfig:
             {"sample_every_s": 0.0},
             {"duration_s": 1.0, "sample_every_s": 2.0},
             {"rate_qps": 0.0},
+            {"max_inflight": 0},
         ],
     )
     def test_bad_values_rejected(self, overrides):
